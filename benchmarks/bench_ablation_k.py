@@ -1,0 +1,73 @@
+"""A1 — ablation: number of bound-tightening iterations k.
+
+The paper fixes k = 5 and reports that a small k suffices.  This ablation
+sweeps k and reports (a) how tight the bound is relative to the exact spectral
+radius on random cyclic matrices, and (b) the downstream structure-recovery
+accuracy of LEAST, confirming both are insensitive beyond small k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.helpers import make_problem, print_table, run_least
+from repro.core.acyclicity import spectral_bound, spectral_radius
+from repro.core.least import LEASTConfig
+
+K_VALUES = [1, 3, 5, 10]
+
+
+def test_bound_tightness_vs_k(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    """Mean looseness (bound / spectral radius) per k on random cyclic matrices."""
+    rng = np.random.default_rng(111)
+    matrices = []
+    for _ in range(20):
+        weights = rng.normal(size=(30, 30)) * (rng.random((30, 30)) < 0.2)
+        np.fill_diagonal(weights, 0.0)
+        matrices.append(weights)
+
+    rows = []
+    for k in K_VALUES:
+        ratios = []
+        for weights in matrices:
+            radius = spectral_radius(weights**2)
+            if radius < 1e-9:
+                continue
+            ratios.append(spectral_bound(weights, k=k) / radius)
+        rows.append([k, f"{np.mean(ratios):.2f}", f"{np.max(ratios):.2f}"])
+    print_table(
+        "Ablation A1: bound looseness (delta / spectral radius) vs k",
+        ["k", "mean ratio", "max ratio"],
+        rows,
+    )
+    # Every ratio is >= 1 (it is an upper bound); looseness must not explode with k.
+    assert all(float(row[1]) >= 1.0 for row in rows)
+
+
+@pytest.fixture(scope="module")
+def accuracy_by_k():
+    truth, data = make_problem("ER-2", 30, "gaussian", seed=112)
+    rows = []
+    for k in K_VALUES:
+        config = LEASTConfig(
+            k=k, max_outer_iterations=8, max_inner_iterations=300, keep_history=True, track_h=True
+        )
+        run = run_least(truth, data, seed=113, config=config)
+        rows.append((k, run))
+    return rows
+
+
+def test_accuracy_vs_k(benchmark, accuracy_by_k):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    table = [[k, f"{run.f1:.3f}", run.shd, f"{run.seconds:.1f}s"] for k, run in accuracy_by_k]
+    print_table("Ablation A1: LEAST accuracy vs k", ["k", "F1", "SHD", "time"], table)
+    # k = 5 (the paper's default) must be at least as good as k = 1.
+    f1_by_k = {k: run.f1 for k, run in accuracy_by_k}
+    assert f1_by_k[5] >= f1_by_k[1] - 0.15
+
+
+def test_benchmark_bound_k10(benchmark):
+    truth, _ = make_problem("ER-2", 200, "gaussian", seed=114)
+    benchmark(lambda: spectral_bound(truth, k=10))

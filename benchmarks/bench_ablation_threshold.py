@@ -1,0 +1,90 @@
+"""A3 — ablation: in-loop hard thresholding θ and mini-batch size B.
+
+The paper argues that filtering small entries of W during the inner loop keeps
+the matrix sparse and removes false cycle-inducing edges, and that
+mini-batching makes the per-iteration data cost independent of n.  This
+ablation sweeps both knobs and reports accuracy, sparsity, and run time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.helpers import make_problem, print_table, run_least
+from repro.core.least import LEAST, LEASTConfig
+
+THRESHOLDS = [0.0, 1e-3, 5e-3]
+BATCH_SIZES = [None, 128]
+
+
+@pytest.fixture(scope="module")
+def threshold_sweep():
+    truth, data = make_problem("ER-2", 30, "gaussian", seed=131)
+    rows = []
+    for threshold in THRESHOLDS:
+        config = LEASTConfig(
+            threshold=threshold,
+            max_outer_iterations=8,
+            max_inner_iterations=300,
+            keep_history=True,
+            track_h=True,
+        )
+        run = run_least(truth, data, seed=132, config=config)
+        result = LEAST(config).fit(data, seed=132)
+        density = np.count_nonzero(result.weights) / result.weights.size
+        rows.append((threshold, run, density))
+    return rows
+
+
+def test_threshold_ablation(benchmark, threshold_sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    table = [
+        [theta, f"{run.f1:.3f}", run.shd, f"{density:.2%}", f"{run.seconds:.1f}s"]
+        for theta, run, density in threshold_sweep
+    ]
+    print_table(
+        "Ablation A3: in-loop thresholding theta",
+        ["theta", "F1", "SHD", "final density", "time"],
+        table,
+    )
+    # Thresholding must reduce the density of the final weight matrix without
+    # destroying accuracy (theta stays well below the Adam step size).
+    densities = [density for _, _, density in threshold_sweep]
+    f1s = [run.f1 for _, run, _ in threshold_sweep]
+    assert densities[-1] <= densities[0] + 1e-9
+    assert min(f1s) >= max(f1s) - 0.35
+
+
+@pytest.fixture(scope="module")
+def batch_sweep():
+    truth, data = make_problem("ER-2", 30, "gaussian", seed=133, samples_per_node=40)
+    rows = []
+    for batch_size in BATCH_SIZES:
+        config = LEASTConfig(
+            batch_size=batch_size,
+            max_outer_iterations=8,
+            max_inner_iterations=300,
+            keep_history=True,
+            track_h=True,
+        )
+        run = run_least(truth, data, seed=134, config=config)
+        rows.append((batch_size, run))
+    return rows
+
+
+def test_batching_ablation(benchmark, batch_sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    table = [
+        ["full" if batch_size is None else batch_size, f"{run.f1:.3f}", run.shd, f"{run.seconds:.1f}s"]
+        for batch_size, run in batch_sweep
+    ]
+    print_table("Ablation A3: mini-batch size B", ["B", "F1", "SHD", "time"], table)
+    # Mini-batching may trade a little accuracy for speed but must stay usable.
+    assert all(run.f1 >= 0.4 for _, run in batch_sweep)
+
+
+def test_benchmark_minibatch_fit(benchmark):
+    truth, data = make_problem("ER-2", 30, "gaussian", seed=135, samples_per_node=40)
+    config = LEASTConfig(batch_size=128, max_outer_iterations=5, max_inner_iterations=200)
+    benchmark.pedantic(lambda: LEAST(config).fit(data, seed=136), rounds=1, iterations=1)

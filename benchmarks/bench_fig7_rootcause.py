@@ -1,0 +1,86 @@
+"""E9 — Fig. 7: breakdown of reported root causes by category.
+
+Fig. 7 of the paper is a pie chart of several weeks of production reports:
+42% external systems, 3% airlines, 10% travel agents, 3% intermediary
+interfaces, 39% unpredictable events, 3% false alarms.  This harness runs the
+monitoring pipeline over a longer simulated schedule whose incident mix
+roughly follows those proportions and prints the resulting breakdown together
+with the overall true-positive / false-alarm rates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import print_table
+from repro.monitoring import BookingSimulator, Incident, MonitoringPipeline
+
+HOUR = 3600.0
+
+PAPER_BREAKDOWN = {
+    "external system": 0.42,
+    "airline": 0.03,
+    "travel agent": 0.10,
+    "intermediary interface": 0.03,
+    "unpredictable event": 0.39,
+    "false alarms": 0.03,
+}
+
+
+def _mixed_schedule() -> list[Incident]:
+    """An incident mix that mirrors the categories of Fig. 7."""
+    schedule = []
+    specs = [
+        ("fare_source", "fare_source_2", "step2_price", "external system"),
+        ("fare_source", "fare_source_1", "step4_payment", "external system"),
+        ("airline", "MU", "step3_reserve", "airline"),
+        ("agent", "agent_05", "step3_reserve", "travel agent"),
+        ("fare_source", "fare_source_7", "step2_price", "intermediary interface"),
+        ("arrival_city", "BKK", "step1_availability", "unpredictable event"),
+        ("departure_city", "SEL", "step1_availability", "unpredictable event"),
+        ("arrival_city", "SYD", "step1_availability", "unpredictable event"),
+    ]
+    for index, (field, value, step, category) in enumerate(specs):
+        start = (index + 1) * HOUR
+        schedule.append(
+            Incident(field, value, step, 0.55, start=start, end=start + HOUR, category=category)
+        )
+    return schedule
+
+
+@pytest.fixture(scope="module")
+def fig7_run():
+    simulator = BookingSimulator(incidents=_mixed_schedule(), seed=81)
+    pipeline = MonitoringPipeline(simulator, window_seconds=HOUR)
+    pipeline.run(10, seed=82)
+    return pipeline
+
+
+def test_fig7_category_breakdown(benchmark, fig7_run):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    """Print the reproduced category breakdown next to the paper's numbers."""
+    breakdown = fig7_run.category_breakdown()
+    table = []
+    for category, paper_fraction in PAPER_BREAKDOWN.items():
+        table.append(
+            [category, f"{paper_fraction:.0%}", f"{breakdown.get(category, 0.0):.0%}"]
+        )
+    print_table(
+        "Fig. 7: root-cause category breakdown (paper vs reproduced)",
+        ["category", "paper", "reproduced"],
+        table,
+    )
+    summary = fig7_run.detection_summary()
+    # Shape check: reports are dominated by true positives, like the paper's 97%.
+    assert summary["n_reports"] >= 3
+    assert summary["false_alarm_rate"] <= 0.5
+
+
+def test_benchmark_ten_window_pipeline(benchmark):
+    def run_pipeline():
+        simulator = BookingSimulator(incidents=_mixed_schedule()[:3], seed=83)
+        pipeline = MonitoringPipeline(simulator, window_seconds=HOUR)
+        pipeline.run(4, seed=84)
+        return pipeline
+
+    benchmark.pedantic(run_pipeline, rounds=1, iterations=1)

@@ -1,0 +1,99 @@
+"""E6 — Table II: root-cause paths identified for injected booking incidents.
+
+Table II of the paper lists example anomalies (dates, identified path, the
+real-world explanation).  The simulator lets us inject a schedule of incidents
+modelled on those examples (airline outage, bad agent data, city lock-down,
+airline-wide problem) and the harness reports, for each incident window, the
+anomaly path the monitoring pipeline identified — the reproduced "identified
+anomaly path of root cause" column — and checks the pipeline pinpoints the
+responsible entity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import print_table
+from repro.monitoring import BookingSimulator, Incident, MonitoringPipeline
+
+HOUR = 3600.0
+
+INCIDENT_SCHEDULE = [
+    Incident(
+        "airline", "AC", "step3_reserve", 0.6, start=1 * HOUR, end=2 * HOUR,
+        category="airline", description="Air Canada booking system unscheduled maintenance",
+    ),
+    Incident(
+        "agent", "agent_03", "step3_reserve", 0.5, start=2 * HOUR, end=3 * HOUR,
+        category="travel agent", description="Inaccurate data from agent office",
+    ),
+    Incident(
+        "arrival_city", "WUH", "step1_availability", 0.7, start=3 * HOUR, end=4 * HOUR,
+        category="unpredictable event", description="Lock-down of Wuhan City, flights cancelled",
+    ),
+    Incident(
+        "fare_source", "fare_source_5", "step2_price", 0.5, start=4 * HOUR, end=5 * HOUR,
+        category="intermediary interface", description="Intermediary price feed outage",
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def booking_run():
+    simulator = BookingSimulator(incidents=list(INCIDENT_SCHEDULE), seed=71)
+    pipeline = MonitoringPipeline(simulator, window_seconds=HOUR)
+    reports = pipeline.run(6, seed=72)
+    return pipeline, reports
+
+
+def test_table2_identified_anomalies(benchmark, booking_run):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    """Print the Table II analogue: injected incident vs identified path."""
+    pipeline, reports = booking_run
+    table = []
+    detected_incidents = 0
+    for report in reports:
+        if not report.active_incidents:
+            continue
+        incident = report.active_incidents[0]
+        matching = [f for f in report.findings if f.is_true_positive]
+        identified = str(matching[0].report.path) if matching else "(none)"
+        if matching:
+            detected_incidents += 1
+        table.append(
+            [
+                f"window {report.window_index}",
+                f"{incident.entity_field}={incident.entity_value} -> {incident.step}",
+                identified,
+                incident.description,
+            ]
+        )
+    print_table(
+        "Table II: identified anomaly paths vs injected incidents",
+        ["window", "injected incident", "identified path", "explainable event"],
+        table,
+    )
+    # The paper reports 97% true positives; require most injected incidents found.
+    assert detected_incidents >= max(1, int(0.5 * len(table)))
+
+
+def test_detection_summary_shape(benchmark, booking_run):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    pipeline, _ = booking_run
+    summary = pipeline.detection_summary()
+    print_table(
+        "Monitoring detection summary",
+        ["metric", "value"],
+        [[key, f"{value:.2f}"] for key, value in summary.items()],
+    )
+    assert summary["true_positive_rate"] >= 0.5
+    assert summary["false_alarm_rate"] <= 0.5
+
+
+def test_benchmark_single_window_analysis(benchmark):
+    simulator = BookingSimulator(incidents=list(INCIDENT_SCHEDULE), seed=73)
+    pipeline = MonitoringPipeline(simulator, window_seconds=HOUR)
+    records = simulator.simulate_window(HOUR, HOUR)
+    benchmark.pedantic(
+        lambda: pipeline.learn_window_graph(records, seed=74), rounds=1, iterations=1
+    )

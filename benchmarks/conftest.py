@@ -1,0 +1,21 @@
+"""Shared configuration for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper
+(see DESIGN.md for the experiment index).  The reproduced rows/series are
+printed to stdout; run with ``pytest benchmarks/ --benchmark-only -s`` to see
+them, and with ``--benchmark-only`` alone to just collect the timings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _fixed_numpy_seed():
+    """Make benchmark data generation deterministic run to run."""
+    state = np.random.get_state()
+    np.random.seed(0)
+    yield
+    np.random.set_state(state)

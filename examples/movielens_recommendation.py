@@ -1,0 +1,65 @@
+"""Explainable recommendation case study (Sections V-B / VI-C of the paper).
+
+Workflow on the synthetic MovieLens stand-in:
+
+1. generate a rating matrix with a planted item→item causal graph
+   (franchises, directors, genres, blockbusters);
+2. learn the item graph with LEAST on the per-user mean-centred ratings;
+3. report the strongest learned edges next to the planted relation
+   (the Table IV analogue);
+4. analyse the blockbuster in/out-degree asymmetry (the Fig. 8 discussion);
+5. produce explainable recommendations for one user.
+
+Run with ``python examples/movielens_recommendation.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import LEAST, LEASTConfig
+from repro.core.thresholding import threshold_weights
+from repro.datasets import make_movielens
+from repro.recommend import ExplainableRecommender, hub_analysis, top_edges
+
+
+def main() -> None:
+    dataset = make_movielens(n_movies=60, n_users=2500, n_series=10, seed=0)
+    print(
+        f"synthetic MovieLens: {dataset.n_movies} movies, {dataset.n_users} users, "
+        f"{int((dataset.truth != 0).sum())} planted item-item edges"
+    )
+
+    config = LEASTConfig(
+        max_outer_iterations=8, max_inner_iterations=400, l1_penalty=0.02, tolerance=1e-3
+    )
+    result = LEAST(config).fit(dataset.centered, seed=1)
+
+    print("\nTop learned edges (Table IV analogue):")
+    for source, target, weight in top_edges(result.weights, n=10):
+        relation = dataset.relation_of(int(source), int(target))
+        if relation == "unrelated":
+            reverse = dataset.relation_of(int(target), int(source))
+            relation = f"{reverse} (reversed)" if reverse != "unrelated" else "unrelated"
+        print(
+            f"  {dataset.movie_titles[int(source)]:<28} -> "
+            f"{dataset.movie_titles[int(target)]:<28} {weight:+.3f}  [{relation}]"
+        )
+
+    pruned = threshold_weights(result.weights, 0.05)
+    asymmetry = hub_analysis(pruned, dataset.blockbusters)
+    print("\nBlockbuster degree asymmetry (learned graph):")
+    for key, value in asymmetry.items():
+        print(f"  {key}: {value:.2f}")
+
+    recommender = ExplainableRecommender(pruned, labels=list(dataset.movie_titles), max_hops=2)
+    # Pick the movie with the most outgoing learned influence as the one the
+    # user just rated highly (1.5 above their personal mean).
+    source = int(np.argmax(np.abs(pruned).sum(axis=1)))
+    print(f"\nUser rated '{dataset.movie_titles[source]}' well above their mean; recommendations:")
+    for recommendation in recommender.recommend({source: 1.5}, n=5):
+        print(f"  {dataset.movie_titles[recommendation.item]:<28} " f"{recommender.explain(recommendation)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Ticket-booking monitoring and root-cause analysis (Section VI-A of the paper).
+
+The script reproduces the Fliggy production workflow on simulated logs:
+
+1. a booking simulator generates attempt-level logs with a scheduled incident
+   (an airline's reservation interface degrades for one hour);
+2. every window, a BN is learned over the entity / error-type indicators with
+   LEAST;
+3. paths ending at error nodes are extracted and tested against the previous
+   window; significant ones are reported with their root cause.
+
+Run with ``python examples/ticket_booking_monitoring.py``.
+"""
+
+from __future__ import annotations
+
+from repro.monitoring import BookingSimulator, Incident, MonitoringPipeline
+
+HOUR = 3600.0
+
+
+def main() -> None:
+    simulator = BookingSimulator(seed=7)
+    # Injected incidents, modelled on the explainable events of Table II.
+    simulator.add_incident(
+        Incident(
+            entity_field="airline",
+            entity_value="AC",
+            step="step3_reserve",
+            error_probability=0.6,
+            start=1 * HOUR,
+            end=2 * HOUR,
+            category="airline",
+            description="Air Canada booking system unscheduled maintenance",
+        )
+    )
+    simulator.add_incident(
+        Incident(
+            entity_field="arrival_city",
+            entity_value="WUH",
+            step="step1_availability",
+            error_probability=0.7,
+            start=3 * HOUR,
+            end=4 * HOUR,
+            category="unpredictable event",
+            description="Lock-down of Wuhan City; many flights cancelled",
+        )
+    )
+
+    pipeline = MonitoringPipeline(simulator, window_seconds=HOUR)
+    reports = pipeline.run(n_windows=5, seed=8)
+
+    for report in reports:
+        incidents = ", ".join(
+            f"{incident.entity_field}={incident.entity_value}" for incident in report.active_incidents
+        )
+        print(
+            f"window {report.window_index}: {report.n_records} bookings, "
+            f"{report.n_anomalies} anomaly path(s)"
+            + (f", active incident(s): {incidents}" if incidents else "")
+        )
+        for finding in report.findings:
+            anomaly = finding.report
+            status = "matches injected incident" if finding.is_true_positive else "unexplained"
+            print(
+                f"    path: {anomaly.path}  "
+                f"error rate {anomaly.previous_rate:.1%} -> {anomaly.current_rate:.1%}  "
+                f"p={anomaly.p_value:.2e}  category={finding.category}  [{status}]"
+            )
+
+    summary = pipeline.detection_summary()
+    print("\nsummary:")
+    for key, value in summary.items():
+        print(f"  {key}: {value:.2f}")
+    print("category breakdown:", pipeline.category_breakdown())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim for environments whose pip cannot do PEP 517 editable installs offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Linear-Gaussian Bayesian-network model layer.
+
+A learned structure (weighted DAG) becomes a usable probabilistic model here:
+:func:`fit_linear_gaussian` estimates the conditional distributions given the
+structure and data, :class:`GaussianBayesianNetwork` exposes log-likelihood,
+ancestral sampling, and exact conditional inference in the induced joint
+Gaussian distribution.
+"""
+
+from repro.bn.fit import fit_linear_gaussian, refit_weights
+from repro.bn.inference import conditional_distribution, marginal_distribution
+from repro.bn.network import GaussianBayesianNetwork
+
+__all__ = [
+    "GaussianBayesianNetwork",
+    "fit_linear_gaussian",
+    "refit_weights",
+    "conditional_distribution",
+    "marginal_distribution",
+]

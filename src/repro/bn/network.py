@@ -1,0 +1,158 @@
+"""Linear-Gaussian Bayesian network.
+
+The network is parameterized by a weighted DAG ``W`` (``W[i, j]`` is the
+linear effect of parent ``i`` on child ``j``), per-node intercepts ``mu`` and
+per-node noise variances ``sigma2``; each variable follows
+
+    X_j | parents  ~  Normal( mu_j + Σ_i W[i, j] X_i ,  sigma2_j )
+
+The induced joint distribution over all variables is multivariate normal,
+which gives closed forms for the log-likelihood, marginals, and conditionals
+used by the monitoring and recommendation applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import NotADAGError, ValidationError
+from repro.graph.adjacency import to_dense
+from repro.graph.dag import is_dag, parents, topological_sort
+from repro.utils.random import RandomState, as_generator
+from repro.utils.validation import ensure_2d
+
+__all__ = ["GaussianBayesianNetwork"]
+
+
+@dataclass
+class GaussianBayesianNetwork:
+    """A fully parameterized linear-Gaussian BN.
+
+    Attributes
+    ----------
+    weights:
+        ``d x d`` weighted adjacency matrix of a DAG.
+    intercepts:
+        Per-node intercepts (defaults to zeros).
+    noise_variances:
+        Per-node conditional noise variances (defaults to ones).
+    node_names:
+        Optional node labels used in reports.
+    """
+
+    weights: np.ndarray
+    intercepts: np.ndarray | None = None
+    noise_variances: np.ndarray | None = None
+    node_names: Sequence[str] | None = None
+
+    def __post_init__(self) -> None:
+        self.weights = to_dense(self.weights)
+        d = self.weights.shape[0]
+        if self.weights.ndim != 2 or self.weights.shape[1] != d:
+            raise ValidationError("weights must be a square matrix")
+        if not is_dag(self.weights):
+            raise NotADAGError("GaussianBayesianNetwork requires an acyclic structure")
+        if self.intercepts is None:
+            self.intercepts = np.zeros(d)
+        else:
+            self.intercepts = np.asarray(self.intercepts, dtype=float)
+            if self.intercepts.shape != (d,):
+                raise ValidationError(f"intercepts must have shape ({d},)")
+        if self.noise_variances is None:
+            self.noise_variances = np.ones(d)
+        else:
+            self.noise_variances = np.asarray(self.noise_variances, dtype=float)
+            if self.noise_variances.shape != (d,):
+                raise ValidationError(f"noise_variances must have shape ({d},)")
+            if np.any(self.noise_variances <= 0):
+                raise ValidationError("noise_variances must be strictly positive")
+        if self.node_names is not None and len(self.node_names) != d:
+            raise ValidationError(f"node_names must have length {d}")
+
+    # -- basic properties -------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of variables in the network."""
+        return self.weights.shape[0]
+
+    def parents_of(self, node: int) -> list[int]:
+        """Indices of the parents of ``node``."""
+        return parents(self.weights, node)
+
+    def n_edges(self) -> int:
+        """Number of edges in the structure."""
+        return int(np.count_nonzero(self.weights))
+
+    # -- joint Gaussian --------------------------------------------------------
+
+    def joint_mean(self) -> np.ndarray:
+        """Mean vector of the induced joint Gaussian."""
+        d = self.n_nodes
+        return np.linalg.solve(np.eye(d) - self.weights.T, self.intercepts)
+
+    def joint_covariance(self) -> np.ndarray:
+        """Covariance matrix of the induced joint Gaussian."""
+        d = self.n_nodes
+        inverse = np.linalg.inv(np.eye(d) - self.weights.T)
+        return inverse @ np.diag(self.noise_variances) @ inverse.T
+
+    # -- likelihood --------------------------------------------------------------
+
+    def log_likelihood(self, data) -> float:
+        """Total log-likelihood of the sample matrix under the network.
+
+        Uses the decomposition ``log p(X) = Σ_j log p(X_j | parents)``, each a
+        univariate Gaussian density — numerically stabler than evaluating the
+        joint multivariate normal for large ``d``.
+        """
+        data = ensure_2d(data, "data")
+        if data.shape[1] != self.n_nodes:
+            raise ValidationError(
+                f"data has {data.shape[1]} columns but the network has {self.n_nodes} nodes"
+            )
+        predicted = data @ self.weights + self.intercepts
+        residuals = data - predicted
+        variances = self.noise_variances
+        per_node = -0.5 * (
+            np.log(2.0 * np.pi * variances) + residuals**2 / variances
+        )
+        return float(per_node.sum())
+
+    def bic(self, data) -> float:
+        """Bayesian information criterion (lower is better)."""
+        data = ensure_2d(data, "data")
+        n = data.shape[0]
+        n_parameters = self.n_edges() + 2 * self.n_nodes  # weights + intercepts + variances
+        return -2.0 * self.log_likelihood(data) + n_parameters * np.log(max(n, 1))
+
+    # -- sampling ----------------------------------------------------------------
+
+    def sample(self, n_samples: int, seed: RandomState = None) -> np.ndarray:
+        """Draw ``n_samples`` ancestral samples from the network."""
+        if n_samples < 0:
+            raise ValidationError(f"n_samples must be >= 0, got {n_samples}")
+        rng = as_generator(seed)
+        d = self.n_nodes
+        data = np.zeros((n_samples, d))
+        for node in topological_sort(self.weights):
+            noise = rng.normal(0.0, np.sqrt(self.noise_variances[node]), size=n_samples)
+            parent_indices = self.parents_of(node)
+            mean = self.intercepts[node]
+            if parent_indices:
+                mean = mean + data[:, parent_indices] @ self.weights[parent_indices, node]
+            data[:, node] = mean + noise
+        return data
+
+    # -- reporting ----------------------------------------------------------------
+
+    def edge_list(self, sort_by_weight: bool = True) -> list[tuple]:
+        """Edges as ``(source, target, weight)`` tuples, labels if available."""
+        from repro.graph.adjacency import adjacency_to_edge_list
+
+        return adjacency_to_edge_list(
+            self.weights, labels=self.node_names, sort_by_weight=sort_by_weight
+        )

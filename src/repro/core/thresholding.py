@@ -1,0 +1,74 @@
+"""Post-processing of learned weight matrices.
+
+After the continuous optimization converges, the paper filters the learned
+matrix with a small threshold ``τ`` to obtain the final graph (Section V-A).
+:func:`threshold_weights` applies a fixed threshold; :func:`threshold_to_dag`
+raises the threshold just enough to break any remaining cycles, which is the
+standard way to guarantee the returned structure is a DAG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.graph.adjacency import threshold_matrix, to_dense
+from repro.graph.dag import is_dag
+
+__all__ = ["threshold_weights", "threshold_to_dag"]
+
+
+def threshold_weights(weights, threshold: float):
+    """Zero out entries of ``weights`` with ``|value| < threshold``.
+
+    Preserves the storage type (dense in, dense out; sparse in, sparse out).
+    """
+    return threshold_matrix(weights, threshold)
+
+
+def threshold_to_dag(weights, initial_threshold: float = 0.0, max_threshold: float | None = None):
+    """Return the smallest-threshold filtered matrix that is a DAG.
+
+    Starting from ``initial_threshold``, candidate thresholds are the distinct
+    absolute weight values; the function walks them in increasing order and
+    returns the first filtered matrix whose graph is acyclic.  Because an
+    all-zero matrix is trivially acyclic the procedure always terminates.
+
+    Parameters
+    ----------
+    weights:
+        Learned weight matrix (dense or sparse).
+    initial_threshold:
+        Entries below this magnitude are removed before the search starts.
+    max_threshold:
+        Optional cap; if breaking all cycles requires a larger threshold a
+        :class:`repro.exceptions.ValidationError` is raised.
+
+    Returns
+    -------
+    (matrix, threshold):
+        The filtered matrix (same storage type as the input) and the
+        threshold that produced it.
+    """
+    if initial_threshold < 0:
+        raise ValidationError(f"initial_threshold must be >= 0, got {initial_threshold}")
+    current = threshold_matrix(weights, initial_threshold)
+    if is_dag(current):
+        return current, float(initial_threshold)
+
+    dense = np.abs(to_dense(current))
+    candidates = np.unique(dense[dense > 0])
+    for candidate in candidates:
+        # Removing every entry <= candidate: use a strictly-larger threshold.
+        threshold = float(np.nextafter(candidate, np.inf))
+        if max_threshold is not None and threshold > max_threshold:
+            raise ValidationError(
+                f"no DAG-producing threshold found below max_threshold={max_threshold}"
+            )
+        filtered = threshold_matrix(weights, threshold)
+        if is_dag(filtered):
+            return filtered, threshold
+    # Unreachable in practice: removing every edge yields an empty (acyclic) graph.
+    empty = threshold_matrix(weights, float(np.inf))
+    return empty, float(np.inf)

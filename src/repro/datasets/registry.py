@@ -1,0 +1,94 @@
+"""Dataset registry: a single name-keyed entry point used by the benchmarks.
+
+``load_dataset(name, seed=...)`` returns a dictionary with at least ``data``
+(the sample matrix) and, when a ground truth exists, ``truth``.  Extra keys
+carry dataset-specific metadata (node names, planted relations, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.datasets.grn import make_gene_regulatory_network
+from repro.datasets.movielens import make_movielens
+from repro.datasets.sachs import load_sachs
+from repro.exceptions import ValidationError
+from repro.graph.generation import random_dag
+from repro.sem.linear_sem import simulate_linear_sem
+from repro.utils.random import RandomState, spawn_generators
+
+__all__ = ["DATASET_BUILDERS", "load_dataset"]
+
+
+def _build_sachs(seed: RandomState, **options: Any) -> dict[str, Any]:
+    dataset = load_sachs(seed=seed, **options)
+    return {
+        "name": "sachs",
+        "data": dataset.data,
+        "truth": dataset.truth,
+        "weights": dataset.weights,
+        "node_names": list(dataset.node_names),
+    }
+
+
+def _build_grn(preset: str) -> Callable[..., dict[str, Any]]:
+    def builder(seed: RandomState, **options: Any) -> dict[str, Any]:
+        dataset = make_gene_regulatory_network(preset, seed=seed, **options)
+        return {
+            "name": dataset.name,
+            "data": dataset.data,
+            "truth": dataset.truth,
+            "weights": dataset.weights,
+            "node_names": list(dataset.gene_names),
+        }
+
+    return builder
+
+
+def _build_movielens(seed: RandomState, **options: Any) -> dict[str, Any]:
+    dataset = make_movielens(seed=seed, **options)
+    return {
+        "name": "movielens-synthetic",
+        "data": dataset.centered,
+        "truth": dataset.truth,
+        "node_names": list(dataset.movie_titles),
+        "dataset": dataset,
+    }
+
+
+def _build_benchmark(spec: str) -> Callable[..., dict[str, Any]]:
+    def builder(
+        seed: RandomState,
+        n_nodes: int = 50,
+        samples_per_node: int = 10,
+        noise_type: str = "gaussian",
+        **options: Any,
+    ) -> dict[str, Any]:
+        graph_rng, data_rng = spawn_generators(seed, 2)
+        truth = random_dag(spec, n_nodes, seed=graph_rng, **options)
+        data = simulate_linear_sem(
+            truth, samples_per_node * n_nodes, noise_type=noise_type, seed=data_rng
+        )
+        return {"name": f"{spec.lower()}-d{n_nodes}", "data": data, "truth": truth}
+
+    return builder
+
+
+#: Mapping from dataset name to builder callable.
+DATASET_BUILDERS: dict[str, Callable[..., dict[str, Any]]] = {
+    "sachs": _build_sachs,
+    "ecoli-scale": _build_grn("ecoli-scale"),
+    "yeast-scale": _build_grn("yeast-scale"),
+    "movielens-synthetic": _build_movielens,
+    "er2": _build_benchmark("ER-2"),
+    "sf4": _build_benchmark("SF-4"),
+}
+
+
+def load_dataset(name: str, seed: RandomState = None, **options: Any) -> dict[str, Any]:
+    """Build the named dataset; see :data:`DATASET_BUILDERS` for valid names."""
+    if name not in DATASET_BUILDERS:
+        raise ValidationError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_BUILDERS)}"
+        )
+    return DATASET_BUILDERS[name](seed=seed, **options)

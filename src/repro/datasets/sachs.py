@@ -1,0 +1,107 @@
+"""The Sachs protein-signalling network (Sachs et al., Science 2005).
+
+This is the standard small benchmark for BN structure learning: 11 measured
+phospho-proteins / phospholipids and 17 directed regulatory edges, curated in
+the bnlearn repository the paper cites.  The network structure is public and
+tiny, so it is embedded directly; expression data is simulated from a linear
+SEM parameterized on this structure (the paper's actual measurements are flow
+cytometry readings, but only the structure — which we have — is used as
+ground truth for the metrics in Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.adjacency import edge_list_to_adjacency
+from repro.graph.generation import random_weight_matrix
+from repro.sem.linear_sem import LinearSEM
+from repro.sem.noise import make_noise_model
+from repro.utils.random import RandomState, as_generator, spawn_generators
+
+__all__ = ["SACHS_NODES", "SACHS_EDGES", "load_sachs", "SachsDataset"]
+
+#: The 11 measured molecules, in the conventional order.
+SACHS_NODES: tuple[str, ...] = (
+    "Raf",
+    "Mek",
+    "Plcg",
+    "PIP2",
+    "PIP3",
+    "Erk",
+    "Akt",
+    "PKA",
+    "PKC",
+    "P38",
+    "Jnk",
+)
+
+#: The 17 directed edges of the consensus Sachs network (bnlearn repository).
+SACHS_EDGES: tuple[tuple[str, str], ...] = (
+    ("PKC", "Raf"),
+    ("PKC", "Mek"),
+    ("PKC", "Jnk"),
+    ("PKC", "P38"),
+    ("PKC", "PKA"),
+    ("PKA", "Raf"),
+    ("PKA", "Mek"),
+    ("PKA", "Erk"),
+    ("PKA", "Akt"),
+    ("PKA", "Jnk"),
+    ("PKA", "P38"),
+    ("Raf", "Mek"),
+    ("Mek", "Erk"),
+    ("Erk", "Akt"),
+    ("Plcg", "PIP2"),
+    ("Plcg", "PIP3"),
+    ("PIP3", "PIP2"),
+)
+
+
+@dataclass(frozen=True)
+class SachsDataset:
+    """Ground-truth structure plus simulated expression data."""
+
+    node_names: tuple[str, ...]
+    truth: np.ndarray
+    weights: np.ndarray
+    data: np.ndarray
+
+
+def sachs_adjacency() -> np.ndarray:
+    """Binary ground-truth adjacency matrix of the Sachs network."""
+    return edge_list_to_adjacency(SACHS_EDGES, labels=SACHS_NODES)
+
+
+def load_sachs(
+    n_samples: int = 1000,
+    noise_type: str = "gaussian",
+    noise_scale: float = 1.0,
+    seed: RandomState = None,
+) -> SachsDataset:
+    """Build the Sachs benchmark: true structure plus LSEM-simulated data.
+
+    Parameters
+    ----------
+    n_samples:
+        Number of simulated observations (the paper uses 1,000).
+    noise_type, noise_scale:
+        Noise family of the simulated structural equations.
+    seed:
+        Seed or generator for reproducibility (edge weights and samples use
+        independent child streams, so the structure's weights do not change
+        when only ``n_samples`` changes).
+    """
+    weight_rng, sample_rng = spawn_generators(seed, 2)
+    truth = sachs_adjacency()
+    weights = random_weight_matrix(truth, seed=weight_rng)
+    sem = LinearSEM(weights=weights, noise=make_noise_model(noise_type, noise_scale))
+    data = sem.sample(n_samples, seed=sample_rng)
+    return SachsDataset(
+        node_names=SACHS_NODES,
+        truth=truth,
+        weights=weights,
+        data=data,
+    )

@@ -1,0 +1,50 @@
+"""Graph substrate: random DAG generation, DAG utilities, conversions, I/O."""
+
+from repro.graph.adjacency import (
+    adjacency_to_edge_list,
+    binarize,
+    edge_list_to_adjacency,
+    to_dense,
+    to_sparse,
+)
+from repro.graph.dag import (
+    all_paths_to,
+    ancestors,
+    count_edges,
+    descendants,
+    find_cycle,
+    is_dag,
+    topological_sort,
+)
+from repro.graph.generation import (
+    GraphSpec,
+    random_dag,
+    random_erdos_renyi_dag,
+    random_scale_free_dag,
+    random_weight_matrix,
+)
+from repro.graph.io import load_edge_list, load_graph_npz, save_edge_list, save_graph_npz
+
+__all__ = [
+    "GraphSpec",
+    "random_dag",
+    "random_erdos_renyi_dag",
+    "random_scale_free_dag",
+    "random_weight_matrix",
+    "is_dag",
+    "topological_sort",
+    "find_cycle",
+    "ancestors",
+    "descendants",
+    "all_paths_to",
+    "count_edges",
+    "adjacency_to_edge_list",
+    "edge_list_to_adjacency",
+    "binarize",
+    "to_dense",
+    "to_sparse",
+    "save_edge_list",
+    "load_edge_list",
+    "save_graph_npz",
+    "load_graph_npz",
+]

@@ -1,0 +1,147 @@
+"""Conversions between adjacency-matrix representations.
+
+The core algorithms manipulate weighted adjacency matrices; the application
+layers (monitoring, recommendation) prefer edge lists with node labels.  These
+helpers translate between the two and between dense and sparse storage.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_square_matrix
+
+__all__ = [
+    "adjacency_to_edge_list",
+    "edge_list_to_adjacency",
+    "binarize",
+    "to_dense",
+    "to_sparse",
+    "threshold_matrix",
+]
+
+Edge = tuple[int, int, float]
+
+
+def to_dense(matrix) -> np.ndarray:
+    """Return ``matrix`` as a dense float numpy array."""
+    if sp.issparse(matrix):
+        return np.asarray(matrix.todense(), dtype=float)
+    return np.asarray(matrix, dtype=float)
+
+
+def to_sparse(matrix, fmt: str = "csr") -> sp.spmatrix:
+    """Return ``matrix`` as a scipy sparse matrix in the requested format."""
+    if sp.issparse(matrix):
+        return matrix.asformat(fmt)
+    return sp.csr_matrix(np.asarray(matrix, dtype=float)).asformat(fmt)
+
+
+def binarize(matrix, threshold: float = 0.0):
+    """Return a 0/1 matrix marking entries with ``|value| > threshold``.
+
+    Works for dense and sparse inputs; the result has the same storage type.
+    """
+    if threshold < 0:
+        raise ValidationError(f"threshold must be >= 0, got {threshold}")
+    if sp.issparse(matrix):
+        result = matrix.copy().tocsr()
+        result.data = (np.abs(result.data) > threshold).astype(float)
+        result.eliminate_zeros()
+        return result
+    array = np.asarray(matrix, dtype=float)
+    return (np.abs(array) > threshold).astype(float)
+
+
+def threshold_matrix(matrix, threshold: float):
+    """Zero out entries with absolute value below ``threshold`` (keep weights)."""
+    if threshold < 0:
+        raise ValidationError(f"threshold must be >= 0, got {threshold}")
+    if sp.issparse(matrix):
+        result = matrix.copy().tocsr()
+        result.data[np.abs(result.data) < threshold] = 0.0
+        result.eliminate_zeros()
+        return result
+    array = np.array(matrix, dtype=float, copy=True)
+    array[np.abs(array) < threshold] = 0.0
+    return array
+
+
+def adjacency_to_edge_list(
+    matrix,
+    labels: Sequence[str] | None = None,
+    *,
+    sort_by_weight: bool = False,
+) -> list[tuple]:
+    """Convert an adjacency matrix into an edge list.
+
+    Returns tuples ``(source, target, weight)`` where source/target are node
+    labels when ``labels`` is given and integer indices otherwise.
+
+    Parameters
+    ----------
+    sort_by_weight:
+        If True, edges are sorted by decreasing absolute weight — convenient
+        for "top learned edges" tables such as Table IV of the paper.
+    """
+    matrix = check_square_matrix(matrix)
+    if sp.issparse(matrix):
+        coo = matrix.tocoo()
+        triples = [
+            (int(i), int(j), float(v)) for i, j, v in zip(coo.row, coo.col, coo.data) if v != 0
+        ]
+    else:
+        array = np.asarray(matrix, dtype=float)
+        rows, cols = np.nonzero(array)
+        triples = [(int(i), int(j), float(array[i, j])) for i, j in zip(rows, cols)]
+    if labels is not None:
+        d = matrix.shape[0]
+        if len(labels) != d:
+            raise ValidationError(
+                f"labels has length {len(labels)} but the matrix has {d} nodes"
+            )
+        triples = [(labels[i], labels[j], w) for i, j, w in triples]
+    if sort_by_weight:
+        triples.sort(key=lambda edge: abs(edge[2]), reverse=True)
+    return triples
+
+
+def edge_list_to_adjacency(
+    edges: Iterable[tuple],
+    n_nodes: int | None = None,
+    labels: Sequence[str] | None = None,
+) -> np.ndarray:
+    """Build a dense adjacency matrix from an edge list.
+
+    Edges may be ``(i, j)`` pairs (weight defaults to 1.0) or ``(i, j, w)``
+    triples.  Node references may be integer indices or labels; in the latter
+    case ``labels`` provides the index mapping.
+    """
+    edges = list(edges)
+    if labels is not None:
+        index = {label: i for i, label in enumerate(labels)}
+        n_nodes = len(labels)
+    else:
+        index = None
+        if n_nodes is None:
+            max_index = -1
+            for edge in edges:
+                max_index = max(max_index, int(edge[0]), int(edge[1]))
+            n_nodes = max_index + 1
+    matrix = np.zeros((n_nodes, n_nodes))
+    for edge in edges:
+        if len(edge) == 2:
+            source, target = edge
+            weight = 1.0
+        elif len(edge) == 3:
+            source, target, weight = edge
+        else:
+            raise ValidationError(f"edges must be 2- or 3-tuples, got {edge!r}")
+        if index is not None:
+            source, target = index[source], index[target]
+        matrix[int(source), int(target)] = float(weight)
+    return matrix

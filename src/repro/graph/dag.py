@@ -1,0 +1,237 @@
+"""Directed-acyclic-graph utilities.
+
+These functions operate on weighted adjacency matrices where ``W[i, j] != 0``
+means there is an edge ``i -> j`` (the convention used throughout the paper:
+node ``i`` is a parent of node ``j``).  Dense numpy arrays and scipy sparse
+matrices are both accepted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import NotADAGError
+from repro.utils.validation import check_square_matrix
+
+__all__ = [
+    "is_dag",
+    "topological_sort",
+    "find_cycle",
+    "ancestors",
+    "descendants",
+    "parents",
+    "children",
+    "all_paths_to",
+    "count_edges",
+    "transitive_closure",
+]
+
+
+def _adjacency_lists(matrix) -> list[list[int]]:
+    """Return children adjacency lists for a dense or sparse matrix."""
+    if sp.issparse(matrix):
+        csr = matrix.tocsr()
+        d = csr.shape[0]
+        out: list[list[int]] = []
+        for i in range(d):
+            start, end = csr.indptr[i], csr.indptr[i + 1]
+            cols = csr.indices[start:end]
+            vals = csr.data[start:end]
+            out.append([int(j) for j, v in zip(cols, vals) if v != 0])
+        return out
+    array = np.asarray(matrix)
+    return [list(np.flatnonzero(row)) for row in array]
+
+
+def count_edges(matrix) -> int:
+    """Number of non-zero entries (edges) in the adjacency matrix."""
+    matrix = check_square_matrix(matrix)
+    if sp.issparse(matrix):
+        return int((matrix != 0).sum())
+    return int(np.count_nonzero(matrix))
+
+
+def parents(matrix, node: int) -> list[int]:
+    """Return the parent indices of ``node`` (incoming edges)."""
+    matrix = check_square_matrix(matrix)
+    if sp.issparse(matrix):
+        col = matrix.tocsc()[:, node].toarray().ravel()
+        return list(np.flatnonzero(col))
+    return list(np.flatnonzero(np.asarray(matrix)[:, node]))
+
+
+def children(matrix, node: int) -> list[int]:
+    """Return the child indices of ``node`` (outgoing edges)."""
+    matrix = check_square_matrix(matrix)
+    if sp.issparse(matrix):
+        row = matrix.tocsr()[node, :].toarray().ravel()
+        return list(np.flatnonzero(row))
+    return list(np.flatnonzero(np.asarray(matrix)[node, :]))
+
+
+def topological_sort(matrix) -> list[int]:
+    """Return a topological order of the graph ``matrix``.
+
+    Raises
+    ------
+    NotADAGError
+        If the graph contains a cycle.
+    """
+    matrix = check_square_matrix(matrix)
+    adjacency = _adjacency_lists(matrix)
+    d = len(adjacency)
+    in_degree = [0] * d
+    for i in range(d):
+        for j in adjacency[i]:
+            in_degree[j] += 1
+    queue: deque[int] = deque(i for i in range(d) if in_degree[i] == 0)
+    order: list[int] = []
+    while queue:
+        node = queue.popleft()
+        order.append(node)
+        for child in adjacency[node]:
+            in_degree[child] -= 1
+            if in_degree[child] == 0:
+                queue.append(child)
+    if len(order) != d:
+        raise NotADAGError("graph contains at least one cycle")
+    return order
+
+
+def is_dag(matrix) -> bool:
+    """Return True iff the graph induced by ``matrix`` is acyclic."""
+    try:
+        topological_sort(matrix)
+    except NotADAGError:
+        return False
+    return True
+
+
+def find_cycle(matrix) -> list[int] | None:
+    """Return one directed cycle as a list of nodes, or None if acyclic.
+
+    The returned list ``[v0, v1, ..., vk]`` satisfies ``v0 == vk`` and each
+    consecutive pair is an edge of the graph.
+    """
+    matrix = check_square_matrix(matrix)
+    adjacency = _adjacency_lists(matrix)
+    d = len(adjacency)
+    color = [0] * d  # 0 = unvisited, 1 = on stack, 2 = done
+    parent: dict[int, int] = {}
+
+    for start in range(d):
+        if color[start] != 0:
+            continue
+        stack: list[tuple[int, Iterator[int]]] = [(start, iter(adjacency[start]))]
+        color[start] = 1
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for child in it:
+                if color[child] == 0:
+                    color[child] = 1
+                    parent[child] = node
+                    stack.append((child, iter(adjacency[child])))
+                    advanced = True
+                    break
+                if color[child] == 1:
+                    # Found a back edge node -> child; reconstruct the cycle.
+                    cycle = [node]
+                    current = node
+                    while current != child:
+                        current = parent[current]
+                        cycle.append(current)
+                    cycle.reverse()
+                    cycle.append(cycle[0])
+                    return cycle
+            if not advanced:
+                color[node] = 2
+                stack.pop()
+    return None
+
+
+def _reachable(adjacency: Sequence[Sequence[int]], start: int) -> set[int]:
+    """Set of nodes reachable from ``start`` (excluding ``start`` itself unless on a cycle)."""
+    seen: set[int] = set()
+    stack = list(adjacency[start])
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(adjacency[node])
+    return seen
+
+
+def descendants(matrix, node: int) -> set[int]:
+    """Return all nodes reachable from ``node`` via directed paths."""
+    matrix = check_square_matrix(matrix)
+    return _reachable(_adjacency_lists(matrix), node)
+
+
+def ancestors(matrix, node: int) -> set[int]:
+    """Return all nodes from which ``node`` is reachable."""
+    matrix = check_square_matrix(matrix)
+    if sp.issparse(matrix):
+        transposed = matrix.transpose().tocsr()
+    else:
+        transposed = np.asarray(matrix).T
+    return _reachable(_adjacency_lists(transposed), node)
+
+
+def all_paths_to(matrix, target: int, max_length: int | None = None) -> list[list[int]]:
+    """Enumerate all simple directed paths terminating at ``target``.
+
+    Each returned path is a list of node indices ``[source, ..., target]``
+    where ``source`` has no parents (a root), mirroring the root-cause path
+    extraction described in Section VI-A of the paper: follow incoming links
+    of the error node until a node without parents is reached.
+
+    Parameters
+    ----------
+    matrix:
+        Weighted adjacency matrix of a DAG.
+    target:
+        Index of the destination node.
+    max_length:
+        Optional cap on path length (number of edges) to bound the search on
+        dense graphs.
+    """
+    matrix = check_square_matrix(matrix)
+    if sp.issparse(matrix):
+        transposed = matrix.transpose().tocsr()
+    else:
+        transposed = np.asarray(matrix).T
+    parents_of = _adjacency_lists(transposed)
+
+    paths: list[list[int]] = []
+
+    def walk(node: int, visited: list[int]) -> None:
+        visited = visited + [node]
+        if max_length is not None and len(visited) - 1 > max_length:
+            return
+        node_parents = [p for p in parents_of[node] if p not in visited]
+        if not node_parents:
+            paths.append(list(reversed(visited)))
+            return
+        for parent in node_parents:
+            walk(parent, visited)
+
+    walk(target, [])
+    return paths
+
+
+def transitive_closure(matrix) -> np.ndarray:
+    """Boolean reachability matrix: ``R[i, j]`` is True iff j is reachable from i."""
+    matrix = check_square_matrix(matrix)
+    adjacency = _adjacency_lists(matrix)
+    d = len(adjacency)
+    closure = np.zeros((d, d), dtype=bool)
+    for i in range(d):
+        for j in _reachable(adjacency, i):
+            closure[i, j] = True
+    return closure

@@ -1,0 +1,243 @@
+"""Random DAG generation.
+
+Reproduces the benchmark graph generator used in the paper (inherited from the
+NOTEARS evaluation of Zheng et al.): the topology is drawn from either an
+Erdős–Rényi (ER) or a scale-free (SF, Barabási–Albert style) model, the
+resulting undirected skeleton is oriented according to a random permutation to
+make it acyclic, and each edge receives a weight drawn uniformly from
+``[-2.0, -0.5] ∪ [0.5, 2.0]``.
+
+The paper's experiments use ``ER-2`` (average node degree 2) and ``SF-4``
+(average degree 4) graphs; :func:`random_dag` accepts those names directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.random import RandomState, as_generator
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "GraphSpec",
+    "random_erdos_renyi_dag",
+    "random_scale_free_dag",
+    "random_weight_matrix",
+    "random_dag",
+    "DEFAULT_WEIGHT_RANGES",
+]
+
+GraphModel = Literal["er", "sf"]
+
+#: Edge-weight ranges used by the paper's generator (negative and positive band).
+DEFAULT_WEIGHT_RANGES: tuple[tuple[float, float], ...] = ((-2.0, -0.5), (0.5, 2.0))
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Specification of a random benchmark graph.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of nodes ``d``.
+    model:
+        ``"er"`` for Erdős–Rényi or ``"sf"`` for scale-free topology.
+    average_degree:
+        Expected number of edges per node (the paper uses 2 for ER, 4 for SF).
+    """
+
+    n_nodes: int
+    model: GraphModel = "er"
+    average_degree: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValidationError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.model not in ("er", "sf"):
+            raise ValidationError(f"model must be 'er' or 'sf', got {self.model!r}")
+        check_positive(self.average_degree, "average_degree")
+
+    @property
+    def expected_edges(self) -> int:
+        """Expected number of edges, ``d * degree / 2`` rounded to an int."""
+        return int(round(self.n_nodes * self.average_degree / 2.0))
+
+    @classmethod
+    def parse(cls, name: str, n_nodes: int) -> "GraphSpec":
+        """Parse paper-style names such as ``"ER-2"`` or ``"SF-4"``."""
+        try:
+            model, degree = name.lower().split("-")
+            return cls(n_nodes=n_nodes, model=model, average_degree=float(degree))  # type: ignore[arg-type]
+        except (ValueError, TypeError) as exc:
+            raise ValidationError(
+                f"cannot parse graph spec {name!r}; expected e.g. 'ER-2' or 'SF-4'"
+            ) from exc
+
+
+def _orient_acyclic(binary: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Orient an adjacency matrix acyclically via a random permutation.
+
+    The lower triangle of ``binary`` (in permuted order) is kept, which makes
+    the graph acyclic by construction: edges only point from earlier to later
+    nodes of the permutation.
+    """
+    d = binary.shape[0]
+    permutation = rng.permutation(d)
+    permuted = binary[np.ix_(permutation, permutation)]
+    lower = np.tril(permuted, k=-1)
+    # Undo the permutation so node identities are uniformly random.
+    inverse = np.empty(d, dtype=int)
+    inverse[permutation] = np.arange(d)
+    oriented = lower[np.ix_(inverse, inverse)]
+    # Edges point parent -> child; transpose the lower-triangular convention so
+    # that early permutation positions are parents.
+    return oriented.T
+
+
+def random_erdos_renyi_dag(
+    n_nodes: int,
+    average_degree: float = 2.0,
+    seed: RandomState = None,
+) -> np.ndarray:
+    """Generate a binary ER DAG adjacency matrix with the given average degree."""
+    if n_nodes < 1:
+        raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
+    check_positive(average_degree, "average_degree")
+    rng = as_generator(seed)
+    if n_nodes == 1:
+        return np.zeros((1, 1))
+    # Edge probability chosen so the expected number of (undirected) edges is
+    # d * degree / 2, matching the ER-k naming convention of the paper.
+    probability = min(1.0, average_degree / (n_nodes - 1))
+    undirected = (rng.random((n_nodes, n_nodes)) < probability).astype(float)
+    np.fill_diagonal(undirected, 0.0)
+    return _orient_acyclic(undirected, rng)
+
+
+def random_scale_free_dag(
+    n_nodes: int,
+    average_degree: float = 4.0,
+    seed: RandomState = None,
+) -> np.ndarray:
+    """Generate a binary scale-free DAG via Barabási–Albert preferential attachment.
+
+    Each new node attaches to ``m = round(average_degree / 2)`` existing nodes
+    chosen with probability proportional to their current degree.  Edges are
+    then oriented from earlier nodes to later nodes, which yields a DAG where
+    hub nodes accumulate many connections — the SF-4 setting of the paper.
+    """
+    if n_nodes < 1:
+        raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
+    check_positive(average_degree, "average_degree")
+    rng = as_generator(seed)
+    if n_nodes == 1:
+        return np.zeros((1, 1))
+
+    m = max(1, int(round(average_degree / 2.0)))
+    m = min(m, n_nodes - 1)
+    adjacency = np.zeros((n_nodes, n_nodes))
+    degrees = np.zeros(n_nodes)
+
+    # Seed the process with a small fully-connected core of m + 1 nodes.
+    core = min(m + 1, n_nodes)
+    for i in range(core):
+        for j in range(i + 1, core):
+            adjacency[i, j] = 1.0
+            degrees[i] += 1
+            degrees[j] += 1
+
+    for new_node in range(core, n_nodes):
+        existing = np.arange(new_node)
+        weights = degrees[:new_node] + 1e-12
+        probabilities = weights / weights.sum()
+        n_targets = min(m, new_node)
+        targets = rng.choice(existing, size=n_targets, replace=False, p=probabilities)
+        for target in targets:
+            # Older (hub) node is the parent of the newcomer.
+            adjacency[target, new_node] = 1.0
+            degrees[target] += 1
+            degrees[new_node] += 1
+
+    # Randomly relabel nodes so hubs are not always the lowest indices.
+    permutation = rng.permutation(n_nodes)
+    return _relabel(adjacency, permutation)
+
+
+def _relabel(adjacency: np.ndarray, permutation: np.ndarray) -> np.ndarray:
+    """Relabel the nodes of ``adjacency``: node ``i`` becomes ``permutation[i]``."""
+    relabeled = np.zeros_like(adjacency)
+    rows, cols = np.nonzero(adjacency)
+    relabeled[permutation[rows], permutation[cols]] = adjacency[rows, cols]
+    return relabeled
+
+
+def random_weight_matrix(
+    binary_adjacency: np.ndarray,
+    weight_ranges: tuple[tuple[float, float], ...] = DEFAULT_WEIGHT_RANGES,
+    seed: RandomState = None,
+) -> np.ndarray:
+    """Assign uniformly random weights to the edges of a binary adjacency matrix.
+
+    Each edge independently picks one of ``weight_ranges`` (uniformly) and then
+    a uniform value inside that range — matching the ±[0.5, 2.0] scheme used by
+    the paper's benchmark generator.
+    """
+    binary = np.asarray(binary_adjacency, dtype=float)
+    if binary.ndim != 2 or binary.shape[0] != binary.shape[1]:
+        raise ValidationError("binary_adjacency must be a square matrix")
+    if not weight_ranges:
+        raise ValidationError("weight_ranges must not be empty")
+    rng = as_generator(seed)
+    weights = np.zeros_like(binary)
+    rows, cols = np.nonzero(binary)
+    for i, j in zip(rows, cols):
+        low, high = weight_ranges[rng.integers(len(weight_ranges))]
+        weights[i, j] = rng.uniform(low, high)
+    return weights
+
+
+def random_dag(
+    spec: GraphSpec | str,
+    n_nodes: int | None = None,
+    *,
+    weighted: bool = True,
+    weight_ranges: tuple[tuple[float, float], ...] = DEFAULT_WEIGHT_RANGES,
+    seed: RandomState = None,
+) -> np.ndarray:
+    """Generate a random (optionally weighted) DAG adjacency matrix.
+
+    Parameters
+    ----------
+    spec:
+        Either a :class:`GraphSpec` or a paper-style name such as ``"ER-2"``
+        (in which case ``n_nodes`` must be provided).
+    n_nodes:
+        Number of nodes when ``spec`` is a string name.
+    weighted:
+        If True (default) return edge weights drawn from ``weight_ranges``,
+        otherwise a binary adjacency matrix.
+    seed:
+        Seed or generator for reproducibility.
+
+    Returns
+    -------
+    numpy.ndarray
+        A ``d x d`` adjacency matrix whose induced graph is acyclic.
+    """
+    rng = as_generator(seed)
+    if isinstance(spec, str):
+        if n_nodes is None:
+            raise ValidationError("n_nodes is required when spec is a string name")
+        spec = GraphSpec.parse(spec, n_nodes)
+    if spec.model == "er":
+        binary = random_erdos_renyi_dag(spec.n_nodes, spec.average_degree, rng)
+    else:
+        binary = random_scale_free_dag(spec.n_nodes, spec.average_degree, rng)
+    if not weighted:
+        return binary
+    return random_weight_matrix(binary, weight_ranges, rng)

@@ -1,0 +1,86 @@
+"""Saving and loading learned graphs.
+
+Two formats are supported:
+
+* a plain-text tab-separated edge list (``source<TAB>target<TAB>weight``),
+  convenient for inspection and for feeding downstream tools, and
+* a compressed ``.npz`` bundle holding the weighted adjacency matrix together
+  with optional node labels, convenient for round-tripping full matrices.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.graph.adjacency import adjacency_to_edge_list, edge_list_to_adjacency, to_dense
+
+__all__ = ["save_edge_list", "load_edge_list", "save_graph_npz", "load_graph_npz"]
+
+
+def save_edge_list(matrix, path: str | Path, labels: Sequence[str] | None = None) -> Path:
+    """Write the edges of ``matrix`` to ``path`` as a TSV edge list."""
+    path = Path(path)
+    edges = adjacency_to_edge_list(matrix, labels=labels)
+    lines = [f"{source}\t{target}\t{weight:.10g}" for source, target, weight in edges]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    return path
+
+
+def load_edge_list(
+    path: str | Path,
+    n_nodes: int | None = None,
+    labels: Sequence[str] | None = None,
+) -> np.ndarray:
+    """Read a TSV edge list written by :func:`save_edge_list`."""
+    path = Path(path)
+    edges: list[tuple] = []
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) != 3:
+            raise ValidationError(
+                f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}"
+            )
+        source, target, weight = parts
+        if labels is None:
+            edges.append((int(source), int(target), float(weight)))
+        else:
+            edges.append((source, target, float(weight)))
+    return edge_list_to_adjacency(edges, n_nodes=n_nodes, labels=labels)
+
+
+def save_graph_npz(matrix, path: str | Path, labels: Sequence[str] | None = None) -> Path:
+    """Save an adjacency matrix (dense or sparse) and optional labels to ``.npz``."""
+    path = Path(path)
+    dense = to_dense(matrix)
+    payload = {"adjacency": dense}
+    if labels is not None:
+        if len(labels) != dense.shape[0]:
+            raise ValidationError(
+                f"labels has length {len(labels)} but the matrix has {dense.shape[0]} nodes"
+            )
+        payload["labels"] = np.asarray(json.dumps(list(labels)))
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_graph_npz(path: str | Path) -> tuple[np.ndarray, list[str] | None]:
+    """Load a graph saved with :func:`save_graph_npz`.
+
+    Returns the dense adjacency matrix and the label list (or None).
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        adjacency = np.asarray(data["adjacency"], dtype=float)
+        labels = None
+        if "labels" in data:
+            labels = list(json.loads(str(data["labels"])))
+    return adjacency, labels

@@ -1,0 +1,33 @@
+"""Evaluation metrics for learned graph structures."""
+
+from repro.metrics.correlation import pearson_correlation, trace_correlation
+from repro.metrics.roc import auc_roc, roc_curve
+from repro.metrics.structural import (
+    StructuralMetrics,
+    confusion_counts,
+    evaluate_structure,
+    f1_score,
+    false_discovery_rate,
+    false_positive_rate,
+    precision,
+    recall,
+    structural_hamming_distance,
+    true_positive_rate,
+)
+
+__all__ = [
+    "StructuralMetrics",
+    "evaluate_structure",
+    "confusion_counts",
+    "structural_hamming_distance",
+    "f1_score",
+    "precision",
+    "recall",
+    "false_discovery_rate",
+    "true_positive_rate",
+    "false_positive_rate",
+    "auc_roc",
+    "roc_curve",
+    "pearson_correlation",
+    "trace_correlation",
+]

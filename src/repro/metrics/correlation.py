@@ -1,0 +1,75 @@
+"""Correlation diagnostics between acyclicity measures.
+
+Fig. 4 (third row) of the paper reports the Pearson correlation between the
+spectral-bound constraint ``δ(W)`` and the original NOTEARS constraint
+``h(W)`` recorded over the optimization trajectory, as evidence that the bound
+is a faithful proxy.  These helpers compute that statistic from the traces the
+solvers record.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["pearson_correlation", "trace_correlation"]
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length sequences.
+
+    Returns 0.0 when either sequence has zero variance (the coefficient is
+    undefined; zero is the conservative choice for the proxy-validity check).
+    """
+    x_arr = np.asarray(list(x), dtype=float)
+    y_arr = np.asarray(list(y), dtype=float)
+    if x_arr.shape != y_arr.shape:
+        raise ValidationError(
+            f"sequences must have equal length, got {x_arr.shape} and {y_arr.shape}"
+        )
+    if x_arr.size < 2:
+        raise ValidationError("at least two points are required for a correlation")
+    x_centered = x_arr - x_arr.mean()
+    y_centered = y_arr - y_arr.mean()
+    denominator = np.sqrt((x_centered**2).sum() * (y_centered**2).sum())
+    if denominator == 0:
+        return 0.0
+    return float((x_centered * y_centered).sum() / denominator)
+
+
+def trace_correlation(
+    log,
+    delta_key: str = "delta",
+    h_key: str = "h",
+    log_scale: bool = True,
+) -> float:
+    """Correlation between the δ(W) and h(W) traces of a solver run.
+
+    Parameters
+    ----------
+    log:
+        A :class:`repro.utils.logging.RunLog` (or any object with a
+        ``column(key)`` method) containing per-iteration constraint values.
+    delta_key, h_key:
+        Record keys holding the spectral bound and the NOTEARS constraint.
+    log_scale:
+        If True (default) correlate the log10 of the values, which matches how
+        the constraint traces are compared in the paper (both decay over many
+        orders of magnitude).
+    """
+    delta = np.asarray(log.column(delta_key), dtype=float)
+    h = np.asarray(log.column(h_key), dtype=float)
+    mask = np.isfinite(delta) & np.isfinite(h)
+    if log_scale:
+        mask &= (delta > 0) & (h > 0)
+    delta = delta[mask]
+    h = h[mask]
+    if delta.size < 2:
+        return 0.0
+    if log_scale:
+        delta = np.log10(delta)
+        h = np.log10(h)
+    return pearson_correlation(delta, h)

@@ -1,0 +1,202 @@
+"""Structural accuracy metrics for directed graphs.
+
+All metrics compare a predicted adjacency matrix against a ground-truth
+adjacency matrix over directed edges.  The conventions follow the NOTEARS
+evaluation protocol that the paper adopts:
+
+* an edge predicted in the correct direction is a **true positive**;
+* an edge predicted in the reverse direction of a true edge is counted in the
+  **false discovery rate** (it is a "wrong" prediction) and contributes to the
+  structural Hamming distance;
+* the structural Hamming distance (SHD) is the number of edge additions,
+  deletions, and reversals needed to turn the predicted graph into the truth,
+  where a reversed edge counts once (not twice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.graph.adjacency import binarize, to_dense
+from repro.utils.validation import check_same_shape, check_square_matrix
+
+__all__ = [
+    "StructuralMetrics",
+    "confusion_counts",
+    "evaluate_structure",
+    "structural_hamming_distance",
+    "f1_score",
+    "precision",
+    "recall",
+    "false_discovery_rate",
+    "true_positive_rate",
+    "false_positive_rate",
+]
+
+
+@dataclass(frozen=True)
+class StructuralMetrics:
+    """Bundle of structure-recovery metrics reported in the paper's tables."""
+
+    n_nodes: int
+    n_true_edges: int
+    n_predicted_edges: int
+    true_positives: int
+    reversed_edges: int
+    false_positives: int
+    false_negatives: int
+    fdr: float
+    tpr: float
+    fpr: float
+    precision: float
+    recall: float
+    f1: float
+    shd: int
+
+    def to_dict(self) -> dict[str, float]:
+        """Return the metrics as a plain dictionary (for tables / JSON)."""
+        return asdict(self)
+
+
+def _binary_pair(predicted, truth) -> tuple[np.ndarray, np.ndarray]:
+    predicted = to_dense(check_square_matrix(predicted, "predicted"))
+    truth = to_dense(check_square_matrix(truth, "truth"))
+    check_same_shape(predicted, truth, ("predicted", "truth"))
+    pred_bin = binarize(predicted).astype(bool)
+    true_bin = binarize(truth).astype(bool)
+    np.fill_diagonal(pred_bin, False)
+    np.fill_diagonal(true_bin, False)
+    return pred_bin, true_bin
+
+
+def confusion_counts(predicted, truth) -> dict[str, int]:
+    """Edge-level confusion counts between predicted and true graphs.
+
+    Returns a dictionary with keys ``true_positives`` (correct direction),
+    ``reversed`` (predicted j->i where the truth has i->j), ``false_positives``
+    (predicted edges absent in either direction), ``false_negatives`` (true
+    edges missed entirely), and ``true_negatives``.
+    """
+    pred, true = _binary_pair(predicted, truth)
+    d = pred.shape[0]
+    true_positives = int(np.sum(pred & true))
+    reversed_edges = int(np.sum(pred & ~true & true.T))
+    false_positives = int(np.sum(pred & ~true & ~true.T))
+    false_negatives = int(np.sum(true & ~pred & ~pred.T))
+    possible = d * (d - 1)
+    true_negatives = possible - true_positives - reversed_edges - false_positives - false_negatives
+    return {
+        "true_positives": true_positives,
+        "reversed": reversed_edges,
+        "false_positives": false_positives,
+        "false_negatives": false_negatives,
+        "true_negatives": int(true_negatives),
+    }
+
+
+def structural_hamming_distance(predicted, truth) -> int:
+    """Structural Hamming distance between two directed graphs.
+
+    Counts missing edges, extra edges, and reversed edges, where a reversal
+    contributes a single unit.
+    """
+    pred, true = _binary_pair(predicted, truth)
+    # Work on the skeletons for extra/missing, and count direction errors once.
+    pred_skeleton = pred | pred.T
+    true_skeleton = true | true.T
+    upper = np.triu_indices(pred.shape[0], k=1)
+    extra = int(np.sum(pred_skeleton[upper] & ~true_skeleton[upper]))
+    missing = int(np.sum(true_skeleton[upper] & ~pred_skeleton[upper]))
+    both = pred_skeleton & true_skeleton
+    reversed_count = 0
+    rows, cols = np.nonzero(np.triu(both, k=1))
+    for i, j in zip(rows, cols):
+        pred_forward = pred[i, j]
+        pred_backward = pred[j, i]
+        true_forward = true[i, j]
+        true_backward = true[j, i]
+        if (pred_forward, pred_backward) != (true_forward, true_backward):
+            reversed_count += 1
+    return extra + missing + reversed_count
+
+
+def false_discovery_rate(predicted, truth) -> float:
+    """FDR = (reversed + false positives) / max(1, predicted edges)."""
+    counts = confusion_counts(predicted, truth)
+    predicted_edges = counts["true_positives"] + counts["reversed"] + counts["false_positives"]
+    if predicted_edges == 0:
+        return 0.0
+    return (counts["reversed"] + counts["false_positives"]) / predicted_edges
+
+
+def true_positive_rate(predicted, truth) -> float:
+    """TPR = true positives / max(1, true edges)."""
+    counts = confusion_counts(predicted, truth)
+    _, true = _binary_pair(predicted, truth)
+    n_true = int(true.sum())
+    if n_true == 0:
+        return 0.0
+    return counts["true_positives"] / n_true
+
+
+def false_positive_rate(predicted, truth) -> float:
+    """FPR = (reversed + false positives) / max(1, number of non-edges in truth)."""
+    counts = confusion_counts(predicted, truth)
+    _, true = _binary_pair(predicted, truth)
+    d = true.shape[0]
+    negatives = d * (d - 1) - int(true.sum())
+    if negatives == 0:
+        return 0.0
+    return (counts["reversed"] + counts["false_positives"]) / negatives
+
+
+def precision(predicted, truth) -> float:
+    """Fraction of predicted edges that are correct (right direction)."""
+    counts = confusion_counts(predicted, truth)
+    predicted_edges = counts["true_positives"] + counts["reversed"] + counts["false_positives"]
+    if predicted_edges == 0:
+        return 0.0
+    return counts["true_positives"] / predicted_edges
+
+
+def recall(predicted, truth) -> float:
+    """Fraction of true edges recovered in the right direction (same as TPR)."""
+    return true_positive_rate(predicted, truth)
+
+
+def f1_score(predicted, truth) -> float:
+    """Harmonic mean of directed-edge precision and recall."""
+    p = precision(predicted, truth)
+    r = recall(predicted, truth)
+    if p + r == 0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def evaluate_structure(predicted, truth) -> StructuralMetrics:
+    """Compute the full metric bundle used in the paper's tables and figures."""
+    pred, true = _binary_pair(predicted, truth)
+    counts = confusion_counts(predicted, truth)
+    n_true = int(true.sum())
+    n_pred = int(pred.sum())
+    p = precision(predicted, truth)
+    r = recall(predicted, truth)
+    f1 = 0.0 if p + r == 0 else 2.0 * p * r / (p + r)
+    return StructuralMetrics(
+        n_nodes=pred.shape[0],
+        n_true_edges=n_true,
+        n_predicted_edges=n_pred,
+        true_positives=counts["true_positives"],
+        reversed_edges=counts["reversed"],
+        false_positives=counts["false_positives"],
+        false_negatives=counts["false_negatives"],
+        fdr=false_discovery_rate(predicted, truth),
+        tpr=true_positive_rate(predicted, truth),
+        fpr=false_positive_rate(predicted, truth),
+        precision=p,
+        recall=r,
+        f1=f1,
+        shd=structural_hamming_distance(predicted, truth),
+    )

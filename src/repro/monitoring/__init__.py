@@ -1,0 +1,45 @@
+"""Ticket-booking monitoring and root-cause analysis (Section VI-A of the paper).
+
+The subsystem mirrors the production Fliggy deployment the paper describes:
+
+1. :mod:`repro.monitoring.events` / :mod:`repro.monitoring.booking_simulator`
+   generate booking-attempt logs with the same schema (airline, fare source,
+   agent, departure/arrival city, the four booking steps, error flags) and let
+   tests inject *incidents* — e.g. an airline outage — with a known root cause;
+2. :mod:`repro.monitoring.encoder` turns a window of logs into the data matrix
+   a BN is learned from (one indicator column per entity plus the four
+   error-type columns);
+3. :mod:`repro.monitoring.anomaly` extracts root-cause paths ending at error
+   nodes from a learned BN and scores them with a two-window statistical test;
+4. :mod:`repro.monitoring.pipeline` ties everything together into the
+   half-hourly sliding-window loop the paper runs in production.
+"""
+
+from repro.monitoring.anomaly import AnomalyPath, AnomalyReport, detect_anomalies, path_statistics
+from repro.monitoring.booking_simulator import (
+    BookingSimulator,
+    Incident,
+    SimulatorConfig,
+)
+from repro.monitoring.encoder import LogEncoder, WindowMatrix
+from repro.monitoring.events import BOOKING_STEPS, BookingRecord
+from repro.monitoring.pipeline import MonitoringPipeline, MonitoringReport
+from repro.monitoring.root_cause import RootCauseAnalyzer, RootCauseFinding
+
+__all__ = [
+    "BOOKING_STEPS",
+    "BookingRecord",
+    "BookingSimulator",
+    "SimulatorConfig",
+    "Incident",
+    "LogEncoder",
+    "WindowMatrix",
+    "AnomalyPath",
+    "AnomalyReport",
+    "detect_anomalies",
+    "path_statistics",
+    "RootCauseAnalyzer",
+    "RootCauseFinding",
+    "MonitoringPipeline",
+    "MonitoringReport",
+]

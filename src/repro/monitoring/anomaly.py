@@ -1,0 +1,210 @@
+"""Root-cause path extraction and statistical anomaly testing.
+
+Given a BN learned over a log window, the paper inspects every path that ends
+at one of the four error-type nodes (following incoming edges back to a root),
+counts how often the path's entities co-occur with the error in the current
+window versus the previous window, and reports the path as an anomaly when a
+statistical test says the increase is significant.  The tail of the path is
+the likely root cause.
+
+This module implements exactly that: :func:`extract_error_paths` enumerates
+candidate paths from the learned structure, :func:`path_statistics` computes
+the two-window contingency counts, and :func:`detect_anomalies` combines them
+using a two-proportion z-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import erf, sqrt
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.graph.dag import all_paths_to
+from repro.monitoring.encoder import WindowMatrix
+from repro.monitoring.events import BOOKING_STEPS, BookingRecord
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "AnomalyPath",
+    "AnomalyReport",
+    "extract_error_paths",
+    "path_statistics",
+    "two_proportion_z_test",
+    "detect_anomalies",
+]
+
+
+@dataclass(frozen=True)
+class AnomalyPath:
+    """A candidate root-cause path ``root -> ... -> error node``."""
+
+    nodes: tuple[str, ...]
+    error_node: str
+
+    @property
+    def root_cause(self) -> str:
+        """The tail (first node) of the path — the likely root cause."""
+        return self.nodes[0]
+
+    def __str__(self) -> str:
+        return " <- ".join(reversed(self.nodes))
+
+
+@dataclass
+class AnomalyReport:
+    """A path flagged as anomalous, with its test statistics."""
+
+    path: AnomalyPath
+    current_rate: float
+    previous_rate: float
+    current_count: int
+    previous_count: int
+    p_value: float
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def root_cause(self) -> str:
+        """Root-cause node of the flagged path."""
+        return self.path.root_cause
+
+
+def extract_error_paths(
+    weights,
+    node_names: Sequence[str],
+    error_nodes: Sequence[str] = BOOKING_STEPS,
+    max_length: int = 4,
+) -> list[AnomalyPath]:
+    """Enumerate paths that terminate at an error node in the learned graph.
+
+    Parameters
+    ----------
+    weights:
+        Learned (thresholded) weight matrix over the window's nodes.
+    node_names:
+        Node labels aligned with the matrix.
+    error_nodes:
+        Names of the error-type nodes whose incoming paths are inspected.
+    max_length:
+        Maximum path length in edges (keeps the enumeration tractable on
+        densely connected windows).
+    """
+    node_names = list(node_names)
+    paths: list[AnomalyPath] = []
+    for error_node in error_nodes:
+        if error_node not in node_names:
+            continue
+        target = node_names.index(error_node)
+        for raw_path in all_paths_to(weights, target, max_length=max_length):
+            if len(raw_path) < 2:
+                continue
+            labeled = tuple(node_names[i] for i in raw_path)
+            # Only keep paths whose intermediate nodes are entities (an error
+            # node in the middle of a path is a cascading error, reported via
+            # its own incoming paths).
+            if any(name in error_nodes for name in labeled[:-1]):
+                continue
+            paths.append(AnomalyPath(nodes=labeled, error_node=error_node))
+    return paths
+
+
+def _record_matches_path(record: BookingRecord, path: AnomalyPath) -> tuple[bool, bool]:
+    """Return (entities matched, error occurred) for one record and path."""
+    entity_values = {
+        f"{field}={value}" for field, value in record.entities().items()
+    }
+    entities_on_path = [name for name in path.nodes[:-1] if name not in BOOKING_STEPS]
+    matched = all(name in entity_values for name in entities_on_path)
+    errored = record.step_errors.get(path.error_node, False)
+    return matched, errored
+
+
+def path_statistics(
+    records: Sequence[BookingRecord], path: AnomalyPath
+) -> tuple[int, int]:
+    """Count (matching attempts, matching attempts that errored) for a path."""
+    matches = 0
+    errors = 0
+    for record in records:
+        matched, errored = _record_matches_path(record, path)
+        if matched:
+            matches += 1
+            if errored:
+                errors += 1
+    return matches, errors
+
+
+def two_proportion_z_test(
+    successes_a: int, total_a: int, successes_b: int, total_b: int
+) -> float:
+    """One-sided two-proportion z-test p-value for rate(a) > rate(b).
+
+    Returns 1.0 when either sample is empty or the pooled rate is degenerate,
+    i.e. the data carries no evidence of an increase.
+    """
+    for name, value in (
+        ("successes_a", successes_a),
+        ("total_a", total_a),
+        ("successes_b", successes_b),
+        ("total_b", total_b),
+    ):
+        if value < 0:
+            raise ValidationError(f"{name} must be >= 0, got {value}")
+    if total_a == 0 or total_b == 0:
+        return 1.0
+    rate_a = successes_a / total_a
+    rate_b = successes_b / total_b
+    pooled = (successes_a + successes_b) / (total_a + total_b)
+    variance = pooled * (1.0 - pooled) * (1.0 / total_a + 1.0 / total_b)
+    if variance <= 0:
+        return 1.0 if rate_a <= rate_b else 0.0
+    z = (rate_a - rate_b) / sqrt(variance)
+    # One-sided p-value via the normal CDF.
+    return float(0.5 * (1.0 - erf(z / sqrt(2.0))))
+
+
+def detect_anomalies(
+    paths: Sequence[AnomalyPath],
+    current_records: Sequence[BookingRecord],
+    previous_records: Sequence[BookingRecord],
+    p_value_threshold: float = 0.01,
+    min_support: int = 5,
+) -> list[AnomalyReport]:
+    """Score candidate paths against the current and previous windows.
+
+    A path is reported when its error rate in the current window is
+    significantly higher than in the previous window (one-sided two-proportion
+    z-test below ``p_value_threshold``) and it has at least ``min_support``
+    matching attempts in the current window.
+
+    Reports are sorted by ascending p-value (most significant first).
+    """
+    check_probability(p_value_threshold, "p_value_threshold")
+    reports: list[AnomalyReport] = []
+    seen: set[tuple[str, ...]] = set()
+    for path in paths:
+        if path.nodes in seen:
+            continue
+        seen.add(path.nodes)
+        current_total, current_errors = path_statistics(current_records, path)
+        previous_total, previous_errors = path_statistics(previous_records, path)
+        if current_total < min_support:
+            continue
+        p_value = two_proportion_z_test(
+            current_errors, current_total, previous_errors, previous_total
+        )
+        if p_value <= p_value_threshold:
+            reports.append(
+                AnomalyReport(
+                    path=path,
+                    current_rate=current_errors / current_total,
+                    previous_rate=(previous_errors / previous_total) if previous_total else 0.0,
+                    current_count=current_total,
+                    previous_count=previous_total,
+                    p_value=p_value,
+                )
+            )
+    reports.sort(key=lambda report: report.p_value)
+    return reports

@@ -1,0 +1,202 @@
+"""Booking-log simulator with injectable incidents.
+
+The paper's monitoring system learns a BN from 24-hour windows of booking
+logs.  Those logs are proprietary, so this simulator produces records with the
+same schema and the same causal mechanics the paper describes:
+
+* every attempt picks an airline, fare source, agent and route from skewed
+  (Zipf-like) popularity distributions;
+* each of the four booking steps has a small baseline error probability;
+* an :class:`Incident` raises the error probability of one step for all
+  attempts matching an entity (e.g. ``airline == "AC"`` → step-3 errors), for
+  a limited time span — exactly the kind of event in Table II of the paper
+  (airline maintenance windows, bad agent data, city lock-downs, ...).
+
+Because the incident schedule is known, the root-cause reports produced by the
+monitoring pipeline can be scored against ground truth (the Fig. 7 analogue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.monitoring.events import BOOKING_STEPS, BookingRecord
+from repro.utils.random import RandomState, as_generator
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["Incident", "SimulatorConfig", "BookingSimulator"]
+
+_DEFAULT_AIRLINES = ("AC", "MU", "SL", "CA", "CZ", "NH", "QF", "AF")
+_DEFAULT_FARE_SOURCES = tuple(f"fare_source_{i}" for i in range(1, 17))
+_DEFAULT_AGENTS = tuple(f"agent_{i:02d}" for i in range(1, 13))
+_DEFAULT_CITIES = ("PEK", "SHA", "CAN", "WUH", "SEL", "BKK", "SIN", "NRT", "SYD", "LAX")
+
+#: Root-cause categories used for the Fig. 7 style breakdown.
+INCIDENT_CATEGORIES: tuple[str, ...] = (
+    "external system",
+    "airline",
+    "travel agent",
+    "intermediary interface",
+    "unpredictable event",
+)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """A scheduled anomaly affecting bookings that match an entity value.
+
+    Attributes
+    ----------
+    entity_field:
+        Which categorical field the incident keys on (``"airline"``,
+        ``"fare_source"``, ``"agent"``, ``"departure_city"``,
+        ``"arrival_city"``).
+    entity_value:
+        The affected value (e.g. ``"AC"``).
+    step:
+        The booking step whose error rate spikes.
+    error_probability:
+        Error probability for matching attempts while the incident is active.
+    start, end:
+        Activity window in simulation seconds.
+    category:
+        Root-cause category (for the Fig. 7 breakdown); free-form string.
+    description:
+        Human-readable explanation (the "explainable event" column of
+        Table II).
+    """
+
+    entity_field: str
+    entity_value: str
+    step: str
+    error_probability: float
+    start: float
+    end: float
+    category: str = "external system"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.step not in BOOKING_STEPS:
+            raise ValidationError(f"step must be one of {BOOKING_STEPS}, got {self.step!r}")
+        check_probability(self.error_probability, "error_probability")
+        if self.end <= self.start:
+            raise ValidationError("incident end must be after start")
+
+    def active_at(self, timestamp: float) -> bool:
+        """True while the incident is in effect."""
+        return self.start <= timestamp < self.end
+
+    def matches(self, record_entities: dict[str, str]) -> bool:
+        """True if a booking attempt is affected by this incident."""
+        return record_entities.get(self.entity_field) == self.entity_value
+
+
+@dataclass(frozen=True)
+class SimulatorConfig:
+    """Static configuration of the booking simulator."""
+
+    airlines: Sequence[str] = _DEFAULT_AIRLINES
+    fare_sources: Sequence[str] = _DEFAULT_FARE_SOURCES
+    agents: Sequence[str] = _DEFAULT_AGENTS
+    cities: Sequence[str] = _DEFAULT_CITIES
+    bookings_per_hour: int = 600
+    baseline_error_probability: float = 0.01
+    popularity_skew: float = 1.1
+
+    def __post_init__(self) -> None:
+        for name, values in (
+            ("airlines", self.airlines),
+            ("fare_sources", self.fare_sources),
+            ("agents", self.agents),
+            ("cities", self.cities),
+        ):
+            if len(values) < 2:
+                raise ValidationError(f"{name} needs at least two values")
+        check_positive(self.bookings_per_hour, "bookings_per_hour")
+        check_probability(self.baseline_error_probability, "baseline_error_probability")
+        check_positive(self.popularity_skew, "popularity_skew")
+
+
+class BookingSimulator:
+    """Generates booking logs under a configurable incident schedule."""
+
+    def __init__(
+        self,
+        config: SimulatorConfig | None = None,
+        incidents: Sequence[Incident] = (),
+        seed: RandomState = None,
+    ):
+        self.config = config or SimulatorConfig()
+        self.incidents = list(incidents)
+        self._rng = as_generator(seed)
+        self._popularity = {
+            "airline": self._zipf_weights(len(self.config.airlines)),
+            "fare_source": self._zipf_weights(len(self.config.fare_sources)),
+            "agent": self._zipf_weights(len(self.config.agents)),
+            "city": self._zipf_weights(len(self.config.cities)),
+        }
+
+    def _zipf_weights(self, count: int) -> np.ndarray:
+        ranks = np.arange(1, count + 1, dtype=float)
+        weights = ranks ** (-self.config.popularity_skew)
+        return weights / weights.sum()
+
+    def add_incident(self, incident: Incident) -> None:
+        """Register an additional incident."""
+        self.incidents.append(incident)
+
+    def simulate_window(self, start: float, duration: float) -> list[BookingRecord]:
+        """Simulate all booking attempts in ``[start, start + duration)`` seconds."""
+        check_positive(duration, "duration")
+        config = self.config
+        rng = self._rng
+        n_records = rng.poisson(config.bookings_per_hour * duration / 3600.0)
+        timestamps = np.sort(rng.uniform(start, start + duration, size=n_records))
+
+        records: list[BookingRecord] = []
+        for timestamp in timestamps:
+            entities = {
+                "airline": str(rng.choice(config.airlines, p=self._popularity["airline"])),
+                "fare_source": str(
+                    rng.choice(config.fare_sources, p=self._popularity["fare_source"])
+                ),
+                "agent": str(rng.choice(config.agents, p=self._popularity["agent"])),
+                "departure_city": str(rng.choice(config.cities, p=self._popularity["city"])),
+                "arrival_city": str(rng.choice(config.cities, p=self._popularity["city"])),
+            }
+            step_errors: dict[str, bool] = {}
+            for step in BOOKING_STEPS:
+                probability = config.baseline_error_probability
+                for incident in self.incidents:
+                    if (
+                        incident.step == step
+                        and incident.active_at(float(timestamp))
+                        and incident.matches(entities)
+                    ):
+                        probability = max(probability, incident.error_probability)
+                step_errors[step] = bool(rng.random() < probability)
+            records.append(
+                BookingRecord(
+                    timestamp=float(timestamp),
+                    airline=entities["airline"],
+                    fare_source=entities["fare_source"],
+                    agent=entities["agent"],
+                    departure_city=entities["departure_city"],
+                    arrival_city=entities["arrival_city"],
+                    step_errors=step_errors,
+                )
+            )
+        return records
+
+    def active_incidents(self, start: float, duration: float) -> list[Incident]:
+        """Incidents overlapping the window ``[start, start + duration)``."""
+        end = start + duration
+        return [
+            incident
+            for incident in self.incidents
+            if incident.start < end and incident.end > start
+        ]

@@ -1,0 +1,126 @@
+"""Encoding booking logs into a data matrix for structure learning.
+
+Following the paper, the BN over a log window has one node per entity value
+(every airline, fare source, agent, departure city and arrival city seen in
+the window) plus one node per booking-step error type.  Each booking attempt
+becomes one row: indicator 1.0 for the entities it involved and for the steps
+that errored, 0.0 elsewhere.  Columns are mean-centred so the linear SEM loss
+treats them symmetrically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.monitoring.events import BOOKING_STEPS, ENTITY_FIELDS, BookingRecord
+
+__all__ = ["WindowMatrix", "LogEncoder"]
+
+
+@dataclass(frozen=True)
+class WindowMatrix:
+    """Encoded window: the data matrix plus the node vocabulary."""
+
+    data: np.ndarray
+    node_names: tuple[str, ...]
+    error_nodes: tuple[str, ...]
+    entity_nodes: tuple[str, ...]
+
+    @property
+    def n_records(self) -> int:
+        """Number of booking attempts in the window."""
+        return self.data.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of BN nodes (entity values + error types)."""
+        return self.data.shape[1]
+
+    def index_of(self, node_name: str) -> int:
+        """Column index of a node name."""
+        try:
+            return self.node_names.index(node_name)
+        except ValueError as exc:
+            raise ValidationError(f"unknown node {node_name!r}") from exc
+
+
+class LogEncoder:
+    """Turns a list of :class:`BookingRecord` into a :class:`WindowMatrix`.
+
+    Parameters
+    ----------
+    center:
+        If True (default) mean-centre each column, which is what the linear
+        SEM loss expects.
+    vocabulary:
+        Optional fixed node vocabulary (entity node names).  When omitted the
+        vocabulary is built from the records themselves; passing the previous
+        window's vocabulary keeps node indices comparable across windows.
+    """
+
+    def __init__(self, center: bool = True, vocabulary: Sequence[str] | None = None):
+        self.center = center
+        self.vocabulary = list(vocabulary) if vocabulary is not None else None
+
+    @staticmethod
+    def entity_node_name(field: str, value: str) -> str:
+        """Canonical node name for an entity value, e.g. ``airline=AC``."""
+        return f"{field}={value}"
+
+    def build_vocabulary(self, records: Iterable[BookingRecord]) -> list[str]:
+        """Entity node names occurring in ``records``, in first-seen order."""
+        seen: list[str] = []
+        seen_set: set[str] = set()
+        for record in records:
+            for field, value in record.entities().items():
+                name = self.entity_node_name(field, value)
+                if name not in seen_set:
+                    seen.append(name)
+                    seen_set.add(name)
+        return seen
+
+    def encode(self, records: Sequence[BookingRecord]) -> WindowMatrix:
+        """Encode a window of records into a data matrix.
+
+        Raises
+        ------
+        ValidationError
+            If ``records`` is empty (an empty window cannot be learned from).
+        """
+        records = list(records)
+        if not records:
+            raise ValidationError("cannot encode an empty window of records")
+
+        entity_nodes = (
+            list(self.vocabulary)
+            if self.vocabulary is not None
+            else self.build_vocabulary(records)
+        )
+        error_nodes = list(BOOKING_STEPS)
+        node_names = entity_nodes + error_nodes
+        index = {name: i for i, name in enumerate(node_names)}
+
+        data = np.zeros((len(records), len(node_names)))
+        for row, record in enumerate(records):
+            for field, value in record.entities().items():
+                name = self.entity_node_name(field, value)
+                column = index.get(name)
+                if column is not None:
+                    data[row, column] = 1.0
+            for step in BOOKING_STEPS:
+                if record.step_errors.get(step, False):
+                    data[row, index[step]] = 1.0
+
+        if self.center:
+            data = data - data.mean(axis=0, keepdims=True)
+
+        return WindowMatrix(
+            data=data,
+            node_names=tuple(node_names),
+            error_nodes=tuple(error_nodes),
+            entity_nodes=tuple(entity_nodes),
+        )

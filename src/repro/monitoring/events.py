@@ -1,0 +1,85 @@
+"""Event schema for the booking-monitoring application.
+
+Each :class:`BookingRecord` is one booking attempt as it would appear in the
+monitoring logs of the paper's Fliggy system: which airline / fare source /
+agent / route served it, and — for each of the four booking steps — whether an
+error occurred at that step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["BOOKING_STEPS", "BookingRecord", "ENTITY_FIELDS"]
+
+#: The four essential steps of the booking process (Section VI-A).
+BOOKING_STEPS: tuple[str, ...] = (
+    "step1_availability",
+    "step2_price",
+    "step3_reserve",
+    "step4_payment",
+)
+
+#: Categorical entity fields of a booking record, in canonical order.
+ENTITY_FIELDS: tuple[str, ...] = (
+    "airline",
+    "fare_source",
+    "agent",
+    "departure_city",
+    "arrival_city",
+)
+
+
+@dataclass(frozen=True)
+class BookingRecord:
+    """One booking attempt.
+
+    Attributes
+    ----------
+    timestamp:
+        Seconds since the start of the simulation.
+    airline, fare_source, agent, departure_city, arrival_city:
+        Categorical entities involved in the attempt.
+    step_errors:
+        Mapping from step name (one of :data:`BOOKING_STEPS`) to a boolean
+        error flag.
+    """
+
+    timestamp: float
+    airline: str
+    fare_source: str
+    agent: str
+    departure_city: str
+    arrival_city: str
+    step_errors: dict[str, bool] = field(default_factory=dict)
+
+    def failed(self) -> bool:
+        """True if any booking step errored."""
+        return any(self.step_errors.get(step, False) for step in BOOKING_STEPS)
+
+    def entities(self) -> dict[str, str]:
+        """The categorical entities of the record keyed by field name."""
+        return {
+            "airline": self.airline,
+            "fare_source": self.fare_source,
+            "agent": self.agent,
+            "departure_city": self.departure_city,
+            "arrival_city": self.arrival_city,
+        }
+
+    def error_steps(self) -> list[str]:
+        """Names of the steps that errored, in canonical order."""
+        return [step for step in BOOKING_STEPS if self.step_errors.get(step, False)]
+
+
+def error_rate(records: Iterable[BookingRecord], step: str | None = None) -> float:
+    """Fraction of records with an error (at ``step`` or at any step)."""
+    records = list(records)
+    if not records:
+        return 0.0
+    if step is None:
+        failures = sum(1 for record in records if record.failed())
+    else:
+        failures = sum(1 for record in records if record.step_errors.get(step, False))
+    return failures / len(records)

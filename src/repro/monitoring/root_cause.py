@@ -1,0 +1,129 @@
+"""Root-cause attribution and evaluation against the injected incident schedule.
+
+The monitoring pipeline produces :class:`~repro.monitoring.anomaly.AnomalyReport`
+objects; this module maps each report to an incident category (the Fig. 7
+breakdown: external system, airline, travel agent, intermediary interface,
+unpredictable event, false alarm) and — because the simulator's incident
+schedule is known — scores precision/recall of the root-cause identification.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.monitoring.anomaly import AnomalyReport
+from repro.monitoring.booking_simulator import Incident
+
+__all__ = ["RootCauseFinding", "RootCauseAnalyzer", "categorize_root_cause"]
+
+#: Mapping from entity field to the Fig. 7 category it most naturally belongs to.
+_FIELD_CATEGORY = {
+    "airline": "airline",
+    "agent": "travel agent",
+    "fare_source": "intermediary interface",
+    "departure_city": "unpredictable event",
+    "arrival_city": "unpredictable event",
+}
+
+
+def categorize_root_cause(root_cause_node: str) -> str:
+    """Map a root-cause node name (``field=value``) to a Fig. 7 category."""
+    field_name = root_cause_node.split("=", 1)[0]
+    return _FIELD_CATEGORY.get(field_name, "external system")
+
+
+@dataclass
+class RootCauseFinding:
+    """One anomaly report annotated with its category and ground-truth match."""
+
+    report: AnomalyReport
+    category: str
+    matched_incident: Incident | None = None
+
+    @property
+    def is_true_positive(self) -> bool:
+        """True when the report matches an injected incident."""
+        return self.matched_incident is not None
+
+
+@dataclass
+class RootCauseAnalyzer:
+    """Matches anomaly reports to injected incidents and aggregates statistics."""
+
+    findings: list[RootCauseFinding] = field(default_factory=list)
+    missed_incidents: list[Incident] = field(default_factory=list)
+
+    def evaluate_window(
+        self,
+        reports: Sequence[AnomalyReport],
+        active_incidents: Sequence[Incident],
+    ) -> list[RootCauseFinding]:
+        """Annotate a window's reports against the incidents active in it.
+
+        A report matches an incident when the report's error node equals the
+        incident's step and the incident's entity node appears anywhere on the
+        reported path (the paper counts a case as correctly associated when
+        the path pinpoints the responsible entity).
+        """
+        window_findings: list[RootCauseFinding] = []
+        matched: set[int] = set()
+        for report in reports:
+            incident_match: Incident | None = None
+            for position, incident in enumerate(active_incidents):
+                entity_node = f"{incident.entity_field}={incident.entity_value}"
+                if report.path.error_node == incident.step and entity_node in report.path.nodes:
+                    incident_match = incident
+                    matched.add(position)
+                    break
+            category = (
+                incident_match.category
+                if incident_match is not None
+                else categorize_root_cause(report.root_cause)
+            )
+            finding = RootCauseFinding(
+                report=report, category=category, matched_incident=incident_match
+            )
+            window_findings.append(finding)
+        for position, incident in enumerate(active_incidents):
+            if position not in matched:
+                self.missed_incidents.append(incident)
+        self.findings.extend(window_findings)
+        return window_findings
+
+    # -- aggregate statistics ------------------------------------------------------
+
+    def n_reports(self) -> int:
+        """Total number of anomaly reports seen."""
+        return len(self.findings)
+
+    def true_positive_rate(self) -> float:
+        """Fraction of reports that matched an injected incident."""
+        if not self.findings:
+            return 0.0
+        return sum(finding.is_true_positive for finding in self.findings) / len(self.findings)
+
+    def false_alarm_rate(self) -> float:
+        """Fraction of reports with no matching incident (Fig. 7 'false alarms')."""
+        if not self.findings:
+            return 0.0
+        return 1.0 - self.true_positive_rate()
+
+    def category_breakdown(self) -> dict[str, float]:
+        """Fraction of reports per category, false alarms included (Fig. 7)."""
+        if not self.findings:
+            return {}
+        counter: Counter[str] = Counter()
+        for finding in self.findings:
+            key = finding.category if finding.is_true_positive else "false alarms"
+            counter[key] += 1
+        total = sum(counter.values())
+        return {category: count / total for category, count in counter.items()}
+
+    def recall(self, total_incident_windows: int) -> float:
+        """Fraction of incident-windows for which at least one report matched."""
+        if total_incident_windows <= 0:
+            return 0.0
+        detected = total_incident_windows - len(self.missed_incidents)
+        return max(0.0, detected / total_incident_windows)

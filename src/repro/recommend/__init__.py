@@ -1,0 +1,18 @@
+"""Explainable recommendation on top of a learned item graph (Section VI-C)."""
+
+from repro.recommend.analysis import degree_profile, hub_analysis
+from repro.recommend.explainable import (
+    ExplainableRecommender,
+    Recommendation,
+    extract_subgraph,
+    top_edges,
+)
+
+__all__ = [
+    "ExplainableRecommender",
+    "Recommendation",
+    "top_edges",
+    "extract_subgraph",
+    "degree_profile",
+    "hub_analysis",
+]

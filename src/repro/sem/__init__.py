@@ -1,0 +1,15 @@
+"""Structural-equation-model substrate: noise models and LSEM data simulation."""
+
+from repro.sem.linear_sem import LinearSEM, simulate_linear_sem
+from repro.sem.noise import NOISE_TYPES, NoiseModel, make_noise_model
+from repro.sem.standardize import center_columns, standardize_columns
+
+__all__ = [
+    "LinearSEM",
+    "simulate_linear_sem",
+    "NoiseModel",
+    "make_noise_model",
+    "NOISE_TYPES",
+    "center_columns",
+    "standardize_columns",
+]

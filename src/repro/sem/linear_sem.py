@@ -1,0 +1,143 @@
+"""Linear structural equation model (LSEM) simulation.
+
+Given a weighted DAG ``W`` (``W[i, j] != 0`` means ``i`` is a parent of ``j``),
+each sample is generated in topological order as
+
+    X_j = sum_i W[i, j] * X_i + n_j
+
+with i.i.d. additive noise ``n_j`` drawn from one of the noise families in
+:mod:`repro.sem.noise`.  This is the data-generating process used for every
+artificial benchmark in the paper (Fig. 4) and for the synthetic gene and
+recommendation datasets that substitute the proprietary ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import NotADAGError, ValidationError
+from repro.graph.adjacency import to_dense
+from repro.graph.dag import is_dag, topological_sort
+from repro.sem.noise import NoiseModel, make_noise_model
+from repro.utils.random import RandomState, as_generator
+
+__all__ = ["LinearSEM", "simulate_linear_sem"]
+
+
+@dataclass
+class LinearSEM:
+    """A linear SEM defined by a weighted DAG and a noise model.
+
+    Attributes
+    ----------
+    weights:
+        ``d x d`` weighted adjacency matrix of a DAG.
+    noise:
+        The additive noise model shared by all variables.
+    node_noise_scales:
+        Optional per-node multipliers applied to the noise draws, allowing
+        heteroscedastic variants.
+    """
+
+    weights: np.ndarray
+    noise: NoiseModel = field(default_factory=lambda: make_noise_model("gaussian"))
+    node_noise_scales: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.weights = to_dense(self.weights)
+        if self.weights.ndim != 2 or self.weights.shape[0] != self.weights.shape[1]:
+            raise ValidationError("weights must be a square matrix")
+        if not is_dag(self.weights):
+            raise NotADAGError("LinearSEM requires an acyclic weight matrix")
+        if self.node_noise_scales is not None:
+            scales = np.asarray(self.node_noise_scales, dtype=float)
+            if scales.shape != (self.n_nodes,):
+                raise ValidationError(
+                    f"node_noise_scales must have shape ({self.n_nodes},), got {scales.shape}"
+                )
+            if np.any(scales <= 0):
+                raise ValidationError("node_noise_scales must be strictly positive")
+            self.node_noise_scales = scales
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of variables ``d``."""
+        return self.weights.shape[0]
+
+    def sample(self, n_samples: int, seed: RandomState = None) -> np.ndarray:
+        """Draw ``n_samples`` i.i.d. observations, shape ``(n_samples, d)``."""
+        if n_samples < 0:
+            raise ValidationError(f"n_samples must be >= 0, got {n_samples}")
+        rng = as_generator(seed)
+        d = self.n_nodes
+        data = np.zeros((n_samples, d))
+        order = topological_sort(self.weights)
+        for node in order:
+            noise = self.noise.sample(n_samples, rng)
+            if self.node_noise_scales is not None:
+                noise = noise * self.node_noise_scales[node]
+            parents = np.flatnonzero(self.weights[:, node])
+            if parents.size:
+                data[:, node] = data[:, parents] @ self.weights[parents, node] + noise
+            else:
+                data[:, node] = noise
+        return data
+
+    def noise_covariance(self) -> np.ndarray:
+        """Diagonal covariance matrix of the noise vector."""
+        base = self.noise.variance()
+        scales = (
+            np.ones(self.n_nodes)
+            if self.node_noise_scales is None
+            else self.node_noise_scales
+        )
+        return np.diag(base * scales**2)
+
+    def implied_covariance(self) -> np.ndarray:
+        """Covariance of X implied by the SEM: ``(I - W)^-T Σ_n (I - W)^-1``.
+
+        With the convention ``X = W^T X + n`` (column ``j`` of W holds the
+        parent weights of node ``j``), the data satisfies
+        ``X = (I - W^T)^{-1} n``.
+        """
+        d = self.n_nodes
+        inverse = np.linalg.inv(np.eye(d) - self.weights.T)
+        return inverse @ self.noise_covariance() @ inverse.T
+
+
+def simulate_linear_sem(
+    weights,
+    n_samples: int,
+    noise_type: str = "gaussian",
+    noise_scale: float = 1.0,
+    seed: RandomState = None,
+) -> np.ndarray:
+    """Convenience wrapper: simulate LSEM data for a weighted DAG.
+
+    Parameters
+    ----------
+    weights:
+        ``d x d`` weighted adjacency matrix of a DAG (dense or sparse).
+    n_samples:
+        Number of observations to draw.
+    noise_type:
+        Noise family name: ``"gaussian"``, ``"exponential"``, ``"gumbel"``,
+        ``"uniform"`` or ``"laplace"`` (paper aliases ``GS``/``EX``/``GB``
+        accepted).
+    noise_scale:
+        Scale parameter passed to the noise model.
+    seed:
+        Seed or generator for reproducibility.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sample matrix of shape ``(n_samples, d)``.
+    """
+    if sp.issparse(weights):
+        weights = to_dense(weights)
+    sem = LinearSEM(weights=np.asarray(weights, dtype=float), noise=make_noise_model(noise_type, noise_scale))
+    return sem.sample(n_samples, seed=seed)

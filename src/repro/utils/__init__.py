@@ -1,0 +1,24 @@
+"""Shared utilities: validation helpers, RNG handling, timing, run logging."""
+
+from repro.utils.random import RandomState, as_generator, spawn_generators
+from repro.utils.timer import Timer, timed
+from repro.utils.validation import (
+    check_positive,
+    check_probability,
+    check_square_matrix,
+    check_unit_interval,
+    ensure_array,
+)
+
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "timed",
+    "check_positive",
+    "check_probability",
+    "check_square_matrix",
+    "check_unit_interval",
+    "ensure_array",
+]

@@ -1,0 +1,63 @@
+"""Minimal structured run logging.
+
+Long-running optimizations (LEAST, NOTEARS) and the monitoring pipeline emit
+per-iteration records.  :class:`RunLog` collects these records in memory and
+can export them as plain dictionaries or column arrays for plotting and for
+the correlation analysis of Fig. 4 (row 3) in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["RunLog"]
+
+
+@dataclass
+class RunLog:
+    """Append-only list of per-step records with convenient column access."""
+
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    def append(self, **fields: Any) -> None:
+        """Append a record built from keyword arguments."""
+        self.records.append(dict(fields))
+
+    def extend(self, records: Iterable[Mapping[str, Any]]) -> None:
+        """Append several records."""
+        for record in records:
+            self.records.append(dict(record))
+
+    def column(self, key: str, default: float = np.nan) -> np.ndarray:
+        """Return the values of ``key`` across records as a float array."""
+        return np.asarray(
+            [float(record.get(key, default)) for record in self.records], dtype=float
+        )
+
+    def last(self, key: str, default: Any = None) -> Any:
+        """Return the most recent value recorded for ``key``."""
+        for record in reversed(self.records):
+            if key in record:
+                return record[key]
+        return default
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> dict[str, Any]:
+        return self.records[index]
+
+    def to_dict(self) -> dict[str, list[Any]]:
+        """Return a column-oriented view: ``{key: [value per record]}``."""
+        keys: list[str] = []
+        for record in self.records:
+            for key in record:
+                if key not in keys:
+                    keys.append(key)
+        return {key: [record.get(key) for record in self.records] for key in keys}

@@ -1,0 +1,96 @@
+"""Lightweight timing utilities used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+__all__ = ["Timer", "timed"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    The timer can be used either as a context manager around individual code
+    sections or via explicit :meth:`start` / :meth:`stop` calls.  Each
+    completed interval is appended to :attr:`laps`, and :attr:`elapsed` holds
+    the running total.
+
+    Examples
+    --------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list[float] = field(default_factory=list)
+    _started_at: float | None = None
+
+    def start(self) -> "Timer":
+        """Begin a new timing interval."""
+        if self._started_at is not None:
+            raise RuntimeError("Timer is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """End the current interval and return its duration in seconds."""
+        if self._started_at is None:
+            raise RuntimeError("Timer was not started")
+        lap = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.laps.append(lap)
+        self.elapsed += lap
+        return lap
+
+    def reset(self) -> None:
+        """Discard all accumulated timing information."""
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        """True while an interval is open."""
+        return self._started_at is not None
+
+    @property
+    def mean_lap(self) -> float:
+        """Mean duration of completed intervals (0.0 when there are none)."""
+        if not self.laps:
+            return 0.0
+        return self.elapsed / len(self.laps)
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed(label: str, sink: Callable[[str], None] = print) -> Iterator[Timer]:
+    """Context manager that times a block and reports it to ``sink``.
+
+    Parameters
+    ----------
+    label:
+        Human readable description included in the report line.
+    sink:
+        Callable receiving the formatted report (defaults to ``print``).
+    """
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        duration = timer.stop()
+        sink(f"{label}: {duration:.4f}s")

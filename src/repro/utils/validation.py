@@ -1,0 +1,127 @@
+"""Argument validation helpers.
+
+These helpers centralize the input checks used across the library so that
+error messages are consistent and every public entry point fails fast with a
+:class:`repro.exceptions.ValidationError` rather than a confusing numpy error
+deep inside a computation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import DimensionMismatchError, ValidationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_unit_interval",
+    "check_square_matrix",
+    "check_same_shape",
+    "check_in_choices",
+    "ensure_array",
+    "ensure_2d",
+    "is_sparse",
+]
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that ``value`` is a positive (or non-negative) number.
+
+    Parameters
+    ----------
+    value:
+        The number to check.
+    name:
+        Parameter name used in the error message.
+    strict:
+        If True require ``value > 0``; otherwise ``value >= 0``.
+    """
+    if not np.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    if strict and value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0."""
+    return check_positive(value, name, strict=False)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not np.isfinite(value) or value < 0 or value > 1:
+        raise ValidationError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_unit_interval(value: float, name: str) -> float:
+    """Alias of :func:`check_probability` for non-probability parameters.
+
+    Used for parameters such as the balancing factor ``alpha`` of the spectral
+    bound, which must lie in [0, 1] but is not a probability.
+    """
+    return check_probability(value, name)
+
+
+def check_in_choices(value: Any, name: str, choices: Sequence[Any]) -> Any:
+    """Validate that ``value`` is one of ``choices``."""
+    if value not in choices:
+        raise ValidationError(
+            f"{name} must be one of {sorted(map(str, choices))}, got {value!r}"
+        )
+    return value
+
+
+def is_sparse(matrix: Any) -> bool:
+    """Return True if ``matrix`` is a scipy sparse matrix/array."""
+    return sp.issparse(matrix)
+
+
+def ensure_array(data: Any, name: str = "array", dtype: Any = float) -> np.ndarray:
+    """Convert ``data`` to a numpy array, rejecting non-finite entries."""
+    array = np.asarray(data, dtype=dtype)
+    if array.size and not np.all(np.isfinite(array)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return array
+
+
+def ensure_2d(data: Any, name: str = "matrix", dtype: Any = float) -> np.ndarray:
+    """Convert ``data`` to a 2-D numpy array."""
+    array = ensure_array(data, name, dtype)
+    if array.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got shape {array.shape}")
+    return array
+
+
+def check_square_matrix(matrix: Any, name: str = "matrix") -> Any:
+    """Validate that ``matrix`` is a square 2-D dense or sparse matrix.
+
+    Sparse inputs are returned unchanged; dense inputs are converted to a
+    float numpy array.
+    """
+    if sp.issparse(matrix):
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValidationError(
+                f"{name} must be square, got shape {matrix.shape}"
+            )
+        return matrix
+    array = ensure_2d(matrix, name)
+    if array.shape[0] != array.shape[1]:
+        raise ValidationError(f"{name} must be square, got shape {array.shape}")
+    return array
+
+
+def check_same_shape(a: np.ndarray, b: np.ndarray, names: tuple[str, str] = ("a", "b")) -> None:
+    """Validate that two arrays share the same shape."""
+    if a.shape != b.shape:
+        raise DimensionMismatchError(
+            f"{names[0]} has shape {a.shape} but {names[1]} has shape {b.shape}"
+        )

@@ -1,0 +1,44 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generation import random_dag
+from repro.sem.linear_sem import simulate_linear_sem
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded generator shared by tests that need ad-hoc randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dag() -> np.ndarray:
+    """A fixed 4-node weighted DAG: 0 -> 1 -> 3, 0 -> 2 -> 3."""
+    weights = np.zeros((4, 4))
+    weights[0, 1] = 1.5
+    weights[1, 3] = -0.8
+    weights[0, 2] = 0.7
+    weights[2, 3] = 1.1
+    return weights
+
+
+@pytest.fixture
+def cyclic_matrix() -> np.ndarray:
+    """A 3-node matrix with a 2-cycle (0 <-> 1) and an extra edge 1 -> 2."""
+    matrix = np.zeros((3, 3))
+    matrix[0, 1] = 1.0
+    matrix[1, 0] = 0.5
+    matrix[1, 2] = 2.0
+    return matrix
+
+
+@pytest.fixture(scope="session")
+def er2_problem() -> dict:
+    """A 20-node ER-2 structure-learning problem reused across slow tests."""
+    truth = random_dag("ER-2", 20, seed=7)
+    data = simulate_linear_sem(truth, 400, noise_type="gaussian", seed=8)
+    return {"truth": truth, "data": data}

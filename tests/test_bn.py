@@ -1,0 +1,142 @@
+"""Tests for the linear-Gaussian Bayesian-network layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bn.fit import fit_linear_gaussian, refit_weights
+from repro.bn.inference import conditional_distribution, marginal_distribution
+from repro.bn.network import GaussianBayesianNetwork
+from repro.exceptions import NotADAGError, ValidationError
+from repro.sem.linear_sem import simulate_linear_sem
+
+
+class TestNetworkConstruction:
+    def test_requires_dag(self, cyclic_matrix):
+        with pytest.raises(NotADAGError):
+            GaussianBayesianNetwork(weights=cyclic_matrix)
+
+    def test_defaults(self, small_dag):
+        network = GaussianBayesianNetwork(weights=small_dag)
+        assert network.n_nodes == 4
+        assert network.n_edges() == 4
+        np.testing.assert_array_equal(network.intercepts, 0.0)
+        np.testing.assert_array_equal(network.noise_variances, 1.0)
+
+    def test_invalid_variances_rejected(self, small_dag):
+        with pytest.raises(ValidationError):
+            GaussianBayesianNetwork(weights=small_dag, noise_variances=np.zeros(4))
+
+    def test_invalid_shapes_rejected(self, small_dag):
+        with pytest.raises(ValidationError):
+            GaussianBayesianNetwork(weights=small_dag, intercepts=np.zeros(3))
+        with pytest.raises(ValidationError):
+            GaussianBayesianNetwork(weights=small_dag, node_names=["a"])
+
+    def test_parents_of(self, small_dag):
+        network = GaussianBayesianNetwork(weights=small_dag)
+        assert network.parents_of(3) == [1, 2]
+
+    def test_edge_list_with_names(self, small_dag):
+        network = GaussianBayesianNetwork(weights=small_dag, node_names=["a", "b", "c", "d"])
+        edges = network.edge_list()
+        assert edges[0][2] == 1.5 and edges[0][0] == "a"
+
+
+class TestJointGaussian:
+    def test_joint_moments_match_sampling(self, small_dag):
+        network = GaussianBayesianNetwork(weights=small_dag)
+        samples = network.sample(100000, seed=0)
+        np.testing.assert_allclose(samples.mean(axis=0), network.joint_mean(), atol=0.05)
+        np.testing.assert_allclose(np.cov(samples.T), network.joint_covariance(), atol=0.15)
+
+    def test_intercepts_shift_the_mean(self, small_dag):
+        network = GaussianBayesianNetwork(weights=small_dag, intercepts=np.array([1.0, 0, 0, 0]))
+        mean = network.joint_mean()
+        assert mean[0] == pytest.approx(1.0)
+        assert mean[1] == pytest.approx(1.5)  # 1.5 * X0
+
+    def test_log_likelihood_is_higher_for_generating_model(self, small_dag):
+        network = GaussianBayesianNetwork(weights=small_dag)
+        data = network.sample(500, seed=1)
+        wrong = GaussianBayesianNetwork(weights=np.zeros_like(small_dag))
+        assert network.log_likelihood(data) > wrong.log_likelihood(data)
+
+    def test_bic_penalizes_parameters(self, small_dag):
+        data = GaussianBayesianNetwork(weights=small_dag).sample(200, seed=2)
+        full = fit_linear_gaussian(np.triu(np.ones((4, 4)), k=1), data)
+        true = fit_linear_gaussian(small_dag, data)
+        assert true.bic(data) < full.bic(data) + 50  # sanity: not wildly worse
+
+    def test_log_likelihood_shape_check(self, small_dag):
+        network = GaussianBayesianNetwork(weights=small_dag)
+        with pytest.raises(ValidationError):
+            network.log_likelihood(np.zeros((5, 3)))
+
+
+class TestFitting:
+    def test_refit_recovers_true_weights(self, small_dag):
+        data = simulate_linear_sem(small_dag, 20000, seed=0)
+        refitted = refit_weights(small_dag, data)
+        np.testing.assert_allclose(refitted[small_dag != 0], small_dag[small_dag != 0], atol=0.05)
+
+    def test_refit_respects_support(self, small_dag):
+        data = simulate_linear_sem(small_dag, 500, seed=0)
+        refitted = refit_weights(small_dag, data)
+        assert np.all(refitted[small_dag == 0] == 0)
+
+    def test_fit_estimates_noise_variance(self, small_dag):
+        data = simulate_linear_sem(small_dag, 20000, seed=1)
+        network = fit_linear_gaussian(small_dag, data)
+        np.testing.assert_allclose(network.noise_variances, 1.0, atol=0.1)
+
+    def test_ridge_handles_collinear_parents(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 1))
+        data = np.hstack([x, x, x @ np.array([[2.0]]) + rng.normal(size=(100, 1))])
+        structure = np.zeros((3, 3))
+        structure[0, 2] = 1.0
+        structure[1, 2] = 1.0
+        refitted = refit_weights(structure, data, ridge=1e-3)
+        assert np.all(np.isfinite(refitted))
+
+    def test_fit_rejects_mismatched_data(self, small_dag):
+        with pytest.raises(ValidationError):
+            fit_linear_gaussian(small_dag, np.zeros((10, 3)))
+
+
+class TestInference:
+    def test_marginal_of_root_node(self, small_dag):
+        network = GaussianBayesianNetwork(weights=small_dag)
+        marginal = marginal_distribution(network, [0])
+        assert marginal.mean[0] == pytest.approx(0.0)
+        assert marginal.variance()[0] == pytest.approx(1.0)
+
+    def test_conditioning_on_parent_shifts_child(self, small_dag):
+        network = GaussianBayesianNetwork(weights=small_dag)
+        conditional = conditional_distribution(network, [1], {0: 2.0})
+        assert conditional.mean[0] == pytest.approx(3.0)  # 1.5 * 2.0
+        assert conditional.variance()[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_conditioning_reduces_variance(self, small_dag):
+        network = GaussianBayesianNetwork(weights=small_dag)
+        prior = marginal_distribution(network, [3])
+        posterior = conditional_distribution(network, [3], {1: 1.0, 2: -1.0})
+        assert posterior.variance()[0] < prior.variance()[0]
+
+    def test_empty_evidence_equals_marginal(self, small_dag):
+        network = GaussianBayesianNetwork(weights=small_dag)
+        a = conditional_distribution(network, [2], {})
+        b = marginal_distribution(network, [2])
+        np.testing.assert_allclose(a.mean, b.mean)
+
+    def test_overlapping_query_and_evidence_rejected(self, small_dag):
+        network = GaussianBayesianNetwork(weights=small_dag)
+        with pytest.raises(ValidationError):
+            conditional_distribution(network, [1], {1: 0.0})
+
+    def test_out_of_range_index_rejected(self, small_dag):
+        network = GaussianBayesianNetwork(weights=small_dag)
+        with pytest.raises(ValidationError):
+            marginal_distribution(network, [10])

@@ -1,0 +1,160 @@
+"""Tests for the dataset generators (Sachs, synthetic GRN, synthetic MovieLens)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.grn import GRN_PRESETS, make_gene_regulatory_network
+from repro.datasets.movielens import make_movielens
+from repro.datasets.registry import DATASET_BUILDERS, load_dataset
+from repro.datasets.sachs import SACHS_EDGES, SACHS_NODES, load_sachs, sachs_adjacency
+from repro.exceptions import ValidationError
+from repro.graph.dag import is_dag
+
+
+class TestSachs:
+    def test_structure_matches_published_network(self):
+        adjacency = sachs_adjacency()
+        assert adjacency.shape == (11, 11)
+        assert int(adjacency.sum()) == len(SACHS_EDGES) == 17
+        assert is_dag(adjacency)
+
+    def test_named_edges_present(self):
+        adjacency = sachs_adjacency()
+        index = {name: i for i, name in enumerate(SACHS_NODES)}
+        assert adjacency[index["Raf"], index["Mek"]] == 1
+        assert adjacency[index["Mek"], index["Erk"]] == 1
+        assert adjacency[index["Erk"], index["Raf"]] == 0
+
+    def test_load_sachs_shapes(self):
+        dataset = load_sachs(n_samples=200, seed=0)
+        assert dataset.data.shape == (200, 11)
+        assert dataset.weights.shape == (11, 11)
+        np.testing.assert_array_equal(dataset.weights != 0, dataset.truth != 0)
+
+    def test_structure_stable_across_sample_sizes(self):
+        a = load_sachs(n_samples=50, seed=5)
+        b = load_sachs(n_samples=500, seed=5)
+        np.testing.assert_allclose(a.weights, b.weights)
+
+    def test_noise_types(self):
+        dataset = load_sachs(n_samples=100, noise_type="gumbel", seed=1)
+        assert np.all(np.isfinite(dataset.data))
+
+
+class TestGRN:
+    def test_presets_match_table_one(self):
+        assert GRN_PRESETS["ecoli-scale"]["n_genes"] == 1565
+        assert GRN_PRESETS["yeast-scale"]["n_genes"] == 4441
+        assert GRN_PRESETS["ecoli-scale"]["n_edges"] == 3648
+        assert GRN_PRESETS["yeast-scale"]["n_edges"] == 12873
+
+    def test_explicit_sizes(self):
+        dataset = make_gene_regulatory_network(
+            n_genes=100, n_edges=200, n_samples=150, seed=0
+        )
+        assert dataset.n_genes == 100
+        assert dataset.n_edges == 200
+        assert dataset.data.shape == (150, 100)
+        assert is_dag(dataset.truth)
+
+    def test_out_degree_is_heavy_tailed(self):
+        dataset = make_gene_regulatory_network(
+            n_genes=300, n_edges=600, n_samples=10, tf_fraction=0.1, seed=1
+        )
+        out_degree = (dataset.truth != 0).sum(axis=1)
+        regulators = (out_degree > 0).sum()
+        # Only ~10% of genes regulate others, and the top regulator controls many.
+        assert regulators <= 0.15 * 300
+        assert out_degree.max() >= 5 * max(out_degree[out_degree > 0].mean(), 1e-9) or out_degree.max() >= 15
+
+    def test_impossible_edge_count_rejected(self):
+        with pytest.raises(ValidationError):
+            make_gene_regulatory_network(n_genes=10, n_edges=1000, n_samples=5, seed=0)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValidationError):
+            make_gene_regulatory_network("human-scale")
+
+    def test_missing_sizes_rejected(self):
+        with pytest.raises(ValidationError):
+            make_gene_regulatory_network(n_genes=10, n_edges=5)
+
+    def test_deterministic_given_seed(self):
+        a = make_gene_regulatory_network(n_genes=50, n_edges=80, n_samples=20, seed=3)
+        b = make_gene_regulatory_network(n_genes=50, n_edges=80, n_samples=20, seed=3)
+        np.testing.assert_allclose(a.data, b.data)
+        np.testing.assert_array_equal(a.truth, b.truth)
+
+
+class TestMovieLens:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_movielens(n_movies=60, n_users=500, n_series=10, seed=0)
+
+    def test_shapes(self, dataset):
+        assert dataset.ratings.shape == (500, 60)
+        assert dataset.centered.shape == (500, 60)
+        assert dataset.truth.shape == (60, 60)
+        assert len(dataset.movie_titles) == 60
+
+    def test_planted_graph_is_a_dag(self, dataset):
+        assert is_dag(dataset.truth)
+
+    def test_ratings_in_range(self, dataset):
+        assert dataset.ratings.min() >= 0.0
+        assert dataset.ratings.max() <= 5.0
+
+    def test_centered_rows_have_zero_mean(self, dataset):
+        np.testing.assert_allclose(dataset.centered.mean(axis=1), 0.0, atol=1e-9)
+
+    def test_series_edges_are_strongest_relation(self, dataset):
+        series_weights = [
+            abs(dataset.truth[i, j])
+            for (i, j), relation in dataset.relations.items()
+            if relation == "same series"
+        ]
+        genre_weights = [
+            abs(dataset.truth[i, j])
+            for (i, j), relation in dataset.relations.items()
+            if relation == "same genre"
+        ]
+        assert series_weights and genre_weights
+        assert np.mean(series_weights) > np.mean(genre_weights)
+
+    def test_blockbusters_have_no_outgoing_planted_edges(self, dataset):
+        for hub in dataset.blockbusters:
+            assert np.count_nonzero(dataset.truth[hub, :]) == 0
+
+    def test_relation_lookup(self, dataset):
+        (edge, relation), *_ = dataset.relations.items()
+        assert dataset.relation_of(*edge) == relation
+        assert dataset.relation_of(0, 0) == "unrelated"
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValidationError):
+            make_movielens(n_movies=10, n_series=10, series_size=3)
+
+
+class TestRegistry:
+    def test_all_builders_produce_data(self):
+        for name in ("sachs", "er2", "sf4"):
+            payload = load_dataset(name, seed=0, **({"n_nodes": 20} if name in ("er2", "sf4") else {}))
+            assert "data" in payload and payload["data"].ndim == 2
+
+    def test_movielens_builder(self):
+        payload = load_dataset(
+            "movielens-synthetic", seed=1, n_movies=30, n_users=100, n_series=5
+        )
+        assert payload["data"].shape == (100, 30)
+        assert "dataset" in payload
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            load_dataset("imagenet")
+
+    def test_registry_contains_expected_names(self):
+        assert {"sachs", "ecoli-scale", "yeast-scale", "movielens-synthetic"} <= set(
+            DATASET_BUILDERS
+        )

@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ConvergenceError,
+    DataGenerationError,
+    DimensionMismatchError,
+    NotADAGError,
+    ReproError,
+    ValidationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exception_class",
+    [ValidationError, NotADAGError, ConvergenceError, DataGenerationError, DimensionMismatchError],
+)
+def test_all_exceptions_derive_from_repro_error(exception_class):
+    assert issubclass(exception_class, ReproError)
+
+
+def test_validation_error_is_a_value_error():
+    assert issubclass(ValidationError, ValueError)
+
+
+def test_dimension_mismatch_is_a_value_error():
+    assert issubclass(DimensionMismatchError, ValueError)
+
+
+def test_exceptions_carry_messages():
+    error = ValidationError("alpha must be in [0, 1]")
+    assert "alpha" in str(error)

@@ -1,0 +1,122 @@
+"""Tests for repro.graph.adjacency and repro.graph.io."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.graph.adjacency import (
+    adjacency_to_edge_list,
+    binarize,
+    edge_list_to_adjacency,
+    threshold_matrix,
+    to_dense,
+    to_sparse,
+)
+from repro.graph.io import load_edge_list, load_graph_npz, save_edge_list, save_graph_npz
+
+
+class TestConversions:
+    def test_to_dense_roundtrip(self, small_dag):
+        assert np.allclose(to_dense(sp.csr_matrix(small_dag)), small_dag)
+
+    def test_to_sparse_formats(self, small_dag):
+        assert to_sparse(small_dag, "csc").format == "csc"
+        assert to_sparse(sp.csr_matrix(small_dag)).format == "csr"
+
+    def test_binarize_dense(self, small_dag):
+        binary = binarize(small_dag)
+        assert set(np.unique(binary)) <= {0.0, 1.0}
+        assert binary.sum() == 4
+
+    def test_binarize_threshold(self, small_dag):
+        binary = binarize(small_dag, threshold=1.0)
+        assert binary.sum() == 2  # only |1.5| and |1.1| survive
+
+    def test_binarize_sparse(self, small_dag):
+        binary = binarize(sp.csr_matrix(small_dag), threshold=1.0)
+        assert binary.nnz == 2
+
+    def test_binarize_rejects_negative_threshold(self, small_dag):
+        with pytest.raises(ValidationError):
+            binarize(small_dag, threshold=-1.0)
+
+    def test_threshold_matrix_keeps_weights(self, small_dag):
+        filtered = threshold_matrix(small_dag, 1.0)
+        assert filtered[0, 1] == 1.5 and filtered[1, 3] == 0.0
+
+    def test_threshold_matrix_sparse(self, small_dag):
+        filtered = threshold_matrix(sp.csr_matrix(small_dag), 1.0)
+        assert filtered.nnz == 2
+
+
+class TestEdgeLists:
+    def test_roundtrip_indices(self, small_dag):
+        edges = adjacency_to_edge_list(small_dag)
+        rebuilt = edge_list_to_adjacency(edges, n_nodes=4)
+        np.testing.assert_allclose(rebuilt, small_dag)
+
+    def test_labels(self, small_dag):
+        labels = ["a", "b", "c", "d"]
+        edges = adjacency_to_edge_list(small_dag, labels=labels)
+        assert ("a", "b", 1.5) in edges
+        rebuilt = edge_list_to_adjacency(edges, labels=labels)
+        np.testing.assert_allclose(rebuilt, small_dag)
+
+    def test_sort_by_weight(self, small_dag):
+        edges = adjacency_to_edge_list(small_dag, sort_by_weight=True)
+        magnitudes = [abs(weight) for *_, weight in edges]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_label_length_mismatch(self, small_dag):
+        with pytest.raises(ValidationError):
+            adjacency_to_edge_list(small_dag, labels=["a"])
+
+    def test_two_tuples_default_weight(self):
+        matrix = edge_list_to_adjacency([(0, 1), (1, 2)], n_nodes=3)
+        assert matrix[0, 1] == 1.0 and matrix[1, 2] == 1.0
+
+    def test_bad_tuple_length(self):
+        with pytest.raises(ValidationError):
+            edge_list_to_adjacency([(0, 1, 2.0, 3.0)], n_nodes=2)
+
+    def test_infer_n_nodes(self):
+        matrix = edge_list_to_adjacency([(0, 4, 1.0)])
+        assert matrix.shape == (5, 5)
+
+
+class TestIO:
+    def test_edge_list_roundtrip(self, small_dag, tmp_path):
+        path = save_edge_list(small_dag, tmp_path / "graph.tsv")
+        loaded = load_edge_list(path, n_nodes=4)
+        np.testing.assert_allclose(loaded, small_dag)
+
+    def test_edge_list_with_labels(self, small_dag, tmp_path):
+        labels = ["n0", "n1", "n2", "n3"]
+        path = save_edge_list(small_dag, tmp_path / "graph.tsv", labels=labels)
+        loaded = load_edge_list(path, labels=labels)
+        np.testing.assert_allclose(loaded, small_dag)
+
+    def test_edge_list_bad_line(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0\t1\n")
+        with pytest.raises(ValidationError):
+            load_edge_list(path)
+
+    def test_npz_roundtrip(self, small_dag, tmp_path):
+        path = save_graph_npz(small_dag, tmp_path / "graph.npz", labels=["a", "b", "c", "d"])
+        adjacency, labels = load_graph_npz(path)
+        np.testing.assert_allclose(adjacency, small_dag)
+        assert labels == ["a", "b", "c", "d"]
+
+    def test_npz_without_labels(self, small_dag, tmp_path):
+        path = save_graph_npz(sp.csr_matrix(small_dag), tmp_path / "graph.npz")
+        adjacency, labels = load_graph_npz(path)
+        np.testing.assert_allclose(adjacency, small_dag)
+        assert labels is None
+
+    def test_npz_label_mismatch(self, small_dag, tmp_path):
+        with pytest.raises(ValidationError):
+            save_graph_npz(small_dag, tmp_path / "graph.npz", labels=["a"])

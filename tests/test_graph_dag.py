@@ -1,0 +1,118 @@
+"""Tests for repro.graph.dag."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import NotADAGError
+from repro.graph.dag import (
+    all_paths_to,
+    ancestors,
+    children,
+    count_edges,
+    descendants,
+    find_cycle,
+    is_dag,
+    parents,
+    topological_sort,
+    transitive_closure,
+)
+
+
+class TestIsDag:
+    def test_dag_is_accepted(self, small_dag):
+        assert is_dag(small_dag)
+
+    def test_cycle_is_rejected(self, cyclic_matrix):
+        assert not is_dag(cyclic_matrix)
+
+    def test_self_loop_is_a_cycle(self):
+        matrix = np.zeros((2, 2))
+        matrix[0, 0] = 1.0
+        assert not is_dag(matrix)
+
+    def test_empty_graph_is_a_dag(self):
+        assert is_dag(np.zeros((5, 5)))
+
+    def test_sparse_input(self, small_dag, cyclic_matrix):
+        assert is_dag(sp.csr_matrix(small_dag))
+        assert not is_dag(sp.csr_matrix(cyclic_matrix))
+
+
+class TestTopologicalSort:
+    def test_order_respects_edges(self, small_dag):
+        order = topological_sort(small_dag)
+        position = {node: index for index, node in enumerate(order)}
+        rows, cols = np.nonzero(small_dag)
+        for source, target in zip(rows, cols):
+            assert position[source] < position[target]
+
+    def test_cycle_raises(self, cyclic_matrix):
+        with pytest.raises(NotADAGError):
+            topological_sort(cyclic_matrix)
+
+    def test_all_nodes_present(self, small_dag):
+        assert sorted(topological_sort(small_dag)) == list(range(4))
+
+
+class TestFindCycle:
+    def test_returns_none_for_dag(self, small_dag):
+        assert find_cycle(small_dag) is None
+
+    def test_returns_a_closed_walk(self, cyclic_matrix):
+        cycle = find_cycle(cyclic_matrix)
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        for source, target in zip(cycle[:-1], cycle[1:]):
+            assert cyclic_matrix[source, target] != 0
+
+    def test_long_cycle(self):
+        matrix = np.zeros((5, 5))
+        for i in range(5):
+            matrix[i, (i + 1) % 5] = 1.0
+        cycle = find_cycle(matrix)
+        assert cycle is not None
+        assert len(cycle) == 6  # 5 nodes + repeated start
+
+
+class TestRelatives:
+    def test_parents_and_children(self, small_dag):
+        assert parents(small_dag, 3) == [1, 2]
+        assert children(small_dag, 0) == [1, 2]
+        assert parents(small_dag, 0) == []
+
+    def test_descendants(self, small_dag):
+        assert descendants(small_dag, 0) == {1, 2, 3}
+        assert descendants(small_dag, 3) == set()
+
+    def test_ancestors(self, small_dag):
+        assert ancestors(small_dag, 3) == {0, 1, 2}
+        assert ancestors(small_dag, 0) == set()
+
+    def test_count_edges(self, small_dag):
+        assert count_edges(small_dag) == 4
+        assert count_edges(sp.csr_matrix(small_dag)) == 4
+
+
+class TestAllPathsTo:
+    def test_paths_end_at_target_and_start_at_roots(self, small_dag):
+        paths = all_paths_to(small_dag, 3)
+        assert sorted(paths) == [[0, 1, 3], [0, 2, 3]]
+
+    def test_max_length_filters_long_paths(self, small_dag):
+        paths = all_paths_to(small_dag, 3, max_length=1)
+        assert paths == []
+
+    def test_root_target_gives_singleton_path(self, small_dag):
+        assert all_paths_to(small_dag, 0) == [[0]]
+
+
+class TestTransitiveClosure:
+    def test_reachability(self, small_dag):
+        closure = transitive_closure(small_dag)
+        assert closure[0, 3]
+        assert closure[1, 3]
+        assert not closure[3, 0]
+        assert not closure[0, 0]

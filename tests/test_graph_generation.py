@@ -1,0 +1,115 @@
+"""Tests for repro.graph.generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.dag import is_dag
+from repro.graph.generation import (
+    DEFAULT_WEIGHT_RANGES,
+    GraphSpec,
+    random_dag,
+    random_erdos_renyi_dag,
+    random_scale_free_dag,
+    random_weight_matrix,
+)
+
+
+class TestGraphSpec:
+    def test_parse_er(self):
+        spec = GraphSpec.parse("ER-2", 50)
+        assert spec.model == "er" and spec.average_degree == 2.0 and spec.n_nodes == 50
+
+    def test_parse_sf(self):
+        spec = GraphSpec.parse("SF-4", 30)
+        assert spec.model == "sf" and spec.average_degree == 4.0
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            GraphSpec.parse("banana", 10)
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ValidationError):
+            GraphSpec(n_nodes=10, model="ba")  # type: ignore[arg-type]
+
+    def test_expected_edges(self):
+        assert GraphSpec(n_nodes=50, model="er", average_degree=2.0).expected_edges == 50
+
+
+class TestErdosRenyi:
+    def test_result_is_a_dag(self):
+        for seed in range(5):
+            assert is_dag(random_erdos_renyi_dag(30, 2.0, seed=seed))
+
+    def test_edge_count_near_expected(self):
+        counts = [
+            np.count_nonzero(random_erdos_renyi_dag(60, 2.0, seed=seed)) for seed in range(10)
+        ]
+        # Expected number of edges is d * degree / 2 = 60.
+        assert 30 <= np.mean(counts) <= 90
+
+    def test_single_node(self):
+        assert random_erdos_renyi_dag(1, 2.0, seed=0).shape == (1, 1)
+
+    def test_determinism(self):
+        a = random_erdos_renyi_dag(20, 2.0, seed=5)
+        b = random_erdos_renyi_dag(20, 2.0, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestScaleFree:
+    def test_result_is_a_dag(self):
+        for seed in range(5):
+            assert is_dag(random_scale_free_dag(30, 4.0, seed=seed))
+
+    def test_degree_distribution_is_skewed(self):
+        graph = random_scale_free_dag(200, 4.0, seed=1)
+        total_degree = graph.sum(axis=0) + graph.sum(axis=1)
+        # Scale-free graphs have hubs: the max degree is several times the mean.
+        assert total_degree.max() >= 3 * total_degree.mean()
+
+    def test_edge_count_scales_with_degree(self):
+        sparse = np.count_nonzero(random_scale_free_dag(100, 2.0, seed=2))
+        dense = np.count_nonzero(random_scale_free_dag(100, 6.0, seed=2))
+        assert dense > sparse
+
+
+class TestWeights:
+    def test_weights_respect_ranges(self):
+        binary = random_erdos_renyi_dag(40, 2.0, seed=0)
+        weights = random_weight_matrix(binary, seed=1)
+        values = weights[binary != 0]
+        assert np.all((np.abs(values) >= 0.5) & (np.abs(values) <= 2.0))
+
+    def test_support_is_preserved(self):
+        binary = random_erdos_renyi_dag(40, 2.0, seed=0)
+        weights = random_weight_matrix(binary, seed=1)
+        np.testing.assert_array_equal(weights != 0, binary != 0)
+
+    def test_empty_ranges_rejected(self):
+        with pytest.raises(ValidationError):
+            random_weight_matrix(np.zeros((2, 2)), weight_ranges=())
+
+    def test_default_ranges_have_positive_and_negative_bands(self):
+        signs = {np.sign(low) for low, _ in DEFAULT_WEIGHT_RANGES}
+        assert signs == {-1.0, 1.0}
+
+
+class TestRandomDag:
+    def test_string_spec(self):
+        graph = random_dag("ER-2", 25, seed=0)
+        assert graph.shape == (25, 25) and is_dag(graph)
+
+    def test_string_spec_requires_n_nodes(self):
+        with pytest.raises(ValidationError):
+            random_dag("ER-2")
+
+    def test_unweighted_output_is_binary(self):
+        graph = random_dag("SF-4", 25, weighted=False, seed=0)
+        assert set(np.unique(graph)) <= {0.0, 1.0}
+
+    def test_spec_object(self):
+        graph = random_dag(GraphSpec(n_nodes=15, model="er", average_degree=2.0), seed=3)
+        assert is_dag(graph)

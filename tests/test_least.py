@@ -1,0 +1,132 @@
+"""Tests for the dense LEAST solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.least import LEAST, LEASTConfig, glorot_sparse_init
+from repro.core.model_selection import grid_search_epsilon_tau, grid_search_threshold
+from repro.core.notears_constraint import notears_constraint
+from repro.exceptions import ValidationError
+from repro.graph.dag import is_dag
+from repro.core.thresholding import threshold_to_dag
+
+
+FAST = LEASTConfig(max_outer_iterations=6, max_inner_iterations=200, tolerance=1e-3)
+
+
+class TestGlorotInit:
+    def test_density_controls_edge_count(self, rng):
+        dense = glorot_sparse_init(50, 0.5, rng)
+        sparse = glorot_sparse_init(50, 0.05, rng)
+        assert np.count_nonzero(dense) > np.count_nonzero(sparse)
+
+    def test_diagonal_is_zero(self, rng):
+        weights = glorot_sparse_init(20, 0.8, rng)
+        np.testing.assert_array_equal(np.diag(weights), 0.0)
+
+    def test_values_within_glorot_limit(self, rng):
+        weights = glorot_sparse_init(30, 0.5, rng)
+        limit = np.sqrt(3.0 / 30)
+        assert np.abs(weights).max() <= limit
+
+
+class TestLEASTConfig:
+    def test_defaults_are_valid(self):
+        LEASTConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"k": -1},
+            {"alpha": 2.0},
+            {"l1_penalty": -0.1},
+            {"learning_rate": 0.0},
+            {"init_density": 1.5},
+            {"tolerance": 0.0},
+            {"max_outer_iterations": 0},
+            {"rho_growth": 0.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            LEASTConfig(**kwargs)
+
+
+class TestLEASTFit:
+    def test_output_shape_and_diagonal(self, er2_problem):
+        result = LEAST(FAST).fit(er2_problem["data"], seed=0)
+        d = er2_problem["truth"].shape[0]
+        assert result.weights.shape == (d, d)
+        np.testing.assert_array_equal(np.diag(result.weights), 0.0)
+
+    def test_constraint_decreases_over_outer_iterations(self, er2_problem):
+        result = LEAST(FAST).fit(er2_problem["data"], seed=0)
+        deltas = result.log.column("delta")
+        assert deltas[-1] <= deltas[0]
+
+    def test_reproducible_given_seed(self, er2_problem):
+        first = LEAST(FAST).fit(er2_problem["data"], seed=3)
+        second = LEAST(FAST).fit(er2_problem["data"], seed=3)
+        np.testing.assert_allclose(first.weights, second.weights)
+
+    def test_history_recorded_when_requested(self, er2_problem):
+        config = LEASTConfig(
+            max_outer_iterations=4, max_inner_iterations=100, tolerance=1e-6, keep_history=True
+        )
+        result = LEAST(config).fit(er2_problem["data"], seed=0)
+        assert len(result.history) == result.n_outer_iterations
+        assert all(w.shape == result.weights.shape for w in result.history)
+
+    def test_track_h_records_notears_constraint(self, er2_problem):
+        config = LEASTConfig(
+            max_outer_iterations=3, max_inner_iterations=100, tolerance=1e-6, track_h=True
+        )
+        result = LEAST(config).fit(er2_problem["data"], seed=0)
+        h_trace = result.log.column("h")
+        assert np.all(np.isfinite(h_trace))
+        assert h_trace[-1] == pytest.approx(notears_constraint(result.weights), rel=1e-6, abs=1e-9)
+
+    def test_thresholding_keeps_weights_sparse(self, er2_problem):
+        config = LEASTConfig(
+            max_outer_iterations=3,
+            max_inner_iterations=100,
+            threshold=0.005,
+            learning_rate=0.02,
+            tolerance=1e-6,
+        )
+        result = LEAST(config).fit(er2_problem["data"], seed=0)
+        density = np.count_nonzero(result.weights) / result.weights.size
+        assert density < 1.0
+
+    def test_batching_runs(self, er2_problem):
+        config = LEASTConfig(
+            max_outer_iterations=3, max_inner_iterations=100, batch_size=64, tolerance=1e-6
+        )
+        result = LEAST(config).fit(er2_problem["data"], seed=0)
+        assert np.all(np.isfinite(result.weights))
+
+    def test_learned_structure_is_reasonably_accurate(self, er2_problem):
+        """Accuracy smoke test: F1 of the learned graph on ER-2 d=20 must be
+        well above chance (the paper reports ~0.8-0.9 at this size)."""
+        config = LEASTConfig(keep_history=True, track_h=True)
+        result = LEAST(config).fit(er2_problem["data"], seed=1)
+        search = grid_search_epsilon_tau(result, er2_problem["truth"])
+        assert search.best_f1 >= 0.6
+
+    def test_final_graph_can_be_pruned_to_dag(self, er2_problem):
+        result = LEAST(FAST).fit(er2_problem["data"], seed=0)
+        pruned, _ = threshold_to_dag(result.weights, initial_threshold=0.05)
+        assert is_dag(pruned)
+
+    def test_rejects_non_2d_data(self):
+        with pytest.raises(ValidationError):
+            LEAST(FAST).fit(np.zeros(10))
+
+    def test_no_warm_start_still_runs(self, er2_problem):
+        config = LEASTConfig(
+            max_outer_iterations=2, max_inner_iterations=50, warm_start=False, tolerance=1e-6
+        )
+        result = LEAST(config).fit(er2_problem["data"], seed=0)
+        assert result.n_outer_iterations == 2

@@ -1,0 +1,193 @@
+"""Tests for repro.metrics (structural metrics, ROC, correlation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.correlation import pearson_correlation, trace_correlation
+from repro.metrics.roc import auc_roc, roc_curve
+from repro.metrics.structural import (
+    confusion_counts,
+    evaluate_structure,
+    f1_score,
+    false_discovery_rate,
+    false_positive_rate,
+    precision,
+    recall,
+    structural_hamming_distance,
+    true_positive_rate,
+)
+from repro.utils.logging import RunLog
+
+
+@pytest.fixture
+def truth() -> np.ndarray:
+    matrix = np.zeros((4, 4))
+    matrix[0, 1] = 1.0
+    matrix[1, 2] = 1.0
+    matrix[2, 3] = 1.0
+    return matrix
+
+
+class TestConfusionCounts:
+    def test_perfect_prediction(self, truth):
+        counts = confusion_counts(truth, truth)
+        assert counts["true_positives"] == 3
+        assert counts["reversed"] == 0
+        assert counts["false_positives"] == 0
+        assert counts["false_negatives"] == 0
+
+    def test_reversed_edge(self, truth):
+        predicted = truth.copy()
+        predicted[0, 1] = 0.0
+        predicted[1, 0] = 1.0
+        counts = confusion_counts(predicted, truth)
+        assert counts["true_positives"] == 2
+        assert counts["reversed"] == 1
+        assert counts["false_negatives"] == 0
+
+    def test_extra_and_missing(self, truth):
+        predicted = truth.copy()
+        predicted[2, 3] = 0.0  # missing
+        predicted[0, 3] = 1.0  # extra
+        counts = confusion_counts(predicted, truth)
+        assert counts["false_positives"] == 1
+        assert counts["false_negatives"] == 1
+
+    def test_weights_are_binarized(self, truth):
+        predicted = truth * 0.37
+        counts = confusion_counts(predicted, truth)
+        assert counts["true_positives"] == 3
+
+
+class TestSHD:
+    def test_identical_graphs(self, truth):
+        assert structural_hamming_distance(truth, truth) == 0
+
+    def test_missing_edge_costs_one(self, truth):
+        predicted = truth.copy()
+        predicted[2, 3] = 0.0
+        assert structural_hamming_distance(predicted, truth) == 1
+
+    def test_extra_edge_costs_one(self, truth):
+        predicted = truth.copy()
+        predicted[0, 2] = 1.0
+        assert structural_hamming_distance(predicted, truth) == 1
+
+    def test_reversal_costs_one(self, truth):
+        predicted = truth.copy()
+        predicted[0, 1] = 0.0
+        predicted[1, 0] = 1.0
+        assert structural_hamming_distance(predicted, truth) == 1
+
+    def test_empty_prediction(self, truth):
+        assert structural_hamming_distance(np.zeros_like(truth), truth) == 3
+
+    def test_symmetry_of_total_disagreement(self, truth):
+        other = np.zeros_like(truth)
+        other[3, 0] = 1.0
+        assert structural_hamming_distance(other, truth) == structural_hamming_distance(truth, other)
+
+
+class TestRates:
+    def test_perfect_scores(self, truth):
+        assert f1_score(truth, truth) == 1.0
+        assert precision(truth, truth) == 1.0
+        assert recall(truth, truth) == 1.0
+        assert false_discovery_rate(truth, truth) == 0.0
+        assert false_positive_rate(truth, truth) == 0.0
+        assert true_positive_rate(truth, truth) == 1.0
+
+    def test_empty_prediction_scores(self, truth):
+        empty = np.zeros_like(truth)
+        assert f1_score(empty, truth) == 0.0
+        assert precision(empty, truth) == 0.0
+        assert false_discovery_rate(empty, truth) == 0.0
+
+    def test_fdr_counts_reversed_edges(self, truth):
+        predicted = truth.copy()
+        predicted[0, 1] = 0.0
+        predicted[1, 0] = 1.0
+        assert false_discovery_rate(predicted, truth) == pytest.approx(1.0 / 3.0)
+
+    def test_evaluate_structure_bundle(self, truth):
+        predicted = truth.copy()
+        predicted[0, 3] = 1.0
+        metrics = evaluate_structure(predicted, truth)
+        assert metrics.n_true_edges == 3
+        assert metrics.n_predicted_edges == 4
+        assert metrics.true_positives == 3
+        assert metrics.false_positives == 1
+        assert metrics.shd == 1
+        assert 0.0 < metrics.f1 < 1.0
+        assert metrics.to_dict()["f1"] == metrics.f1
+
+    def test_shape_mismatch_rejected(self, truth):
+        with pytest.raises(Exception):
+            evaluate_structure(np.zeros((3, 3)), truth)
+
+
+class TestROC:
+    def test_perfect_ranking_has_auc_one(self, truth):
+        scores = truth * 2.0 + 0.0
+        assert auc_roc(scores, truth) == pytest.approx(1.0)
+
+    def test_random_scores_near_half(self, truth):
+        rng = np.random.default_rng(0)
+        aucs = []
+        for _ in range(30):
+            scores = rng.random((4, 4))
+            np.fill_diagonal(scores, 0.0)
+            aucs.append(auc_roc(scores, truth))
+        assert abs(np.mean(aucs) - 0.5) < 0.1
+
+    def test_degenerate_truth_returns_half(self):
+        assert auc_roc(np.ones((3, 3)), np.zeros((3, 3))) == 0.5
+
+    def test_roc_curve_endpoints(self, truth):
+        fpr, tpr, thresholds = roc_curve(np.abs(np.random.default_rng(1).random((4, 4))), truth)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0) and tpr[-1] == pytest.approx(1.0)
+        assert thresholds[0] == np.inf
+
+    def test_auc_monotone_in_ranking_quality(self, truth):
+        good = truth * 1.0
+        good[0, 2] = 0.4  # one false edge scored below true edges
+        bad = np.ones_like(truth) * 0.5
+        assert auc_roc(good, truth) > auc_roc(bad, truth)
+
+
+class TestCorrelation:
+    def test_perfectly_correlated(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [2.0, 4.0, 6.0, 8.0]
+        assert pearson_correlation(x, y) == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_sequence_gives_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            pearson_correlation([1.0], [2.0])
+
+    def test_trace_correlation_from_runlog(self):
+        log = RunLog()
+        for step in range(1, 8):
+            value = 10.0 ** (-step)
+            log.append(delta=value, h=value * 3.0)
+        assert trace_correlation(log) == pytest.approx(1.0)
+
+    def test_trace_correlation_handles_missing_h(self):
+        log = RunLog()
+        log.append(delta=1.0)
+        log.append(delta=0.1)
+        assert trace_correlation(log) == 0.0

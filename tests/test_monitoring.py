@@ -1,0 +1,212 @@
+"""Tests for the booking-monitoring subsystem (events, simulator, encoder, anomaly)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.monitoring.anomaly import (
+    AnomalyPath,
+    detect_anomalies,
+    extract_error_paths,
+    path_statistics,
+    two_proportion_z_test,
+)
+from repro.monitoring.booking_simulator import BookingSimulator, Incident, SimulatorConfig
+from repro.monitoring.encoder import LogEncoder
+from repro.monitoring.events import BOOKING_STEPS, BookingRecord, error_rate
+from repro.monitoring.root_cause import RootCauseAnalyzer, categorize_root_cause
+
+
+def _record(airline="AC", step3=False, step1=False) -> BookingRecord:
+    return BookingRecord(
+        timestamp=0.0,
+        airline=airline,
+        fare_source="fare_source_1",
+        agent="agent_01",
+        departure_city="PEK",
+        arrival_city="SHA",
+        step_errors={"step3_reserve": step3, "step1_availability": step1},
+    )
+
+
+class TestEvents:
+    def test_failed_and_error_steps(self):
+        record = _record(step3=True)
+        assert record.failed()
+        assert record.error_steps() == ["step3_reserve"]
+        assert not _record().failed()
+
+    def test_entities(self):
+        assert _record().entities()["airline"] == "AC"
+
+    def test_error_rate(self):
+        records = [_record(step3=True), _record(), _record()]
+        assert error_rate(records) == pytest.approx(1 / 3)
+        assert error_rate(records, "step3_reserve") == pytest.approx(1 / 3)
+        assert error_rate([], "step3_reserve") == 0.0
+
+
+class TestIncident:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Incident("airline", "AC", "step9", 0.5, 0, 10)
+        with pytest.raises(ValidationError):
+            Incident("airline", "AC", "step3_reserve", 0.5, 10, 5)
+
+    def test_active_and_matches(self):
+        incident = Incident("airline", "AC", "step3_reserve", 0.5, 100, 200)
+        assert incident.active_at(150) and not incident.active_at(250)
+        assert incident.matches({"airline": "AC"})
+        assert not incident.matches({"airline": "MU"})
+
+
+class TestSimulator:
+    def test_window_record_count_scales_with_duration(self):
+        simulator = BookingSimulator(seed=0)
+        short = simulator.simulate_window(0, 1800)
+        long = simulator.simulate_window(0, 7200)
+        assert len(long) > len(short)
+
+    def test_baseline_error_rate_is_low(self):
+        simulator = BookingSimulator(seed=1)
+        records = simulator.simulate_window(0, 3600 * 4)
+        assert error_rate(records, "step3_reserve") < 0.05
+
+    def test_incident_raises_error_rate_for_matching_entity(self):
+        incident = Incident("airline", "AC", "step3_reserve", 0.7, 0, 3600 * 4)
+        simulator = BookingSimulator(incidents=[incident], seed=2)
+        records = simulator.simulate_window(0, 3600 * 4)
+        affected = [r for r in records if r.airline == "AC"]
+        unaffected = [r for r in records if r.airline != "AC"]
+        assert error_rate(affected, "step3_reserve") > 0.4
+        assert error_rate(unaffected, "step3_reserve") < 0.05
+
+    def test_incident_outside_window_has_no_effect(self):
+        incident = Incident("airline", "AC", "step3_reserve", 0.9, 10**6, 10**6 + 10)
+        simulator = BookingSimulator(incidents=[incident], seed=3)
+        records = simulator.simulate_window(0, 3600)
+        assert error_rate(records, "step3_reserve") < 0.05
+
+    def test_active_incidents(self):
+        incident = Incident("airline", "AC", "step3_reserve", 0.5, 1000, 2000)
+        simulator = BookingSimulator(incidents=[incident], seed=0)
+        assert simulator.active_incidents(500, 1000) == [incident]
+        assert simulator.active_incidents(2500, 1000) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            SimulatorConfig(airlines=("AC",))
+
+
+class TestEncoder:
+    def test_encoding_shape_and_vocabulary(self):
+        simulator = BookingSimulator(seed=0)
+        records = simulator.simulate_window(0, 3600)
+        window = LogEncoder(center=False).encode(records)
+        assert window.n_records == len(records)
+        assert set(BOOKING_STEPS) <= set(window.node_names)
+        assert window.index_of("step3_reserve") >= 0
+
+    def test_indicators_are_binary_without_centering(self):
+        records = [_record(step3=True), _record(airline="MU")]
+        window = LogEncoder(center=False).encode(records)
+        assert set(np.unique(window.data)) <= {0.0, 1.0}
+        assert window.data[0, window.index_of("airline=AC")] == 1.0
+        assert window.data[1, window.index_of("airline=MU")] == 1.0
+        assert window.data[0, window.index_of("step3_reserve")] == 1.0
+
+    def test_centering(self):
+        records = [_record(), _record(airline="MU")]
+        window = LogEncoder(center=True).encode(records)
+        np.testing.assert_allclose(window.data.mean(axis=0), 0.0, atol=1e-12)
+
+    def test_fixed_vocabulary(self):
+        vocabulary = ["airline=AC", "airline=MU"]
+        window = LogEncoder(center=False, vocabulary=vocabulary).encode([_record()])
+        assert window.entity_nodes == ("airline=AC", "airline=MU")
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValidationError):
+            LogEncoder().encode([])
+
+    def test_unknown_node_lookup_rejected(self):
+        window = LogEncoder().encode([_record()])
+        with pytest.raises(ValidationError):
+            window.index_of("nonexistent")
+
+
+class TestAnomalyDetection:
+    def test_z_test_detects_large_increase(self):
+        assert two_proportion_z_test(50, 100, 5, 100) < 1e-6
+
+    def test_z_test_no_increase(self):
+        assert two_proportion_z_test(5, 100, 5, 100) > 0.4
+
+    def test_z_test_empty_samples(self):
+        assert two_proportion_z_test(0, 0, 1, 10) == 1.0
+
+    def test_z_test_rejects_negative_counts(self):
+        with pytest.raises(ValidationError):
+            two_proportion_z_test(-1, 10, 0, 10)
+
+    def test_extract_error_paths(self):
+        node_names = ["airline=AC", "fare_source=3", "step3_reserve"]
+        weights = np.zeros((3, 3))
+        weights[0, 2] = 0.5
+        weights[1, 0] = 0.3
+        paths = extract_error_paths(weights, node_names)
+        strings = {str(p) for p in paths}
+        assert "step3_reserve <- airline=AC <- fare_source=3" in strings
+
+    def test_path_statistics(self):
+        path = AnomalyPath(nodes=("airline=AC", "step3_reserve"), error_node="step3_reserve")
+        records = [_record(step3=True), _record(step3=False), _record(airline="MU", step3=True)]
+        total, errors = path_statistics(records, path)
+        assert total == 2 and errors == 1
+
+    def test_detect_anomalies_flags_significant_paths(self):
+        path = AnomalyPath(nodes=("airline=AC", "step3_reserve"), error_node="step3_reserve")
+        current = [_record(step3=True) for _ in range(40)] + [_record(step3=False) for _ in range(10)]
+        previous = [_record(step3=False) for _ in range(50)]
+        reports = detect_anomalies([path], current, previous)
+        assert len(reports) == 1
+        assert reports[0].root_cause == "airline=AC"
+        assert reports[0].current_rate > reports[0].previous_rate
+
+    def test_detect_anomalies_respects_min_support(self):
+        path = AnomalyPath(nodes=("airline=AC", "step3_reserve"), error_node="step3_reserve")
+        current = [_record(step3=True)] * 3
+        previous = [_record()] * 3
+        assert detect_anomalies([path], current, previous, min_support=5) == []
+
+
+class TestRootCause:
+    def test_categorize(self):
+        assert categorize_root_cause("airline=AC") == "airline"
+        assert categorize_root_cause("agent=agent_01") == "travel agent"
+        assert categorize_root_cause("fare_source=3") == "intermediary interface"
+        assert categorize_root_cause("arrival_city=WUH") == "unpredictable event"
+        assert categorize_root_cause("something_else") == "external system"
+
+    def test_evaluate_window_matches_incident(self):
+        analyzer = RootCauseAnalyzer()
+        incident = Incident(
+            "airline", "AC", "step3_reserve", 0.7, 0, 100, category="airline", description="outage"
+        )
+        path = AnomalyPath(nodes=("airline=AC", "step3_reserve"), error_node="step3_reserve")
+        current = [_record(step3=True)] * 30
+        previous = [_record()] * 30
+        reports = detect_anomalies([path], current, previous)
+        findings = analyzer.evaluate_window(reports, [incident])
+        assert findings[0].is_true_positive
+        assert analyzer.true_positive_rate() == 1.0
+        assert analyzer.category_breakdown() == {"airline": 1.0}
+
+    def test_unmatched_incident_is_recorded_as_missed(self):
+        analyzer = RootCauseAnalyzer()
+        incident = Incident("airline", "MU", "step1_availability", 0.7, 0, 100)
+        analyzer.evaluate_window([], [incident])
+        assert analyzer.missed_incidents == [incident]
+        assert analyzer.false_alarm_rate() == 0.0

@@ -1,0 +1,70 @@
+"""Tests for the NOTEARS baseline solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model_selection import grid_search_threshold
+from repro.core.notears import NOTEARS, NOTEARSConfig
+from repro.core.notears_constraint import notears_constraint
+from repro.exceptions import ValidationError
+from repro.graph.generation import random_dag
+from repro.sem.linear_sem import simulate_linear_sem
+
+
+class TestNOTEARSConfig:
+    def test_defaults_valid(self):
+        NOTEARSConfig()
+
+    def test_invalid_solver_rejected(self):
+        with pytest.raises(ValidationError):
+            NOTEARSConfig(inner_solver="newton")
+
+    def test_invalid_penalty_rejected(self):
+        with pytest.raises(ValidationError):
+            NOTEARSConfig(l1_penalty=-1.0)
+
+
+class TestNOTEARSLBFGS:
+    def test_recovers_small_er2_graph(self):
+        truth = random_dag("ER-2", 15, seed=0)
+        data = simulate_linear_sem(truth, 300, seed=1)
+        config = NOTEARSConfig(l1_penalty=0.1, max_outer_iterations=12, max_inner_iterations=80)
+        result = NOTEARS(config).fit(data, seed=2)
+        search = grid_search_threshold(result.weights, truth)
+        assert search.best_f1 >= 0.7
+
+    def test_final_constraint_is_small(self, er2_problem):
+        config = NOTEARSConfig(max_outer_iterations=12, max_inner_iterations=60, tolerance=1e-6)
+        result = NOTEARS(config).fit(er2_problem["data"], seed=0)
+        assert notears_constraint(result.weights) <= 1e-4
+
+    def test_diagonal_stays_zero(self, er2_problem):
+        config = NOTEARSConfig(max_outer_iterations=4, max_inner_iterations=40)
+        result = NOTEARS(config).fit(er2_problem["data"], seed=0)
+        np.testing.assert_allclose(np.diag(result.weights), 0.0, atol=1e-10)
+
+    def test_log_records_h_per_outer_iteration(self, er2_problem):
+        config = NOTEARSConfig(max_outer_iterations=3, max_inner_iterations=40, tolerance=1e-12)
+        result = NOTEARS(config).fit(er2_problem["data"], seed=0)
+        assert len(result.log) == result.n_outer_iterations
+        assert np.all(np.isfinite(result.log.column("h")))
+
+
+class TestNOTEARSAdam:
+    def test_adam_variant_runs_and_reduces_constraint(self, er2_problem):
+        config = NOTEARSConfig(
+            inner_solver="adam",
+            max_outer_iterations=5,
+            max_inner_iterations=150,
+            learning_rate=0.02,
+            tolerance=1e-3,
+        )
+        result = NOTEARS(config).fit(er2_problem["data"], seed=0)
+        h_trace = result.log.column("h")
+        assert h_trace[-1] <= h_trace[0]
+
+    def test_rejects_bad_data(self):
+        with pytest.raises(ValidationError):
+            NOTEARS().fit(np.zeros(5))

@@ -1,0 +1,97 @@
+"""Tests for the baseline acyclicity constraints (matrix exponential / polynomial)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.notears_constraint import (
+    notears_constraint,
+    notears_constraint_gradient,
+    notears_constraint_with_gradient,
+    polynomial_constraint,
+    polynomial_constraint_with_gradient,
+)
+from repro.graph.generation import random_dag
+
+
+class TestNotearsConstraint:
+    def test_zero_for_dag(self, small_dag):
+        assert notears_constraint(small_dag) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_cycles(self, cyclic_matrix):
+        assert notears_constraint(cyclic_matrix) > 0
+
+    def test_zero_for_empty_graph(self):
+        assert notears_constraint(np.zeros((6, 6))) == pytest.approx(0.0)
+
+    def test_accepts_sparse_input(self, cyclic_matrix):
+        dense_value = notears_constraint(cyclic_matrix)
+        sparse_value = notears_constraint(sp.csr_matrix(cyclic_matrix))
+        assert sparse_value == pytest.approx(dense_value)
+
+    def test_two_cycle_closed_form(self):
+        """For a 2-cycle with weights a, b: h = tr(e^S) - d where S has
+        off-diagonal a², b²; tr(e^S) = 2·cosh(ab)."""
+        a, b = 0.7, 1.3
+        matrix = np.array([[0.0, a], [b, 0.0]])
+        expected = 2.0 * np.cosh(a * b) - 2.0
+        assert notears_constraint(matrix) == pytest.approx(expected, rel=1e-9)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        weights = rng.normal(size=(6, 6)) * 0.6
+        np.fill_diagonal(weights, 0.0)
+        value, gradient = notears_constraint_with_gradient(weights)
+        epsilon = 1e-6
+        for _ in range(10):
+            i, j = rng.integers(0, 6, size=2)
+            if i == j:
+                continue
+            plus = weights.copy()
+            plus[i, j] += epsilon
+            minus = weights.copy()
+            minus[i, j] -= epsilon
+            finite_difference = (notears_constraint(plus) - notears_constraint(minus)) / (2 * epsilon)
+            assert gradient[i, j] == pytest.approx(finite_difference, rel=1e-4, abs=1e-7)
+
+    def test_gradient_is_zero_on_dags_with_zero_weights_elsewhere(self, small_dag):
+        gradient = notears_constraint_gradient(small_dag)
+        # ∇h = 2 (e^S)^T ∘ W vanishes where W = 0.
+        assert np.all(gradient[small_dag == 0] == 0)
+
+
+class TestPolynomialConstraint:
+    def test_zero_for_dag(self, small_dag):
+        assert polynomial_constraint(small_dag) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_cycles(self, cyclic_matrix):
+        assert polynomial_constraint(cyclic_matrix) > 0
+
+    def test_scaled_and_unscaled_agree_on_acyclicity(self, cyclic_matrix, small_dag):
+        assert polynomial_constraint(cyclic_matrix, scale=1.0) > 0
+        assert polynomial_constraint(small_dag, scale=1.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        weights = rng.normal(size=(5, 5)) * 0.5
+        np.fill_diagonal(weights, 0.0)
+        value, gradient = polynomial_constraint_with_gradient(weights)
+        epsilon = 1e-6
+        for _ in range(10):
+            i, j = rng.integers(0, 5, size=2)
+            if i == j:
+                continue
+            plus = weights.copy()
+            plus[i, j] += epsilon
+            minus = weights.copy()
+            minus[i, j] -= epsilon
+            finite_difference = (
+                polynomial_constraint(plus) - polynomial_constraint(minus)
+            ) / (2 * epsilon)
+            assert gradient[i, j] == pytest.approx(finite_difference, rel=1e-4, abs=1e-7)
+
+    def test_random_dags_are_feasible(self):
+        for seed in range(5):
+            weights = random_dag("ER-2", 20, seed=seed)
+            assert polynomial_constraint(weights) == pytest.approx(0.0, abs=1e-6)
+            assert notears_constraint(weights) == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,136 @@
+"""Tests for the explainable-recommendation layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.recommend.analysis import degree_profile, hub_analysis
+from repro.recommend.explainable import (
+    ExplainableRecommender,
+    extract_subgraph,
+    top_edges,
+)
+
+
+@pytest.fixture
+def item_graph() -> np.ndarray:
+    """Small item graph: 0 -> 1 (0.5), 1 -> 2 (0.4), 3 -> 2 (-0.3), 3 -> 4 (0.2)."""
+    graph = np.zeros((5, 5))
+    graph[0, 1] = 0.5
+    graph[1, 2] = 0.4
+    graph[3, 2] = -0.3
+    graph[3, 4] = 0.2
+    return graph
+
+
+class TestTopEdges:
+    def test_sorted_by_magnitude(self, item_graph):
+        edges = top_edges(item_graph, n=3)
+        weights = [abs(w) for *_, w in edges]
+        assert weights == sorted(weights, reverse=True)
+        assert edges[0][:2] == (0, 1)
+
+    def test_labels(self, item_graph):
+        labels = ["A", "B", "C", "D", "E"]
+        edges = top_edges(item_graph, labels=labels, n=1)
+        assert edges[0][:2] == ("A", "B")
+
+    def test_n_must_be_positive(self, item_graph):
+        with pytest.raises(ValidationError):
+            top_edges(item_graph, n=0)
+
+
+class TestExtractSubgraph:
+    def test_radius_one_neighbourhood(self, item_graph):
+        submatrix, nodes = extract_subgraph(item_graph, center=2, radius=1)
+        assert nodes[0] == 2
+        assert set(nodes) == {1, 2, 3}
+        assert submatrix.shape == (3, 3)
+
+    def test_radius_two_reaches_further(self, item_graph):
+        _, nodes = extract_subgraph(item_graph, center=2, radius=2)
+        assert set(nodes) == {0, 1, 2, 3, 4}
+
+    def test_radius_zero_is_just_the_center(self, item_graph):
+        submatrix, nodes = extract_subgraph(item_graph, center=0, radius=0)
+        assert nodes == [0] and submatrix.shape == (1, 1)
+
+    def test_invalid_center_rejected(self, item_graph):
+        with pytest.raises(ValidationError):
+            extract_subgraph(item_graph, center=99)
+
+
+class TestRecommender:
+    def test_direct_neighbour_recommended(self, item_graph):
+        recommender = ExplainableRecommender(item_graph)
+        recommendations = recommender.recommend({0: 1.0}, n=5)
+        items = [r.item for r in recommendations]
+        assert 1 in items
+        top = recommendations[0]
+        assert top.item == 1
+        assert top.score == pytest.approx(0.5)
+        assert top.path == (0, 1)
+
+    def test_two_hop_propagation(self, item_graph):
+        recommender = ExplainableRecommender(item_graph, max_hops=2)
+        recommendations = recommender.recommend({0: 1.0}, n=5)
+        by_item = {r.item: r for r in recommendations}
+        assert 2 in by_item
+        assert by_item[2].score == pytest.approx(0.5 * 0.4)
+        assert by_item[2].path == (0, 1, 2)
+
+    def test_negative_rating_flips_sign(self, item_graph):
+        recommender = ExplainableRecommender(item_graph)
+        recommendations = recommender.recommend({0: -2.0}, n=5)
+        by_item = {r.item: r for r in recommendations}
+        assert by_item[1].score == pytest.approx(-1.0)
+
+    def test_observed_items_excluded_by_default(self, item_graph):
+        recommender = ExplainableRecommender(item_graph)
+        recommendations = recommender.recommend({0: 1.0, 1: 1.0}, n=5)
+        assert all(r.item not in (0, 1) for r in recommendations)
+
+    def test_explanation_uses_labels(self, item_graph):
+        labels = ["Alpha", "Beta", "Gamma", "Delta", "Epsilon"]
+        recommender = ExplainableRecommender(item_graph, labels=labels)
+        recommendation = recommender.recommend({0: 1.0}, n=1)[0]
+        assert "Alpha -> Beta" in recommender.explain(recommendation)
+
+    def test_no_outgoing_edges_gives_no_recommendations(self, item_graph):
+        recommender = ExplainableRecommender(item_graph)
+        assert recommender.recommend({2: 1.0}, n=5) == []
+
+    def test_invalid_inputs_rejected(self, item_graph):
+        with pytest.raises(ValidationError):
+            ExplainableRecommender(item_graph, labels=["only-one"])
+        with pytest.raises(ValidationError):
+            ExplainableRecommender(item_graph, max_hops=0)
+        recommender = ExplainableRecommender(item_graph)
+        with pytest.raises(ValidationError):
+            recommender.recommend({99: 1.0})
+
+
+class TestDegreeAnalysis:
+    def test_degree_profile(self, item_graph):
+        profile = degree_profile(item_graph)
+        assert profile.in_degree[2] == 2
+        assert profile.out_degree[3] == 2
+        assert profile.top_by_in_degree(1)[0][0] == 2
+
+    def test_hub_analysis_detects_asymmetry(self, item_graph):
+        summary = hub_analysis(item_graph, popular_items=[2])
+        assert summary["popular_mean_in_degree"] == 2.0
+        assert summary["popular_mean_out_degree"] == 0.0
+        assert summary["popular_in_out_ratio"] == 2.0
+
+    def test_hub_analysis_validates_indices(self, item_graph):
+        with pytest.raises(ValidationError):
+            hub_analysis(item_graph, popular_items=[99])
+        with pytest.raises(ValidationError):
+            hub_analysis(item_graph, popular_items=[])
+
+    def test_labels_length_checked(self, item_graph):
+        with pytest.raises(ValidationError):
+            degree_profile(item_graph, labels=["a"])

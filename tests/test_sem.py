@@ -1,0 +1,122 @@
+"""Tests for repro.sem (noise models, LSEM simulation, standardization)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotADAGError, ValidationError
+from repro.sem.linear_sem import LinearSEM, simulate_linear_sem
+from repro.sem.noise import NOISE_TYPES, make_noise_model
+from repro.sem.standardize import center_columns, center_rows, standardize_columns
+
+
+class TestNoiseModels:
+    @pytest.mark.parametrize("name", NOISE_TYPES)
+    def test_samples_are_roughly_zero_mean(self, name):
+        model = make_noise_model(name, scale=1.0)
+        samples = model.sample(20000, seed=0)
+        assert abs(samples.mean()) < 0.05
+
+    @pytest.mark.parametrize("name", NOISE_TYPES)
+    def test_variance_matches_theory(self, name):
+        model = make_noise_model(name, scale=1.3)
+        samples = model.sample(50000, seed=1)
+        assert samples.var() == pytest.approx(model.variance(), rel=0.1)
+
+    @pytest.mark.parametrize("alias,canonical", [("GS", "gaussian"), ("EX", "exponential"), ("GB", "gumbel")])
+    def test_paper_aliases(self, alias, canonical):
+        assert make_noise_model(alias).name == canonical
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            make_noise_model("cauchy")
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            make_noise_model("gaussian", scale=0.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            make_noise_model("gaussian").sample(-1)
+
+    def test_deterministic_given_seed(self):
+        model = make_noise_model("gumbel")
+        np.testing.assert_allclose(model.sample(10, seed=7), model.sample(10, seed=7))
+
+
+class TestLinearSEM:
+    def test_requires_dag(self, cyclic_matrix):
+        with pytest.raises(NotADAGError):
+            LinearSEM(weights=cyclic_matrix)
+
+    def test_sample_shape(self, small_dag):
+        sem = LinearSEM(weights=small_dag)
+        assert sem.sample(50, seed=0).shape == (50, 4)
+
+    def test_root_nodes_are_pure_noise(self, small_dag):
+        sem = LinearSEM(weights=small_dag, noise=make_noise_model("gaussian", 1.0))
+        data = sem.sample(20000, seed=0)
+        assert data[:, 0].var() == pytest.approx(1.0, rel=0.1)
+
+    def test_children_follow_structural_equation(self, small_dag):
+        data = simulate_linear_sem(small_dag, 50000, seed=1)
+        # X1 = 1.5 X0 + noise: regression coefficient should recover 1.5.
+        coefficient = np.cov(data[:, 0], data[:, 1])[0, 1] / data[:, 0].var()
+        assert coefficient == pytest.approx(1.5, rel=0.05)
+
+    def test_empirical_covariance_matches_implied(self, small_dag):
+        sem = LinearSEM(weights=small_dag)
+        data = sem.sample(100000, seed=2)
+        np.testing.assert_allclose(np.cov(data.T), sem.implied_covariance(), atol=0.15)
+
+    def test_heteroscedastic_scales(self, small_dag):
+        sem = LinearSEM(weights=small_dag, node_noise_scales=np.array([2.0, 1.0, 1.0, 1.0]))
+        data = sem.sample(20000, seed=3)
+        assert data[:, 0].var() == pytest.approx(4.0, rel=0.1)
+
+    def test_invalid_noise_scales_rejected(self, small_dag):
+        with pytest.raises(ValidationError):
+            LinearSEM(weights=small_dag, node_noise_scales=np.array([1.0, -1.0, 1.0, 1.0]))
+
+    def test_negative_sample_count_rejected(self, small_dag):
+        with pytest.raises(ValidationError):
+            LinearSEM(weights=small_dag).sample(-5)
+
+    def test_simulate_with_all_noise_types(self, small_dag):
+        for noise in ("gaussian", "exponential", "gumbel"):
+            data = simulate_linear_sem(small_dag, 100, noise_type=noise, seed=0)
+            assert data.shape == (100, 4)
+            assert np.all(np.isfinite(data))
+
+
+class TestStandardize:
+    def test_center_columns(self):
+        data = np.array([[1.0, 2.0], [3.0, 6.0]])
+        centered = center_columns(data)
+        np.testing.assert_allclose(centered.mean(axis=0), [0.0, 0.0])
+
+    def test_center_rows(self):
+        data = np.array([[1.0, 3.0], [2.0, 6.0]])
+        centered = center_rows(data)
+        np.testing.assert_allclose(centered.mean(axis=1), [0.0, 0.0])
+
+    def test_standardize_columns(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(1000, 3))
+        standardized = standardize_columns(data)
+        np.testing.assert_allclose(standardized.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(standardized.std(axis=0), 1.0, atol=1e-12)
+
+    def test_standardize_constant_column_is_safe(self):
+        data = np.array([[1.0, 2.0], [1.0, 4.0]])
+        standardized = standardize_columns(data)
+        assert np.all(np.isfinite(standardized))
+        np.testing.assert_allclose(standardized[:, 0], 0.0)
+
+    def test_original_data_not_mutated(self):
+        data = np.array([[1.0, 2.0], [3.0, 4.0]])
+        copy = data.copy()
+        center_columns(data)
+        standardize_columns(data)
+        np.testing.assert_array_equal(data, copy)

@@ -1,0 +1,146 @@
+"""Tests for post-processing: thresholding and the ε/τ grid searches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.least import LEASTResult
+from repro.core.model_selection import (
+    DEFAULT_EPSILON_GRID,
+    DEFAULT_TAU_GRID,
+    grid_search_epsilon_tau,
+    grid_search_threshold,
+)
+from repro.core.thresholding import threshold_to_dag, threshold_weights
+from repro.exceptions import ValidationError
+from repro.graph.dag import is_dag
+from repro.utils.logging import RunLog
+
+
+class TestThresholdWeights:
+    def test_small_entries_removed(self, small_dag):
+        noisy = small_dag.copy()
+        noisy[3, 0] = 0.01
+        filtered = threshold_weights(noisy, 0.05)
+        assert filtered[3, 0] == 0.0
+        assert filtered[0, 1] == 1.5
+
+    def test_sparse_input(self, small_dag):
+        filtered = threshold_weights(sp.csr_matrix(small_dag), 1.0)
+        assert filtered.nnz == 2
+
+
+class TestThresholdToDag:
+    def test_already_a_dag(self, small_dag):
+        result, threshold = threshold_to_dag(small_dag)
+        assert threshold == 0.0
+        np.testing.assert_array_equal(result, small_dag)
+
+    def test_breaks_weak_cycles(self):
+        matrix = np.zeros((3, 3))
+        matrix[0, 1] = 1.0
+        matrix[1, 2] = 0.8
+        matrix[2, 0] = 0.05  # weak back edge closes the cycle
+        result, threshold = threshold_to_dag(matrix)
+        assert is_dag(result)
+        assert result[0, 1] == 1.0 and result[2, 0] == 0.0
+        assert threshold > 0.05
+
+    def test_initial_threshold_applied_first(self):
+        matrix = np.zeros((2, 2))
+        matrix[0, 1] = 0.2
+        matrix[1, 0] = 0.01
+        result, threshold = threshold_to_dag(matrix, initial_threshold=0.05)
+        assert is_dag(result)
+        assert threshold == 0.05
+
+    def test_max_threshold_violation_raises(self):
+        matrix = np.zeros((2, 2))
+        matrix[0, 1] = 1.0
+        matrix[1, 0] = 1.0
+        with pytest.raises(ValidationError):
+            threshold_to_dag(matrix, max_threshold=0.5)
+
+    def test_negative_initial_threshold_rejected(self, small_dag):
+        with pytest.raises(ValidationError):
+            threshold_to_dag(small_dag, initial_threshold=-1.0)
+
+    def test_sparse_matrix_preserves_type(self):
+        matrix = np.zeros((3, 3))
+        matrix[0, 1] = 1.0
+        matrix[1, 0] = 0.01
+        result, _ = threshold_to_dag(sp.csr_matrix(matrix))
+        assert sp.issparse(result)
+        assert is_dag(result)
+
+
+class TestGridSearchThreshold:
+    def test_selects_best_f1(self, small_dag):
+        noisy = small_dag + np.random.default_rng(0).normal(0, 0.05, size=small_dag.shape)
+        np.fill_diagonal(noisy, 0.0)
+        result = grid_search_threshold(noisy, small_dag)
+        assert result.best_f1 == 1.0
+        assert result.best_threshold in DEFAULT_TAU_GRID
+        assert len(result.all_results) == len(DEFAULT_TAU_GRID)
+
+    def test_custom_objective(self, small_dag):
+        result = grid_search_threshold(
+            small_dag, small_dag, objective=lambda metrics: -metrics.shd
+        )
+        assert result.best_shd == 0
+
+    def test_empty_grid_rejected(self, small_dag):
+        with pytest.raises(ValidationError):
+            grid_search_threshold(small_dag, small_dag, thresholds=[])
+
+    def test_numpy_array_grid_accepted(self, small_dag):
+        result = grid_search_threshold(small_dag, small_dag, thresholds=np.array([0.1, 0.2]))
+        assert result.best_f1 == 1.0
+
+
+class TestGridSearchEpsilonTau:
+    def _fake_result(self, snapshots, h_values):
+        log = RunLog()
+        for step, h in enumerate(h_values, start=1):
+            log.append(outer_iteration=step, h=h, delta=h * 2)
+        return LEASTResult(
+            weights=snapshots[-1],
+            constraint_value=h_values[-1],
+            converged=True,
+            n_outer_iterations=len(h_values),
+            log=log,
+            history=list(snapshots),
+        )
+
+    def test_picks_earlier_snapshot_when_better(self, small_dag):
+        good = small_dag.copy()
+        crushed = small_dag * 0.01  # later snapshot: weights shrunk below every τ
+        result = self._fake_result([good, crushed], [0.05, 1e-5])
+        search = grid_search_epsilon_tau(result, small_dag)
+        assert search.best_f1 == 1.0
+
+    def test_requires_history(self, small_dag):
+        result = LEASTResult(
+            weights=small_dag, constraint_value=0.0, converged=True, n_outer_iterations=1
+        )
+        with pytest.raises(ValidationError):
+            grid_search_epsilon_tau(result, small_dag)
+
+    def test_falls_back_to_delta_trace(self, small_dag):
+        log = RunLog()
+        log.append(outer_iteration=1, delta=1e-3)
+        result = LEASTResult(
+            weights=small_dag,
+            constraint_value=1e-3,
+            converged=True,
+            n_outer_iterations=1,
+            log=log,
+            history=[small_dag],
+        )
+        search = grid_search_epsilon_tau(result, small_dag)
+        assert search.best_f1 == 1.0
+
+    def test_default_epsilon_grid_matches_paper(self):
+        assert DEFAULT_EPSILON_GRID == (1e-1, 1e-2, 1e-3, 1e-4)

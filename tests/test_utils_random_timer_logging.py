@@ -1,0 +1,116 @@
+"""Tests for repro.utils.random, repro.utils.timer and repro.utils.logging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import RunLog
+from repro.utils.random import as_generator, spawn_generators
+from repro.utils.timer import Timer, timed
+
+
+class TestAsGenerator:
+    def test_integer_seed_is_deterministic(self):
+        assert as_generator(3).integers(1000) == as_generator(3).integers(1000)
+
+    def test_existing_generator_is_returned_unchanged(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+    def test_none_gives_a_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_children_are_independent_and_deterministic(self):
+        first = [g.integers(10**6) for g in spawn_generators(42, 3)]
+        second = [g.integers(10**6) for g in spawn_generators(42, 3)]
+        assert first == second
+        assert len(set(first)) > 1
+
+    def test_spawn_from_generator(self):
+        children = spawn_generators(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        timer = Timer()
+        with timer:
+            sum(range(100))
+        with timer:
+            sum(range(100))
+        assert timer.elapsed > 0
+        assert len(timer.laps) == 2
+        assert timer.mean_lap == pytest.approx(timer.elapsed / 2)
+
+    def test_double_start_raises(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+        assert timer.laps == []
+
+    def test_timed_reports_to_sink(self):
+        messages = []
+        with timed("block", sink=messages.append):
+            pass
+        assert len(messages) == 1
+        assert messages[0].startswith("block:")
+
+
+class TestRunLog:
+    def test_append_and_column(self):
+        log = RunLog()
+        log.append(loss=1.0, delta=0.5)
+        log.append(loss=0.5, delta=0.25)
+        assert np.allclose(log.column("loss"), [1.0, 0.5])
+        assert len(log) == 2
+
+    def test_missing_key_defaults_to_nan(self):
+        log = RunLog()
+        log.append(loss=1.0)
+        log.append(loss=0.5, h=0.1)
+        column = log.column("h")
+        assert np.isnan(column[0]) and column[1] == 0.1
+
+    def test_last(self):
+        log = RunLog()
+        log.append(a=1)
+        log.append(b=2)
+        assert log.last("a") == 1
+        assert log.last("missing", default="x") == "x"
+
+    def test_to_dict_preserves_key_order(self):
+        log = RunLog()
+        log.append(a=1, b=2)
+        log.append(a=3)
+        table = log.to_dict()
+        assert list(table) == ["a", "b"]
+        assert table["a"] == [1, 3]
+        assert table["b"] == [2, None]
+
+    def test_iteration_and_indexing(self):
+        log = RunLog()
+        log.extend([{"a": 1}, {"a": 2}])
+        assert [record["a"] for record in log] == [1, 2]
+        assert log[0]["a"] == 1

@@ -1,0 +1,119 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import DimensionMismatchError, ValidationError
+from repro.utils.validation import (
+    check_in_choices,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_same_shape,
+    check_square_matrix,
+    check_unit_interval,
+    ensure_2d,
+    ensure_array,
+    is_sparse,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValidationError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValidationError):
+            check_positive(float("nan"), "x")
+        with pytest.raises(ValidationError):
+            check_positive(float("inf"), "x")
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, float("nan")])
+    def test_rejects_outside_unit_interval(self, value):
+        with pytest.raises(ValidationError):
+            check_probability(value, "p")
+
+    def test_unit_interval_alias(self):
+        assert check_unit_interval(0.9, "alpha") == 0.9
+
+
+class TestCheckInChoices:
+    def test_accepts_member(self):
+        assert check_in_choices("er", "model", ("er", "sf")) == "er"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValidationError, match="model"):
+            check_in_choices("ba", "model", ("er", "sf"))
+
+
+class TestEnsureArray:
+    def test_converts_lists(self):
+        result = ensure_array([1, 2, 3])
+        assert isinstance(result, np.ndarray)
+        assert result.dtype == float
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            ensure_array([1.0, float("nan")])
+
+    def test_ensure_2d_rejects_vectors(self):
+        with pytest.raises(ValidationError):
+            ensure_2d([1.0, 2.0])
+
+    def test_ensure_2d_accepts_matrix(self):
+        assert ensure_2d([[1.0, 2.0]]).shape == (1, 2)
+
+
+class TestCheckSquareMatrix:
+    def test_accepts_square_dense(self):
+        matrix = check_square_matrix(np.eye(3))
+        assert matrix.shape == (3, 3)
+
+    def test_accepts_square_sparse(self):
+        matrix = check_square_matrix(sp.eye(4, format="csr"))
+        assert matrix.shape == (4, 4)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValidationError):
+            check_square_matrix(np.ones((2, 3)))
+
+    def test_rejects_rectangular_sparse(self):
+        with pytest.raises(ValidationError):
+            check_square_matrix(sp.csr_matrix(np.ones((2, 3))))
+
+
+class TestCheckSameShape:
+    def test_accepts_matching(self):
+        check_same_shape(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            check_same_shape(np.zeros((2, 2)), np.ones((3, 2)))
+
+
+def test_is_sparse():
+    assert is_sparse(sp.eye(2, format="csr"))
+    assert not is_sparse(np.eye(2))
