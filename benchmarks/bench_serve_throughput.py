@@ -1,0 +1,181 @@
+"""E-serve — throughput of the batch serving layer (repro.serve).
+
+The paper's Section VI deployment executes ~100k structure-learning tasks per
+day; this module measures the three mechanisms the serving layer uses to get
+there on one machine and writes a ``BENCH_serve.json`` summary next to the
+repo root:
+
+* serial vs. parallel execution of a 16-job manifest (jobs/sec);
+* content-addressed caching (second submission of the same manifest);
+* cold vs. warm-started windowed re-learning (solver iterations per window and
+  equivalence of the produced anomaly reports).
+
+Run with ``pytest benchmarks/bench_serve_throughput.py -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from benchmarks.helpers import print_table
+from repro.core.least import LEASTConfig
+from repro.monitoring import BookingSimulator, Incident, MonitoringPipeline
+from repro.serve import BatchRunner, InMemoryCache, LearningJob
+
+N_JOBS = 16
+N_WORKERS = 4
+JOB_CONFIG = {"max_outer_iterations": 4, "max_inner_iterations": 150}
+RESULTS: dict[str, dict] = {}
+
+
+def _manifest() -> list[LearningJob]:
+    return [
+        LearningJob(
+            dataset="er2",
+            seed=seed,
+            dataset_options={"n_nodes": 30},
+            config=dict(JOB_CONFIG),
+        )
+        for seed in range(N_JOBS)
+    ]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_summary():
+    """Persist everything the module measured once all tests ran."""
+    yield
+    if RESULTS:
+        path = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+        path.write_text(json.dumps(RESULTS, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {path}")
+
+
+def test_serial_vs_parallel_throughput(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    serial = BatchRunner(n_workers=1).run(_manifest())
+    parallel = BatchRunner(n_workers=N_WORKERS).run(_manifest())
+    assert serial.n_ok == N_JOBS and parallel.n_ok == N_JOBS
+
+    speedup = serial.total_seconds / max(parallel.total_seconds, 1e-9)
+    RESULTS["throughput"] = {
+        "n_jobs": N_JOBS,
+        "serial_seconds": serial.total_seconds,
+        "serial_jobs_per_second": serial.jobs_per_second,
+        "parallel_workers": N_WORKERS,
+        "parallel_seconds": parallel.total_seconds,
+        "parallel_jobs_per_second": parallel.jobs_per_second,
+        "speedup": speedup,
+        "cpu_count": os.cpu_count(),
+    }
+    print_table(
+        "repro.serve: serial vs parallel execution of a 16-job manifest",
+        ["mode", "wall clock", "jobs/s"],
+        [
+            ["serial", f"{serial.total_seconds:.2f}s", f"{serial.jobs_per_second:.2f}"],
+            [
+                f"parallel x{N_WORKERS}",
+                f"{parallel.total_seconds:.2f}s",
+                f"{parallel.jobs_per_second:.2f}",
+            ],
+            ["speedup", f"{speedup:.2f}x", ""],
+        ],
+    )
+    # Parallel results must be identical to serial ones (same seeds).
+    for a, b in zip(serial.results, parallel.results):
+        assert a.n_edges == b.n_edges
+    if (os.cpu_count() or 1) > 1:
+        # With real cores available the parallel manifest must finish faster.
+        assert parallel.total_seconds < serial.total_seconds
+    else:  # pragma: no cover - single-core CI boxes
+        print("single-core machine: skipping the parallel<serial assertion")
+
+
+def test_cache_hits_skip_solver_execution(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    cache = InMemoryCache()
+    first = BatchRunner(cache=cache).run(_manifest())
+    second = BatchRunner(cache=cache).run(_manifest())
+    assert first.n_cache_hits == 0
+    assert second.n_cache_hits == N_JOBS
+    # A fully cached manifest does no solver work at all.
+    assert second.solver_seconds == 0.0
+    assert second.total_seconds < first.total_seconds / 10
+    RESULTS["cache"] = {
+        "first_seconds": first.total_seconds,
+        "second_seconds": second.total_seconds,
+        "hits": second.n_cache_hits,
+        "solver_seconds_saved": second.solver_seconds_saved,
+    }
+    print_table(
+        "repro.serve: cold manifest vs fully cached re-submission",
+        ["run", "wall clock", "cache hits"],
+        [
+            ["first", f"{first.total_seconds:.2f}s", first.n_cache_hits],
+            ["second", f"{second.total_seconds:.3f}s", second.n_cache_hits],
+        ],
+    )
+
+
+def test_warm_start_cuts_relearn_iterations(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    incident = Incident("airline", "AC", "step3_reserve", 0.7, 3600, 10800)
+    outcomes = {}
+    for warm in (True, False):
+        simulator = BookingSimulator(incidents=[incident], seed=5)
+        pipeline = MonitoringPipeline(
+            simulator, window_seconds=1800.0, warm_start=warm
+        )
+        pipeline.run(5, seed=11)
+        outcomes[warm] = {
+            "solver": pipeline.solver_summary(),
+            "detection": pipeline.detection_summary(),
+        }
+
+    warm_solver = outcomes[True]["solver"]
+    cold_solver = outcomes[False]["solver"]
+    warm_detect = outcomes[True]["detection"]
+    cold_detect = outcomes[False]["detection"]
+    RESULTS["warm_start"] = {
+        "warm_total_inner_iterations": warm_solver["total_inner_iterations"],
+        "cold_total_inner_iterations": cold_solver["total_inner_iterations"],
+        "warm_seconds": warm_solver["total_seconds"],
+        "cold_seconds": cold_solver["total_seconds"],
+        "warm_incidents_detected": warm_detect["incident_windows_detected"],
+        "cold_incidents_detected": cold_detect["incident_windows_detected"],
+        "warm_false_alarm_rate": warm_detect["false_alarm_rate"],
+        "cold_false_alarm_rate": cold_detect["false_alarm_rate"],
+    }
+    print_table(
+        "repro.serve: warm vs cold windowed re-learning (5 monitoring windows)",
+        ["mode", "inner iters", "seconds", "incidents found", "false alarms"],
+        [
+            [
+                "warm",
+                int(warm_solver["total_inner_iterations"]),
+                f"{warm_solver['total_seconds']:.2f}",
+                int(warm_detect["incident_windows_detected"]),
+                f"{warm_detect['false_alarm_rate']:.2f}",
+            ],
+            [
+                "cold",
+                int(cold_solver["total_inner_iterations"]),
+                f"{cold_solver['total_seconds']:.2f}",
+                int(cold_detect["incident_windows_detected"]),
+                f"{cold_detect['false_alarm_rate']:.2f}",
+            ],
+        ],
+    )
+    # Warm starts must spend fewer solver iterations...
+    assert (
+        warm_solver["total_inner_iterations"] < cold_solver["total_inner_iterations"]
+    )
+    # ...while finding the same incidents with no extra false alarms.
+    assert (
+        warm_detect["incident_windows_detected"]
+        >= cold_detect["incident_windows_detected"]
+    )
+    assert warm_detect["false_alarm_rate"] <= cold_detect["false_alarm_rate"]

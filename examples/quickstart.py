@@ -20,17 +20,21 @@ from repro.core import grid_search_epsilon_tau
 from repro.core.thresholding import threshold_to_dag
 
 
-def main() -> None:
-    # 1. Ground truth: a 30-node Erdős–Rényi DAG with average degree 2.
-    truth = random_dag("ER-2", 30, seed=0)
+def main(
+    n_nodes: int = 30,
+    n_samples: int = 300,
+    config: LEASTConfig | None = None,
+) -> dict:
+    # 1. Ground truth: an Erdős–Rényi DAG with average degree 2.
+    truth = random_dag("ER-2", n_nodes, seed=0)
     print(f"ground truth: {np.count_nonzero(truth)} edges over {truth.shape[0]} nodes")
 
-    # 2. Simulate 300 observations with Gaussian noise.
-    data = simulate_linear_sem(truth, n_samples=300, noise_type="gaussian", seed=1)
+    # 2. Simulate observations with Gaussian noise.
+    data = simulate_linear_sem(truth, n_samples=n_samples, noise_type="gaussian", seed=1)
 
     # 3. Learn the structure with LEAST (keep the optimization history so the
     #    paper's epsilon/tau grid-search protocol can pick the best stopping point).
-    config = LEASTConfig(keep_history=True, track_h=True)
+    config = config or LEASTConfig(keep_history=True, track_h=True)
     result = LEAST(config).fit(data, seed=2)
     print(
         f"LEAST finished after {result.n_outer_iterations} outer iterations "
@@ -61,6 +65,13 @@ def main() -> None:
     print("strongest learned edges (parent -> child: weight):")
     for parent, child, weight in strongest:
         print(f"  X{parent} -> X{child}: {weight:+.3f}")
+
+    return {
+        "f1": metrics.f1,
+        "shd": metrics.shd,
+        "n_edges": network.n_edges(),
+        "log_likelihood": network.log_likelihood(data),
+    }
 
 
 if __name__ == "__main__":

@@ -15,7 +15,13 @@ The package is organised in layers:
 * :mod:`repro.monitoring` — the ticket-booking monitoring / root-cause
   analysis application of Section VI-A;
 * :mod:`repro.recommend` — the explainable-recommendation case study of
-  Section VI-C.
+  Section VI-C;
+* :mod:`repro.serve` — the batch serving layer (Section VI's ~100k-tasks/day
+  deployment in miniature): declarative :class:`~repro.serve.LearningJob`
+  specs, a parallel :class:`~repro.serve.BatchRunner` with retry/timeout,
+  content-addressed result caching, and warm-started windowed re-learning via
+  :class:`~repro.serve.RelearnScheduler` (also exposed as the
+  ``python -m repro.serve`` CLI).
 
 Quickstart
 ----------
@@ -24,6 +30,13 @@ Quickstart
 >>> data = simulate_linear_sem(truth, 400, noise_type="gaussian", seed=1)
 >>> result = LEAST(LEASTConfig(l1_penalty=0.05)).fit(data, seed=2)
 >>> metrics = evaluate_structure(result.weights, truth)
+
+Batch serving
+-------------
+>>> from repro import BatchRunner, LearningJob
+>>> jobs = [LearningJob(dataset="er2", seed=s, dataset_options={"n_nodes": 20})
+...         for s in range(4)]
+>>> report = BatchRunner(n_workers=2).run(jobs)
 """
 
 from repro.core import (
@@ -44,8 +57,17 @@ from repro.core import (
 from repro.graph import is_dag, random_dag
 from repro.metrics import auc_roc, evaluate_structure, pearson_correlation
 from repro.sem import simulate_linear_sem
+from repro.serve import (
+    BatchReport,
+    BatchRunner,
+    DiskCache,
+    InMemoryCache,
+    JobResult,
+    LearningJob,
+    RelearnScheduler,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LEAST",
@@ -67,5 +89,12 @@ __all__ = [
     "evaluate_structure",
     "auc_roc",
     "pearson_correlation",
+    "LearningJob",
+    "JobResult",
+    "BatchRunner",
+    "BatchReport",
+    "InMemoryCache",
+    "DiskCache",
+    "RelearnScheduler",
     "__version__",
 ]

@@ -114,6 +114,13 @@ class LEASTConfig:
         of grid-searching the stopping tolerance ε (see
         :func:`repro.core.model_selection.grid_search_epsilon_tau`) without
         re-running the solver.
+    init_weights:
+        Optional explicit initial weight matrix.  When given it replaces the
+        random sparse initialization, which is how the serving layer
+        (:mod:`repro.serve.warm_start`) re-learns a window starting from the
+        previous window's solution instead of from scratch.  The per-call
+        ``init_weights`` argument of :meth:`LEAST.fit` takes precedence over
+        this field.
     """
 
     k: int = 5
@@ -134,6 +141,7 @@ class LEASTConfig:
     warm_start: bool = True
     track_h: bool = False
     keep_history: bool = False
+    init_weights: np.ndarray | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.k < 0:
@@ -150,6 +158,12 @@ class LEASTConfig:
         check_positive(self.rho_growth, "rho_growth")
         check_positive(self.rho_max, "rho_max")
         check_non_negative(self.eta_start, "eta_start")
+        if self.init_weights is not None:
+            init = np.asarray(self.init_weights)
+            if init.ndim != 2 or init.shape[0] != init.shape[1]:
+                raise ValidationError(
+                    f"init_weights must be a square matrix, got shape {init.shape}"
+                )
 
 
 @dataclass
@@ -166,6 +180,10 @@ class LEASTResult:
         True when the constraint dropped below the configured tolerance.
     n_outer_iterations:
         Number of outer (augmented Lagrangian) iterations executed.
+    n_inner_iterations:
+        Total number of inner (Adam) steps across all outer iterations; this
+        is the quantity that warm starts reduce (solvers that do not track it
+        leave it at 0).
     log:
         Per-outer-iteration trace: loss, δ(W), optionally h(W), ρ, η.
     """
@@ -174,6 +192,7 @@ class LEASTResult:
     constraint_value: float
     converged: bool
     n_outer_iterations: int
+    n_inner_iterations: int = 0
     log: RunLog = field(default_factory=RunLog)
     history: list[np.ndarray] = field(default_factory=list)
 
@@ -201,26 +220,48 @@ class LEAST:
 
     # -- public API -----------------------------------------------------------
 
-    def fit(self, data, seed: RandomState = None) -> LEASTResult:
-        """Learn a weighted DAG from the sample matrix ``data`` (n × d)."""
+    def fit(
+        self,
+        data,
+        seed: RandomState = None,
+        init_weights: np.ndarray | None = None,
+    ) -> LEASTResult:
+        """Learn a weighted DAG from the sample matrix ``data`` (n × d).
+
+        Parameters
+        ----------
+        init_weights:
+            Optional warm-start matrix overriding both the random sparse
+            initialization and ``config.init_weights``; it must be ``d × d``.
+            Used by :mod:`repro.serve` to seed a re-learn with the previous
+            window's solution.
+        """
         data = ensure_2d(data, "data")
         rng = as_generator(seed)
         config = self.config
         d = data.shape[1]
 
+        explicit_init = init_weights if init_weights is not None else config.init_weights
         rho = config.rho_start
         eta = config.eta_start
-        weights = self._initialize(d, rng)
+        if explicit_init is not None:
+            weights = self._prepare_init(explicit_init, d)
+        else:
+            weights = self._initialize(d, rng)
         log = RunLog()
         history: list[np.ndarray] = []
 
         converged = False
         constraint = np.inf
         outer_iteration = 0
+        total_inner = 0
         for outer_iteration in range(1, config.max_outer_iterations + 1):
-            if not config.warm_start:
+            if not config.warm_start and (explicit_init is None or outer_iteration > 1):
                 weights = self._initialize(d, rng)
-            weights, constraint, inner_loss = self._inner(data, weights, rho, eta, rng)
+            weights, constraint, inner_loss, inner_steps = self._inner(
+                data, weights, rho, eta, rng
+            )
+            total_inner += inner_steps
             record: dict[str, float] = {
                 "outer_iteration": outer_iteration,
                 "loss": inner_loss,
@@ -228,6 +269,7 @@ class LEAST:
                 "rho": rho,
                 "eta": eta,
                 "n_edges": float(np.count_nonzero(weights)),
+                "inner_iterations": float(inner_steps),
             }
             termination_value = constraint
             if config.track_h:
@@ -249,11 +291,25 @@ class LEAST:
             constraint_value=constraint,
             converged=converged,
             n_outer_iterations=outer_iteration,
+            n_inner_iterations=total_inner,
             log=log,
             history=history,
         )
 
     # -- internals --------------------------------------------------------------
+
+    @staticmethod
+    def _prepare_init(init_weights: np.ndarray, d: int) -> np.ndarray:
+        """Validate and normalize an explicit warm-start matrix."""
+        weights = np.array(init_weights, dtype=float, copy=True)
+        if weights.shape != (d, d):
+            raise ValidationError(
+                f"init_weights must have shape ({d}, {d}), got {weights.shape}"
+            )
+        if not np.all(np.isfinite(weights)):
+            raise ValidationError("init_weights must be finite")
+        np.fill_diagonal(weights, 0.0)
+        return weights
 
     def _initialize(self, d: int, rng: np.random.Generator) -> np.ndarray:
         """Random sparse Glorot initialization with a floor on the edge count."""
@@ -271,7 +327,7 @@ class LEAST:
         rho: float,
         eta: float,
         rng: np.random.Generator,
-    ) -> tuple[np.ndarray, float, float]:
+    ) -> tuple[np.ndarray, float, float, int]:
         """Inner procedure of Fig. 3: Adam on ℓ(W) with batching + thresholding."""
         config = self.config
         optimizer = AdamOptimizer(learning_rate=config.learning_rate)
@@ -279,7 +335,8 @@ class LEAST:
         objective = np.inf
         constraint = self._bound.value(weights)
 
-        for _ in range(config.max_inner_iterations):
+        steps = 0
+        for steps in range(1, config.max_inner_iterations + 1):
             batch = sample_batch(data, config.batch_size, rng)
             constraint, constraint_gradient = self._bound.value_and_gradient(weights)
             loss_value, loss_gradient = self._loss.value_and_gradient(weights, batch)
@@ -300,4 +357,4 @@ class LEAST:
             previous_objective = objective
 
         constraint = self._bound.value(weights)
-        return weights, constraint, float(objective)
+        return weights, constraint, float(objective), steps

@@ -183,6 +183,7 @@ class SparseLEASTResult:
     converged: bool
     n_outer_iterations: int
     elapsed_seconds: float
+    n_inner_iterations: int = 0
     log: RunLog = field(default_factory=RunLog)
 
 
@@ -195,7 +196,11 @@ class SparseLEAST:
         self._loss = LeastSquaresLoss(l1_penalty=self.config.l1_penalty)
 
     def fit(
-        self, data, seed: RandomState = None, initial_support: sp.spmatrix | None = None
+        self,
+        data,
+        seed: RandomState = None,
+        initial_support: sp.spmatrix | None = None,
+        init_weights: np.ndarray | sp.spmatrix | None = None,
     ) -> SparseLEASTResult:
         """Learn a sparse weighted DAG from the ``n × d`` sample matrix.
 
@@ -207,12 +212,23 @@ class SparseLEAST:
             :func:`correlation_support`.  When omitted a random support of
             density ``init_density`` is drawn, which matches the paper's
             LEAST-SP initialization.
+        init_weights:
+            Warm-start matrix (dense or sparse) from a previous solve, used by
+            :mod:`repro.serve` for incremental re-learning.  Dense input is
+            sparsified (zeros and the diagonal are dropped).  Mutually
+            exclusive with ``initial_support``.
         """
         data = ensure_2d(data, "data")
         rng = as_generator(seed)
         config = self.config
         d = data.shape[1]
 
+        if initial_support is not None and init_weights is not None:
+            raise ValidationError(
+                "pass either initial_support or init_weights, not both"
+            )
+        if init_weights is not None:
+            initial_support = self._coerce_init(init_weights)
         rho = config.rho_start
         eta = config.eta_start
         if initial_support is not None:
@@ -230,8 +246,12 @@ class SparseLEAST:
         converged = False
         constraint = np.inf
         outer_iteration = 0
+        total_inner = 0
         for outer_iteration in range(1, config.max_outer_iterations + 1):
-            weights, constraint, objective = self._inner(data, weights, rho, eta, rng)
+            weights, constraint, objective, inner_steps = self._inner(
+                data, weights, rho, eta, rng
+            )
+            total_inner += inner_steps
             log.append(
                 outer_iteration=outer_iteration,
                 loss=objective,
@@ -239,6 +259,7 @@ class SparseLEAST:
                 rho=rho,
                 eta=eta,
                 n_edges=float(weights.nnz),
+                inner_iterations=float(inner_steps),
                 wall_clock=self._current_elapsed(timer),
             )
             if constraint <= config.tolerance:
@@ -254,10 +275,27 @@ class SparseLEAST:
             converged=converged,
             n_outer_iterations=outer_iteration,
             elapsed_seconds=elapsed,
+            n_inner_iterations=total_inner,
             log=log,
         )
 
     # -- internals --------------------------------------------------------------
+
+    @staticmethod
+    def _coerce_init(init_weights: np.ndarray | sp.spmatrix) -> sp.csr_matrix:
+        """Turn a dense or sparse warm-start matrix into a clean CSR support."""
+        if sp.issparse(init_weights):
+            matrix = init_weights.tocsr().astype(float).copy()
+        else:
+            dense = np.asarray(init_weights, dtype=float)
+            if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+                raise ValidationError(
+                    f"init_weights must be a square matrix, got shape {dense.shape}"
+                )
+            matrix = sp.csr_matrix(dense)
+        matrix.setdiag(0.0)
+        matrix.eliminate_zeros()
+        return matrix
 
     @staticmethod
     def _current_elapsed(timer: Timer) -> float:
@@ -275,7 +313,7 @@ class SparseLEAST:
         rho: float,
         eta: float,
         rng: np.random.Generator,
-    ) -> tuple[sp.csr_matrix, float, float]:
+    ) -> tuple[sp.csr_matrix, float, float, int]:
         """Sparse inner loop: Adam on the support values with hard thresholding."""
         config = self.config
         optimizer = SparseAdamOptimizer(learning_rate=config.learning_rate)
@@ -286,7 +324,8 @@ class SparseLEAST:
         weights.sum_duplicates()
         weights.eliminate_zeros()
 
-        for _ in range(config.max_inner_iterations):
+        steps = 0
+        for steps in range(1, config.max_inner_iterations + 1):
             if weights.nnz == 0:
                 break
             batch = sample_batch(data, config.batch_size, rng)
@@ -324,4 +363,4 @@ class SparseLEAST:
             previous_objective = objective
 
         constraint = self._bound.value(weights) if weights.nnz else 0.0
-        return weights, constraint, float(objective if np.isfinite(objective) else 0.0)
+        return weights, constraint, float(objective if np.isfinite(objective) else 0.0), steps

@@ -16,7 +16,13 @@ entry point keyed by name, which the benchmark harness uses.
 
 from repro.datasets.grn import GeneExpressionDataset, make_gene_regulatory_network
 from repro.datasets.movielens import MovieLensDataset, make_movielens
-from repro.datasets.registry import DATASET_BUILDERS, load_dataset
+from repro.datasets.registry import (
+    DATASET_BUILDERS,
+    dataset_names,
+    load_dataset,
+    register_dataset,
+    unregister_dataset,
+)
 from repro.datasets.sachs import SACHS_EDGES, SACHS_NODES, load_sachs
 
 __all__ = [
@@ -28,5 +34,8 @@ __all__ = [
     "MovieLensDataset",
     "make_movielens",
     "load_dataset",
+    "dataset_names",
+    "register_dataset",
+    "unregister_dataset",
     "DATASET_BUILDERS",
 ]

@@ -17,7 +17,13 @@ from repro.graph.generation import random_dag
 from repro.sem.linear_sem import simulate_linear_sem
 from repro.utils.random import RandomState, spawn_generators
 
-__all__ = ["DATASET_BUILDERS", "load_dataset"]
+__all__ = [
+    "DATASET_BUILDERS",
+    "dataset_names",
+    "load_dataset",
+    "register_dataset",
+    "unregister_dataset",
+]
 
 
 def _build_sachs(seed: RandomState, **options: Any) -> dict[str, Any]:
@@ -83,6 +89,35 @@ DATASET_BUILDERS: dict[str, Callable[..., dict[str, Any]]] = {
     "er2": _build_benchmark("ER-2"),
     "sf4": _build_benchmark("SF-4"),
 }
+
+
+def dataset_names() -> list[str]:
+    """Sorted names of all registered datasets."""
+    return sorted(DATASET_BUILDERS)
+
+
+def register_dataset(
+    name: str, builder: Callable[..., dict[str, Any]], overwrite: bool = False
+) -> None:
+    """Register ``builder`` under ``name`` so jobs and benchmarks can use it.
+
+    The builder must accept a ``seed`` keyword plus arbitrary options and
+    return a dictionary with at least a ``data`` key, matching the contract of
+    :func:`load_dataset`.  This is the extension point the serving layer
+    (:mod:`repro.serve`) uses to run jobs against user-supplied data sources.
+    """
+    if not callable(builder):
+        raise ValidationError(f"builder for {name!r} must be callable")
+    if name in DATASET_BUILDERS and not overwrite:
+        raise ValidationError(
+            f"dataset {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    DATASET_BUILDERS[name] = builder
+
+
+def unregister_dataset(name: str) -> None:
+    """Remove a registered dataset (no-op for unknown names)."""
+    DATASET_BUILDERS.pop(name, None)
 
 
 def load_dataset(name: str, seed: RandomState = None, **options: Any) -> dict[str, Any]:

@@ -6,6 +6,12 @@ and reports statistically significant ones.  :class:`MonitoringPipeline`
 implements that loop over a :class:`~repro.monitoring.booking_simulator.BookingSimulator`
 so the whole Section VI-A application can be reproduced and evaluated against
 the simulator's known incident schedule.
+
+Per-window learning is delegated to a
+:class:`~repro.serve.scheduler.RelearnScheduler`: by default each window's
+solve is warm-started from the previous window's solution (re-aligned to the
+window's vocabulary), which is how the production loop keeps re-learning cheap.
+Pass ``warm_start=False`` to recover the old cold-start-every-window behavior.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.least import LEAST, LEASTConfig
+from repro.core.least import LEASTConfig
 from repro.core.thresholding import threshold_to_dag
 from repro.exceptions import ValidationError
 from repro.monitoring.anomaly import AnomalyReport, detect_anomalies, extract_error_paths
@@ -23,6 +29,7 @@ from repro.monitoring.encoder import LogEncoder
 from repro.monitoring.events import BookingRecord
 from repro.monitoring.root_cause import RootCauseAnalyzer, RootCauseFinding
 from repro.sem.standardize import standardize_columns
+from repro.serve.scheduler import RelearnScheduler, WindowStats
 from repro.utils.random import RandomState
 from repro.utils.validation import check_positive
 
@@ -63,6 +70,12 @@ class MonitoringPipeline:
         Threshold applied to the learned weights before path extraction.
     p_value_threshold, min_support:
         Passed through to :func:`repro.monitoring.anomaly.detect_anomalies`.
+    warm_start:
+        When True (default) every window after the first is solved starting
+        from the previous window's weights, re-aligned to the current
+        vocabulary; False reproduces the original cold-start loop.
+    warm_damping:
+        Shrinkage applied to carried-over weights between windows.
     """
 
     def __init__(
@@ -74,6 +87,8 @@ class MonitoringPipeline:
         p_value_threshold: float = 0.01,
         min_support: int = 5,
         max_path_length: int = 3,
+        warm_start: bool = True,
+        warm_damping: float = 0.9,
     ):
         check_positive(window_seconds, "window_seconds")
         check_positive(edge_threshold, "edge_threshold")
@@ -89,6 +104,9 @@ class MonitoringPipeline:
         self.p_value_threshold = p_value_threshold
         self.min_support = min_support
         self.max_path_length = max_path_length
+        self.scheduler = RelearnScheduler(
+            self.least_config, warm_start=warm_start, damping=warm_damping
+        )
         self.analyzer = RootCauseAnalyzer()
         self.reports: list[MonitoringReport] = []
 
@@ -108,8 +126,7 @@ class MonitoringPipeline:
         encoder = LogEncoder(center=False)
         window = encoder.encode(records)
         data = standardize_columns(window.data)
-        solver = LEAST(self.least_config)
-        result = solver.fit(data, seed=seed)
+        result = self.scheduler.step(data, list(window.node_names), seed=seed)
         pruned, _ = threshold_to_dag(result.weights, initial_threshold=self.edge_threshold)
         return pruned, window
 
@@ -165,6 +182,15 @@ class MonitoringPipeline:
         return outputs
 
     # -- aggregate views -----------------------------------------------------------
+
+    @property
+    def window_stats(self) -> list[WindowStats]:
+        """Per-window solver telemetry recorded by the re-learn scheduler."""
+        return self.scheduler.history
+
+    def solver_summary(self) -> dict[str, float]:
+        """Aggregate solver-iteration/time totals across all learned windows."""
+        return self.scheduler.stats_summary()
 
     def category_breakdown(self) -> dict[str, float]:
         """Fig. 7 style category breakdown across all processed windows."""

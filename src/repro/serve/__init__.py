@@ -1,0 +1,81 @@
+"""repro.serve — the batch structure-learning service layer.
+
+The paper's headline deployment claim (Section VI) is LEAST running as a
+production service executing ~100k structure-learning tasks per day.  This
+package is that serving layer in miniature:
+
+* :mod:`repro.serve.job` — declarative :class:`LearningJob` specs and the
+  uniform :class:`JobResult` record, covering all three solvers;
+* :mod:`repro.serve.runner` — :class:`BatchRunner`: serial or
+  process-parallel fan-out with per-job timeout, retry, and throughput
+  telemetry;
+* :mod:`repro.serve.cache` — content-addressed result caching (in-memory or
+  on-disk) keyed by (data fingerprint, config hash, seed), so repeated jobs
+  are near-free;
+* :mod:`repro.serve.warm_start` — vocabulary-aware re-use of a previous
+  solution as the next solve's initialization;
+* :mod:`repro.serve.scheduler` — :class:`RelearnScheduler`: the windowed
+  warm-started re-learn loop that the monitoring pipeline runs on;
+* :mod:`repro.serve.cli` — ``python -m repro.serve manifest.json`` /
+  the ``repro-serve`` console script.
+
+Quickstart
+----------
+>>> from repro.serve import BatchRunner, InMemoryCache, LearningJob
+>>> jobs = [
+...     LearningJob(dataset="er2", seed=s, dataset_options={"n_nodes": 20},
+...                 config={"max_outer_iterations": 4})
+...     for s in range(4)
+... ]
+>>> report = BatchRunner(n_workers=2, cache=InMemoryCache()).run(jobs)
+>>> report.n_ok
+4
+"""
+
+from repro.serve.cache import (
+    DiskCache,
+    InMemoryCache,
+    ResultCache,
+    fingerprint_array,
+    fingerprint_config,
+    job_fingerprint,
+)
+from repro.serve.job import (
+    SOLVER_NAMES,
+    JobResult,
+    LearningJob,
+    execute_job,
+    register_solver,
+    unregister_solver,
+)
+from repro.serve.runner import BatchReport, BatchRunner
+from repro.serve.scheduler import RelearnScheduler, WindowStats
+from repro.serve.warm_start import (
+    WarmStartState,
+    align_weights,
+    damp_weights,
+    prepare_init,
+)
+
+__all__ = [
+    "SOLVER_NAMES",
+    "LearningJob",
+    "JobResult",
+    "execute_job",
+    "register_solver",
+    "unregister_solver",
+    "BatchRunner",
+    "BatchReport",
+    "ResultCache",
+    "InMemoryCache",
+    "DiskCache",
+    "fingerprint_array",
+    "fingerprint_config",
+    "job_fingerprint",
+    "WarmStartState",
+    "align_weights",
+    "damp_weights",
+    "prepare_init",
+    "RelearnScheduler",
+    "WindowStats",
+]

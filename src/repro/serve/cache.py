@@ -1,0 +1,191 @@
+"""Content-addressed result caching for the serving layer.
+
+A structure-learning job is fully determined by (data, solver, config, seed,
+warm-start init), so its result can be cached under a fingerprint of those
+inputs and replayed for free when the same job is submitted again.  The paper's
+production deployment leans on exactly this property: of the ~100k daily tasks
+many are re-submissions of unchanged scenario data, and serving them from a
+cache keeps the solver fleet free for genuinely new work.
+
+Two backends are provided:
+
+* :class:`InMemoryCache` — a process-local dictionary, the default for a
+  single :class:`~repro.serve.runner.BatchRunner` session;
+* :class:`DiskCache` — one pickle file per fingerprint under a directory, so
+  results survive across processes and CLI invocations.
+
+Both record hit/miss statistics via the shared :class:`ResultCache` base.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serve.job import JobResult, LearningJob
+
+__all__ = [
+    "fingerprint_array",
+    "fingerprint_config",
+    "job_fingerprint",
+    "ResultCache",
+    "InMemoryCache",
+    "DiskCache",
+]
+
+
+def _update_with_array(digest: "hashlib._Hash", array: np.ndarray) -> None:
+    array = np.ascontiguousarray(array)
+    digest.update(str(array.dtype).encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+
+
+def fingerprint_array(array: np.ndarray | sp.spmatrix) -> str:
+    """Stable hex fingerprint of a dense or sparse matrix.
+
+    The fingerprint covers dtype, shape, and every value, so any change to the
+    data produces a different key while re-generating the same dataset (same
+    builder, same seed) produces the same one.
+    """
+    digest = hashlib.sha256()
+    if sp.issparse(array):
+        csr = array.tocsr()
+        csr.sum_duplicates()
+        digest.update(b"sparse-csr")
+        digest.update(str(csr.shape).encode())
+        _update_with_array(digest, csr.data)
+        _update_with_array(digest, csr.indices)
+        _update_with_array(digest, csr.indptr)
+    else:
+        digest.update(b"dense")
+        _update_with_array(digest, np.asarray(array))
+    return digest.hexdigest()
+
+
+def fingerprint_config(config: Mapping[str, Any]) -> str:
+    """Order-insensitive hex fingerprint of a JSON-able config mapping."""
+    try:
+        canonical = json.dumps(dict(config), sort_keys=True, default=repr)
+    except TypeError as exc:  # pragma: no cover - defensive
+        raise ValidationError(f"config is not fingerprintable: {exc}") from exc
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def job_fingerprint(job: "LearningJob", data: np.ndarray) -> str:
+    """Content-addressed key of a job: solver ⊕ config ⊕ seed ⊕ data ⊕ init."""
+    digest = hashlib.sha256()
+    digest.update(job.solver.encode())
+    digest.update(fingerprint_config(job.config).encode())
+    digest.update(repr(job.seed).encode())
+    digest.update(fingerprint_array(data).encode())
+    if job.init_weights is not None:
+        digest.update(fingerprint_array(job.init_weights).encode())
+    else:
+        digest.update(b"cold-start")
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Base class: hit/miss accounting around backend ``_load``/``_store``."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    # -- backend hooks ---------------------------------------------------------
+
+    def _load(self, key: str) -> "JobResult | None":
+        raise NotImplementedError
+
+    def _store(self, key: str, result: "JobResult") -> None:
+        raise NotImplementedError
+
+    # -- public API ------------------------------------------------------------
+
+    def get(self, key: str) -> "JobResult | None":
+        """Return the cached result for ``key`` (None on a miss)."""
+        result = self._load(key)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: str, result: "JobResult") -> None:
+        """Store ``result`` under ``key`` (overwrites silently)."""
+        self._store(key, result)
+
+    def __contains__(self, key: str) -> bool:
+        return self._load(key) is not None
+
+    def stats(self) -> dict[str, float]:
+        """Hit/miss counters plus the hit rate over all lookups."""
+        lookups = self.hits + self.misses
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+
+class InMemoryCache(ResultCache):
+    """Process-local dictionary backend."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._store_dict: dict[str, "JobResult"] = {}
+
+    def _load(self, key: str) -> "JobResult | None":
+        return self._store_dict.get(key)
+
+    def _store(self, key: str, result: "JobResult") -> None:
+        self._store_dict[key] = result
+
+    def __len__(self) -> int:
+        return len(self._store_dict)
+
+
+class DiskCache(ResultCache):
+    """On-disk backend: one pickle file per fingerprint under ``directory``."""
+
+    def __init__(self, directory: str | Path) -> None:
+        super().__init__()
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        if not key or any(ch not in "0123456789abcdef" for ch in key):
+            raise ValidationError(f"cache keys must be hex fingerprints, got {key!r}")
+        return self.directory / f"{key}.pkl"
+
+    def _load(self, key: str) -> "JobResult | None":
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            # A truncated or unreadable entry is treated as a miss rather than
+            # poisoning the whole batch.
+            return None
+
+    def _store(self, key: str, result: "JobResult") -> None:
+        path = self._path(key)
+        temporary = path.with_suffix(".tmp")
+        with temporary.open("wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        temporary.replace(path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.pkl"))

@@ -1,0 +1,147 @@
+"""Command-line entry point: run a job manifest and emit a JSON report.
+
+Usage::
+
+    python -m repro.serve manifest.json --workers 4 --output report.json
+    repro-serve manifest.json --cache-dir .serve-cache --max-retries 1
+
+The manifest is either ``{"jobs": [...]}`` or a bare JSON list, where each
+entry follows :meth:`repro.serve.job.LearningJob.from_dict`::
+
+    {
+      "jobs": [
+        {"dataset": "er2", "solver": "least", "seed": 0,
+         "dataset_options": {"n_nodes": 30},
+         "config": {"max_outer_iterations": 6}},
+        {"dataset": "sf4", "solver": "least_sparse", "seed": 1}
+      ]
+    }
+
+The report carries the aggregate ``summary`` block of
+:class:`~repro.serve.runner.BatchReport` plus one digest per job; weight
+matrices are not serialized (use the cache or the Python API to retrieve
+them).  Exit status is 0 when every job succeeded, 1 otherwise, 2 for a
+malformed manifest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.exceptions import ValidationError
+from repro.serve.cache import DiskCache
+from repro.serve.job import LearningJob
+from repro.serve.runner import BatchRunner
+
+__all__ = ["build_parser", "load_manifest", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Run a batch of structure-learning jobs from a JSON manifest.",
+    )
+    parser.add_argument("manifest", help="path to the job manifest (JSON), or - for stdin")
+    parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="per-job deadline in seconds"
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0, help="extra attempts for failing jobs"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the on-disk result cache (created if missing)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the JSON report here (default: stdout)"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the human-readable summary"
+    )
+    return parser
+
+
+def load_manifest(source: str) -> list[LearningJob]:
+    """Parse the manifest file (or stdin when ``source`` is ``-``) into jobs."""
+    if source == "-":
+        raw = sys.stdin.read()
+    else:
+        path = Path(source)
+        if not path.exists():
+            raise ValidationError(f"manifest file not found: {source}")
+        raw = path.read_text()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"manifest is not valid JSON: {exc}") from exc
+    if isinstance(payload, dict):
+        entries = payload.get("jobs")
+        if not isinstance(entries, list):
+            raise ValidationError('manifest object must contain a "jobs" list')
+    elif isinstance(payload, list):
+        entries = payload
+    else:
+        raise ValidationError("manifest must be a JSON object or list")
+    if not entries:
+        raise ValidationError("manifest contains no jobs")
+    return [LearningJob.from_dict(entry) for entry in entries]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        jobs = load_manifest(args.manifest)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        cache = DiskCache(args.cache_dir) if args.cache_dir else None
+        runner = BatchRunner(
+            n_workers=args.workers,
+            cache=cache,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+        )
+    except (ValidationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = runner.run(jobs)
+
+    payload = {
+        "summary": report.summary(),
+        "jobs": [result.summary() for result in report.results],
+    }
+    serialized = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(serialized + "\n")
+    else:
+        print(serialized)
+
+    if not args.quiet:
+        summary = report.summary()
+        print(
+            f"{summary['n_jobs']} jobs: {summary['n_ok']} ok, "
+            f"{summary['n_failed']} failed, {summary['n_timeout']} timed out, "
+            f"{summary['n_cache_hits']} cache hits | "
+            f"{summary['total_seconds']:.2f}s wall, "
+            f"{summary['jobs_per_second']:.2f} jobs/s "
+            f"({summary['n_workers']} workers)",
+            file=sys.stderr,
+        )
+
+    return 0 if report.n_failed + report.n_timeout == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

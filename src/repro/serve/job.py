@@ -1,0 +1,304 @@
+"""Declarative structure-learning jobs and their results.
+
+A :class:`LearningJob` is everything needed to reproduce one solver run: where
+the data comes from (a registered dataset name or an inline sample matrix),
+which solver to use (``least``, ``least_sparse``, or ``notears``), the solver
+configuration, and the seeds.  Jobs are plain data — picklable for the process
+pool, JSON-able for CLI manifests — which is what lets the
+:class:`~repro.serve.runner.BatchRunner` fan them out, retry them, and cache
+them by content.
+
+:class:`JobResult` is the uniform answer record across all three solvers:
+weights plus timing, iteration counts, convergence, and provenance
+(fingerprint, attempts, cache hit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.least import LEAST, LEASTConfig
+from repro.core.least_sparse import SparseLEAST, SparseLEASTConfig
+from repro.core.notears import NOTEARS, NOTEARSConfig
+from repro.exceptions import ValidationError
+from repro.utils.timer import Timer
+from repro.utils.validation import ensure_2d
+
+__all__ = [
+    "SOLVER_NAMES",
+    "LearningJob",
+    "JobResult",
+    "execute_job",
+    "register_solver",
+    "unregister_solver",
+]
+
+#: Solver name -> (solver class, config class).
+_SOLVERS: dict[str, tuple[type, type]] = {
+    "least": (LEAST, LEASTConfig),
+    "least_sparse": (SparseLEAST, SparseLEASTConfig),
+    "notears": (NOTEARS, NOTEARSConfig),
+}
+
+#: The built-in solvers; custom ones can be added with :func:`register_solver`.
+SOLVER_NAMES: tuple[str, ...] = tuple(sorted(_SOLVERS))
+
+
+def register_solver(
+    name: str, solver_class: type, config_class: type, overwrite: bool = False
+) -> None:
+    """Register a custom solver for use in jobs.
+
+    ``solver_class(config)`` must expose ``fit(data, seed=..., ...)`` returning
+    an object with at least ``weights``, ``constraint_value``, ``converged``
+    and ``n_outer_iterations`` attributes (the :class:`LEASTResult` contract).
+    """
+    if name in _SOLVERS and not overwrite:
+        raise ValidationError(
+            f"solver {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    _SOLVERS[name] = (solver_class, config_class)
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a registered solver (built-ins included — use with care)."""
+    _SOLVERS.pop(name, None)
+
+
+@dataclass
+class LearningJob:
+    """One schedulable structure-learning task.
+
+    Attributes
+    ----------
+    solver:
+        One of :data:`SOLVER_NAMES`.
+    dataset:
+        Name of a dataset registered in :mod:`repro.datasets.registry`.
+        Exactly one of ``dataset`` and ``data`` must be provided.
+    data:
+        Inline ``n × d`` sample matrix (alternative to ``dataset``).
+    config:
+        Keyword arguments for the solver's config class (plain JSON-able
+        values so manifests and cache fingerprints stay stable).
+    seed:
+        Seed of the solver run.
+    dataset_seed:
+        Seed passed to the dataset builder; defaults to ``seed`` so a manifest
+        entry is reproducible with a single number.
+    dataset_options:
+        Extra keyword arguments for the dataset builder (e.g. ``n_nodes``).
+    init_weights:
+        Optional warm-start matrix forwarded to the solver's ``fit``.
+    job_id:
+        Stable identifier used in reports; auto-assigned by the runner when
+        omitted.
+    """
+
+    solver: str = "least"
+    dataset: str | None = None
+    data: np.ndarray | None = None
+    config: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = 0
+    dataset_seed: int | None = None
+    dataset_options: dict[str, Any] = field(default_factory=dict)
+    init_weights: np.ndarray | sp.spmatrix | None = None
+    job_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.solver not in _SOLVERS:
+            raise ValidationError(
+                f"unknown solver {self.solver!r}; available: {sorted(_SOLVERS)}"
+            )
+        if (self.dataset is None) == (self.data is None):
+            raise ValidationError(
+                "exactly one of dataset (a registry name) and data (an inline "
+                "sample matrix) must be provided"
+            )
+        if self.data is not None:
+            self.data = ensure_2d(self.data, "data")
+        if self.init_weights is not None and self.solver == "notears":
+            raise ValidationError("the notears solver does not support init_weights")
+        self.config = dict(self.config)
+        self.dataset_options = dict(self.dataset_options)
+
+    # -- execution building blocks --------------------------------------------
+
+    def resolve_data(self) -> np.ndarray:
+        """Materialize the sample matrix (inline data or registry lookup)."""
+        if self.data is not None:
+            return self.data
+        from repro.datasets.registry import load_dataset
+
+        seed = self.dataset_seed if self.dataset_seed is not None else self.seed
+        bundle = load_dataset(self.dataset, seed=seed, **self.dataset_options)
+        return ensure_2d(bundle["data"], f"dataset {self.dataset!r}")
+
+    def build_config(self):
+        """Instantiate the solver's config dataclass from :attr:`config`."""
+        _, config_class = _SOLVERS[self.solver]
+        try:
+            return config_class(**self.config)
+        except TypeError as exc:
+            raise ValidationError(
+                f"invalid config for solver {self.solver!r}: {exc}"
+            ) from exc
+
+    def build_solver(self):
+        """Instantiate the configured solver."""
+        solver_class, _ = _SOLVERS[self.solver]
+        return solver_class(self.build_config())
+
+    def describe(self) -> str:
+        """Short human-readable label used in logs and reports."""
+        source = self.dataset if self.dataset is not None else "inline"
+        return f"{self.solver}:{source}:seed={self.seed}"
+
+    # -- manifest (de)serialization --------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able representation (inline data becomes nested lists)."""
+        payload: dict[str, Any] = {"solver": self.solver, "seed": self.seed}
+        if self.dataset is not None:
+            payload["dataset"] = self.dataset
+        if self.data is not None:
+            payload["data"] = np.asarray(self.data).tolist()
+        if self.config:
+            payload["config"] = dict(self.config)
+        if self.dataset_seed is not None:
+            payload["dataset_seed"] = self.dataset_seed
+        if self.dataset_options:
+            payload["dataset_options"] = dict(self.dataset_options)
+        if self.init_weights is not None:
+            init = self.init_weights
+            if sp.issparse(init):
+                init = init.toarray()
+            payload["init_weights"] = np.asarray(init).tolist()
+        if self.job_id is not None:
+            payload["job_id"] = self.job_id
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "LearningJob":
+        """Build a job from a manifest entry (inverse of :meth:`to_dict`)."""
+        if not isinstance(payload, dict):
+            raise ValidationError(f"manifest entries must be objects, got {payload!r}")
+        known = {
+            "solver",
+            "dataset",
+            "data",
+            "config",
+            "seed",
+            "dataset_seed",
+            "dataset_options",
+            "init_weights",
+            "job_id",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValidationError(f"unknown manifest keys: {sorted(unknown)}")
+        fields = dict(payload)
+        for key in ("data", "init_weights"):
+            if fields.get(key) is not None:
+                fields[key] = np.asarray(fields[key], dtype=float)
+        return cls(**fields)
+
+
+@dataclass
+class JobResult:
+    """Uniform outcome record of one job across all solvers."""
+
+    job_id: str
+    solver: str
+    status: str  # "ok" | "failed" | "timeout"
+    weights: np.ndarray | sp.spmatrix | None = None
+    constraint_value: float = float("nan")
+    converged: bool = False
+    n_outer_iterations: int = 0
+    n_inner_iterations: int = 0
+    elapsed_seconds: float = 0.0
+    attempts: int = 1
+    cache_hit: bool = False
+    fingerprint: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def n_edges(self) -> int:
+        """Non-zero entries of the learned weights (0 when the job failed)."""
+        if self.weights is None:
+            return 0
+        if sp.issparse(self.weights):
+            return int(self.weights.nnz)
+        return int(np.count_nonzero(self.weights))
+
+    def as_cache_hit(self, job_id: str | None = None) -> "JobResult":
+        """Copy marked as served from cache (lookup time, not solver time).
+
+        ``job_id`` re-labels the copy for the job that triggered the lookup —
+        a shared cache can serve a result produced under a different id.
+        """
+        return replace(
+            self,
+            job_id=job_id if job_id is not None else self.job_id,
+            cache_hit=True,
+            attempts=0,
+            elapsed_seconds=0.0,
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-able digest without the weight matrix."""
+        return {
+            "job_id": self.job_id,
+            "solver": self.solver,
+            "status": self.status,
+            "converged": self.converged,
+            "constraint_value": float(self.constraint_value),
+            "n_edges": self.n_edges,
+            "n_outer_iterations": self.n_outer_iterations,
+            "n_inner_iterations": self.n_inner_iterations,
+            "elapsed_seconds": self.elapsed_seconds,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+            "fingerprint": self.fingerprint,
+            "error": self.error,
+        }
+
+
+def execute_job(
+    job: LearningJob, data: np.ndarray | None = None, fingerprint: str | None = None
+) -> JobResult:
+    """Run ``job`` once and return its :class:`JobResult`.
+
+    ``data`` short-circuits :meth:`LearningJob.resolve_data` when the caller
+    (the runner) already materialized the sample matrix.  Solver and dataset
+    exceptions propagate to the caller, which owns retry/timeout policy.
+    """
+    if data is None:
+        data = job.resolve_data()
+    solver = job.build_solver()
+    timer = Timer()
+    with timer:
+        if job.init_weights is not None:
+            result = solver.fit(data, seed=job.seed, init_weights=job.init_weights)
+        else:
+            result = solver.fit(data, seed=job.seed)
+    return JobResult(
+        job_id=job.job_id or job.describe(),
+        solver=job.solver,
+        status="ok",
+        weights=result.weights,
+        constraint_value=float(result.constraint_value),
+        converged=bool(result.converged),
+        n_outer_iterations=int(result.n_outer_iterations),
+        n_inner_iterations=int(getattr(result, "n_inner_iterations", 0)),
+        elapsed_seconds=timer.elapsed,
+        fingerprint=fingerprint,
+    )

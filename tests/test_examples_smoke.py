@@ -1,0 +1,61 @@
+"""Smoke tests exercising the examples end-to-end (scaled down for speed).
+
+The examples are the library's front door; importing them as modules and
+running their parameterized ``main`` keeps them from silently rotting when the
+API underneath moves.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.core.least import LEASTConfig
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_flow(capsys):
+    quickstart = _load_example("quickstart")
+    outcome = quickstart.main(
+        n_nodes=12,
+        n_samples=150,
+        config=LEASTConfig(
+            keep_history=True,
+            track_h=True,
+            max_outer_iterations=4,
+            max_inner_iterations=100,
+        ),
+    )
+    captured = capsys.readouterr().out
+    assert "ground truth:" in captured
+    assert "structure recovery:" in captured
+    assert 0.0 <= outcome["f1"] <= 1.0
+    assert outcome["shd"] >= 0
+    assert outcome["n_edges"] >= 0
+
+
+def test_batch_serving_flow(capsys):
+    batch_serving = _load_example("batch_serving")
+    outcome = batch_serving.main(n_jobs=3, n_nodes=10, n_workers=1, n_windows=2)
+    captured = capsys.readouterr().out
+    assert "cache hits" in captured
+    assert outcome["batch"]["n_ok"] == 3
+    assert outcome["rerun"]["n_cache_hits"] == 3
+    assert outcome["relearn"]["n_windows"] == 2.0
+    assert outcome["relearn"]["n_warm_windows"] == 1.0
+
+
+@pytest.mark.parametrize("name", ["quickstart", "batch_serving"])
+def test_examples_are_importable(name):
+    module = _load_example(name)
+    assert callable(module.main)

@@ -1,0 +1,142 @@
+"""Tests for repro.serve.cache: fingerprints and the two cache backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.serve.cache import (
+    DiskCache,
+    InMemoryCache,
+    fingerprint_array,
+    fingerprint_config,
+    job_fingerprint,
+)
+from repro.serve.job import JobResult, LearningJob
+
+
+class TestFingerprints:
+    def test_array_fingerprint_is_stable(self):
+        array = np.arange(12.0).reshape(3, 4)
+        assert fingerprint_array(array) == fingerprint_array(array.copy())
+
+    def test_array_fingerprint_detects_value_change(self):
+        array = np.arange(12.0).reshape(3, 4)
+        changed = array.copy()
+        changed[1, 2] += 1e-9
+        assert fingerprint_array(array) != fingerprint_array(changed)
+
+    def test_array_fingerprint_detects_shape_change(self):
+        array = np.arange(12.0)
+        assert fingerprint_array(array) != fingerprint_array(array.reshape(3, 4))
+
+    def test_sparse_fingerprint_matches_regardless_of_layout(self):
+        dense = np.zeros((4, 4))
+        dense[0, 1] = 2.0
+        dense[2, 3] = -1.0
+        assert fingerprint_array(sp.csr_matrix(dense)) == fingerprint_array(
+            sp.coo_matrix(dense)
+        )
+
+    def test_sparse_and_dense_fingerprints_are_distinct_spaces(self):
+        dense = np.eye(3)
+        assert fingerprint_array(dense) != fingerprint_array(sp.csr_matrix(dense))
+
+    def test_config_fingerprint_is_order_insensitive(self):
+        assert fingerprint_config({"a": 1, "b": 2.5}) == fingerprint_config(
+            {"b": 2.5, "a": 1}
+        )
+        assert fingerprint_config({"a": 1}) != fingerprint_config({"a": 2})
+
+    def test_job_fingerprint_covers_solver_config_seed_and_data(self):
+        data = np.random.default_rng(0).normal(size=(20, 5))
+        base = LearningJob(data=data, seed=1)
+        assert job_fingerprint(base, data) == job_fingerprint(
+            LearningJob(data=data.copy(), seed=1), data.copy()
+        )
+        assert job_fingerprint(base, data) != job_fingerprint(
+            LearningJob(data=data, seed=2), data
+        )
+        assert job_fingerprint(base, data) != job_fingerprint(
+            LearningJob(data=data, seed=1, solver="notears"), data
+        )
+        assert job_fingerprint(base, data) != job_fingerprint(
+            LearningJob(data=data, seed=1, config={"k": 3}), data
+        )
+
+    def test_job_fingerprint_distinguishes_warm_starts(self):
+        data = np.random.default_rng(0).normal(size=(20, 5))
+        init = np.zeros((5, 5))
+        init[0, 1] = 0.5
+        cold = LearningJob(data=data, seed=1)
+        warm = LearningJob(data=data, seed=1, init_weights=init)
+        assert job_fingerprint(cold, data) != job_fingerprint(warm, data)
+
+
+def _result(job_id: str = "job-000") -> JobResult:
+    return JobResult(
+        job_id=job_id,
+        solver="least",
+        status="ok",
+        weights=np.eye(3),
+        constraint_value=1e-5,
+        converged=True,
+        n_outer_iterations=3,
+        n_inner_iterations=42,
+        elapsed_seconds=0.5,
+    )
+
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+class TestInMemoryCache:
+    def test_miss_then_hit(self):
+        cache = InMemoryCache()
+        assert cache.get(KEY_A) is None
+        cache.put(KEY_A, _result())
+        hit = cache.get(KEY_A)
+        assert hit is not None and hit.n_inner_iterations == 42
+        assert cache.stats() == {"hits": 1.0, "misses": 1.0, "hit_rate": 0.5}
+
+    def test_contains_and_len(self):
+        cache = InMemoryCache()
+        cache.put(KEY_A, _result())
+        assert KEY_A in cache and KEY_B not in cache
+        assert len(cache) == 1
+
+
+class TestDiskCache:
+    def test_round_trip_dense(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        cache.put(KEY_A, _result())
+        loaded = cache.get(KEY_A)
+        np.testing.assert_allclose(loaded.weights, np.eye(3))
+        assert loaded.converged and loaded.n_outer_iterations == 3
+
+    def test_round_trip_sparse_weights(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        result = _result()
+        result.weights = sp.csr_matrix(np.eye(3))
+        cache.put(KEY_B, result)
+        loaded = cache.get(KEY_B)
+        assert sp.issparse(loaded.weights) and loaded.weights.nnz == 3
+
+    def test_persists_across_instances(self, tmp_path):
+        DiskCache(tmp_path).put(KEY_A, _result("persisted"))
+        reopened = DiskCache(tmp_path)
+        assert reopened.get(KEY_A).job_id == "persisted"
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        (tmp_path / f"{KEY_A}.pkl").write_bytes(b"not a pickle")
+        assert cache.get(KEY_A) is None
+        assert cache.stats()["misses"] == 1.0
+
+    def test_rejects_non_hex_keys(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        with pytest.raises(ValidationError):
+            cache.put("../escape", _result())

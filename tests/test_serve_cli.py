@@ -1,0 +1,103 @@
+"""Tests for the repro.serve CLI: manifest parsing, reports, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serve.cli import load_manifest, main
+
+FAST_JOB = {
+    "dataset": "er2",
+    "solver": "least",
+    "seed": 0,
+    "dataset_options": {"n_nodes": 10},
+    "config": {"max_outer_iterations": 2, "max_inner_iterations": 30},
+}
+
+
+def _write_manifest(tmp_path, jobs, wrap=True):
+    path = tmp_path / "manifest.json"
+    payload = {"jobs": jobs} if wrap else jobs
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestLoadManifest:
+    def test_object_and_list_forms(self, tmp_path):
+        for wrap in (True, False):
+            path = _write_manifest(tmp_path, [FAST_JOB], wrap=wrap)
+            jobs = load_manifest(path)
+            assert len(jobs) == 1 and jobs[0].dataset == "er2"
+
+    def test_missing_file(self):
+        with pytest.raises(ValidationError):
+            load_manifest("/nonexistent/manifest.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValidationError):
+            load_manifest(str(path))
+
+    def test_empty_jobs(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_manifest(_write_manifest(tmp_path, []))
+
+    def test_non_list_jobs(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"jobs": "all of them"}))
+        with pytest.raises(ValidationError):
+            load_manifest(str(path))
+
+
+class TestMain:
+    def test_successful_run_writes_report(self, tmp_path, capsys):
+        manifest = _write_manifest(tmp_path, [FAST_JOB, {**FAST_JOB, "seed": 1}])
+        output = tmp_path / "report.json"
+        code = main([manifest, "--output", str(output)])
+        assert code == 0
+        report = json.loads(output.read_text())
+        assert report["summary"]["n_jobs"] == 2
+        assert report["summary"]["n_ok"] == 2
+        assert len(report["jobs"]) == 2
+        assert all(job["status"] == "ok" for job in report["jobs"])
+        assert "2 jobs: 2 ok" in capsys.readouterr().err
+
+    def test_report_to_stdout(self, tmp_path, capsys):
+        manifest = _write_manifest(tmp_path, [FAST_JOB])
+        code = main([manifest, "--quiet"])
+        assert code == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert report["summary"]["n_ok"] == 1
+        assert captured.err == ""
+
+    def test_failing_job_sets_exit_code(self, tmp_path):
+        bad = {**FAST_JOB, "config": {"k": -3}}
+        manifest = _write_manifest(tmp_path, [FAST_JOB, bad])
+        code = main([manifest, "--quiet", "--output", str(tmp_path / "r.json")])
+        assert code == 1
+        report = json.loads((tmp_path / "r.json").read_text())
+        assert report["summary"]["n_failed"] == 1
+
+    def test_bad_manifest_exit_code(self, tmp_path, capsys):
+        assert main([str(tmp_path / "missing.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_disk_cache_across_invocations(self, tmp_path):
+        manifest = _write_manifest(tmp_path, [FAST_JOB])
+        cache_dir = tmp_path / "cache"
+        out1, out2 = tmp_path / "r1.json", tmp_path / "r2.json"
+        assert main([manifest, "--cache-dir", str(cache_dir), "--quiet", "--output", str(out1)]) == 0
+        assert main([manifest, "--cache-dir", str(cache_dir), "--quiet", "--output", str(out2)]) == 0
+        first = json.loads(out1.read_text())
+        second = json.loads(out2.read_text())
+        assert first["summary"]["n_cache_hits"] == 0
+        assert second["summary"]["n_cache_hits"] == 1
+        assert second["jobs"][0]["cache_hit"] is True
+
+    def test_module_entry_point_exists(self):
+        import repro.serve.__main__  # noqa: F401 - import is the test

@@ -1,0 +1,272 @@
+"""Tests for warm starts: alignment, solver init_weights, and the scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.least import LEAST, LEASTConfig
+from repro.core.least_sparse import SparseLEAST, SparseLEASTConfig
+from repro.exceptions import ValidationError
+from repro.serve.scheduler import RelearnScheduler
+from repro.serve.warm_start import (
+    WarmStartState,
+    align_weights,
+    damp_weights,
+    prepare_init,
+)
+
+
+class TestAlignWeights:
+    def test_identity_when_vocabularies_match(self):
+        weights = np.arange(9.0).reshape(3, 3)
+        aligned = align_weights(weights, ["a", "b", "c"], ["a", "b", "c"])
+        np.testing.assert_array_equal(aligned, weights)
+
+    def test_permutation(self):
+        weights = np.zeros((2, 2))
+        weights[0, 1] = 3.0
+        aligned = align_weights(weights, ["a", "b"], ["b", "a"])
+        assert aligned[1, 0] == 3.0 and aligned[0, 1] == 0.0
+
+    def test_new_nodes_start_at_zero_and_vanished_edges_drop(self):
+        weights = np.zeros((2, 2))
+        weights[0, 1] = 1.5
+        aligned = align_weights(weights, ["a", "b"], ["b", "c"])
+        assert aligned.shape == (2, 2)
+        np.testing.assert_array_equal(aligned, np.zeros((2, 2)))
+
+    def test_partial_overlap_copies_shared_block(self):
+        weights = np.zeros((3, 3))
+        weights[0, 1] = 1.0  # a -> b survives
+        weights[1, 2] = 2.0  # b -> c drops (c vanishes)
+        aligned = align_weights(weights, ["a", "b", "c"], ["b", "d", "a"])
+        assert aligned[2, 0] == 1.0  # a -> b at new positions
+        assert np.count_nonzero(aligned) == 1
+
+    def test_accepts_sparse_input(self):
+        weights = sp.csr_matrix(np.diag([0.0, 0.0]) + np.array([[0, 2.0], [0, 0]]))
+        aligned = align_weights(weights, ["a", "b"], ["a", "b"])
+        assert aligned[0, 1] == 2.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            align_weights(np.zeros((2, 2)), ["a", "b", "c"], ["a"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            align_weights(np.zeros((2, 2)), ["a", "a"], ["a", "b"])
+        with pytest.raises(ValidationError):
+            align_weights(np.zeros((2, 2)), ["a", "b"], ["a", "a"])
+
+
+class TestDampWeights:
+    def test_scales_and_thresholds(self):
+        weights = np.array([[0.0, 1.0], [0.05, 0.0]])
+        damped = damp_weights(weights, damping=0.5, threshold=0.1)
+        assert damped[0, 1] == 0.5
+        assert damped[1, 0] == 0.0
+
+    def test_clears_diagonal(self):
+        damped = damp_weights(np.eye(3), damping=1.0)
+        np.testing.assert_array_equal(damped, np.zeros((3, 3)))
+
+    def test_validates_damping(self):
+        with pytest.raises(ValidationError):
+            damp_weights(np.zeros((2, 2)), damping=1.5)
+
+
+class TestPrepareInit:
+    def test_none_without_state(self):
+        assert prepare_init(None, ["a"]) is None
+
+    def test_none_when_overlap_too_small(self):
+        state = WarmStartState(np.zeros((2, 2)), ["a", "b"])
+        assert prepare_init(state, ["c", "d"], min_shared=1) is None
+
+    def test_builds_aligned_damped_init(self):
+        weights = np.zeros((2, 2))
+        weights[0, 1] = 2.0
+        state = WarmStartState(weights, ["a", "b"])
+        init = prepare_init(state, ["b", "a"], damping=0.5)
+        assert init[1, 0] == 1.0
+
+
+class TestSolverInitWeights:
+    def test_least_accepts_and_validates_init(self, er2_problem):
+        config = LEASTConfig(max_outer_iterations=2, max_inner_iterations=30)
+        data = er2_problem["data"]
+        d = data.shape[1]
+        cold = LEAST(config).fit(data, seed=0)
+        warm = LEAST(config).fit(data, seed=0, init_weights=cold.weights)
+        assert warm.weights.shape == (d, d)
+        with pytest.raises(ValidationError):
+            LEAST(config).fit(data, seed=0, init_weights=np.zeros((d + 1, d + 1)))
+        with pytest.raises(ValidationError):
+            LEAST(config).fit(data, seed=0, init_weights=np.full((d, d), np.nan))
+
+    def test_least_config_init_weights_field(self, er2_problem):
+        data = er2_problem["data"]
+        d = data.shape[1]
+        init = np.zeros((d, d))
+        init[0, 1] = 0.3
+        config = LEASTConfig(
+            max_outer_iterations=1, max_inner_iterations=1, init_weights=init
+        )
+        result = LEAST(config).fit(data, seed=0)
+        assert result.weights.shape == (d, d)
+        with pytest.raises(ValidationError):
+            LEASTConfig(init_weights=np.zeros((2, 3)))
+
+    def test_least_warm_start_converges_to_equivalent_solution(self, er2_problem):
+        """Warm-starting from a converged solution recovers the same structure."""
+        data = er2_problem["data"]
+        config = LEASTConfig(max_outer_iterations=6, max_inner_iterations=200)
+        cold = LEAST(config).fit(data, seed=0)
+        warm = LEAST(config).fit(data, seed=1, init_weights=cold.weights)
+        strong = np.abs(cold.weights) > 0.3
+        assert strong.sum() > 0
+        # Every strong cold edge survives in the warm solution with the same
+        # sign and non-negligible magnitude...
+        assert np.all(np.sign(warm.weights[strong]) == np.sign(cold.weights[strong]))
+        assert np.all(np.abs(warm.weights[strong]) > 0.1)
+        # ...and the strong-edge sets of the two solutions largely coincide.
+        cold_edges = set(zip(*np.where(strong)))
+        warm_edges = set(zip(*np.where(np.abs(warm.weights) > 0.3)))
+        jaccard = len(cold_edges & warm_edges) / len(cold_edges | warm_edges)
+        assert jaccard >= 0.6
+
+    def test_least_tracks_inner_iterations(self, er2_problem):
+        config = LEASTConfig(max_outer_iterations=2, max_inner_iterations=30)
+        result = LEAST(config).fit(er2_problem["data"], seed=0)
+        assert 1 <= result.n_inner_iterations <= 60
+        assert result.n_inner_iterations == int(
+            result.log.column("inner_iterations").sum()
+        )
+
+    def test_sparse_least_accepts_dense_and_sparse_init(self, er2_problem):
+        data = er2_problem["data"]
+        d = data.shape[1]
+        config = SparseLEASTConfig(
+            max_outer_iterations=2, max_inner_iterations=30, init_density=0.05
+        )
+        dense_init = np.zeros((d, d))
+        dense_init[0, 1] = 0.4
+        dense_init[2, 3] = -0.2
+        result = SparseLEAST(config).fit(data, seed=0, init_weights=dense_init)
+        assert sp.issparse(result.weights)
+        assert result.n_inner_iterations >= 1
+        sparse_init = sp.csr_matrix(dense_init)
+        result2 = SparseLEAST(config).fit(data, seed=0, init_weights=sparse_init)
+        np.testing.assert_allclose(
+            result.weights.toarray(), result2.weights.toarray()
+        )
+
+    def test_sparse_least_rejects_both_inits(self, er2_problem):
+        data = er2_problem["data"]
+        d = data.shape[1]
+        init = sp.csr_matrix((d, d))
+        with pytest.raises(ValidationError):
+            SparseLEAST().fit(data, initial_support=init, init_weights=init)
+
+
+class TestRelearnScheduler:
+    def _window(self, seed: int, d: int = 8, n: int = 120):
+        rng = np.random.default_rng(seed)
+        return rng.normal(size=(n, d)), [f"x{i}" for i in range(d)]
+
+    def test_first_window_is_cold_then_warm(self):
+        scheduler = RelearnScheduler(
+            LEASTConfig(max_outer_iterations=2, max_inner_iterations=30)
+        )
+        data, names = self._window(0)
+        scheduler.step(data, names, seed=0)
+        scheduler.step(data, names, seed=0)
+        assert [s.warm_started for s in scheduler.history] == [False, True]
+        assert scheduler.history[1].n_shared_nodes == len(names)
+
+    def test_warm_windows_use_reduced_inner_budget(self):
+        config = LEASTConfig(max_outer_iterations=2, max_inner_iterations=40)
+        scheduler = RelearnScheduler(config, warm_inner_scale=0.5)
+        data, names = self._window(0)
+        scheduler.step(data, names, seed=0)
+        scheduler.step(data, names, seed=0)
+        cold, warm = scheduler.history
+        assert warm.n_inner_iterations <= cold.n_inner_iterations
+        assert warm.n_inner_iterations <= 2 * 20
+
+    def test_vocabulary_change_falls_back_to_cold(self):
+        scheduler = RelearnScheduler(
+            LEASTConfig(max_outer_iterations=1, max_inner_iterations=10),
+            min_shared_nodes=2,
+        )
+        data, names = self._window(0)
+        scheduler.step(data, names, seed=0)
+        other_data, other_names = self._window(1)
+        scheduler.step(other_data, [f"y{i}" for i in range(8)], seed=0)
+        assert scheduler.history[1].warm_started is False
+
+    def test_warm_start_disabled(self):
+        scheduler = RelearnScheduler(
+            LEASTConfig(max_outer_iterations=1, max_inner_iterations=10),
+            warm_start=False,
+        )
+        data, names = self._window(0)
+        scheduler.step(data, names, seed=0)
+        scheduler.step(data, names, seed=0)
+        assert all(not s.warm_started for s in scheduler.history)
+
+    def test_reset_clears_state(self):
+        scheduler = RelearnScheduler(
+            LEASTConfig(max_outer_iterations=1, max_inner_iterations=10)
+        )
+        data, names = self._window(0)
+        scheduler.step(data, names, seed=0)
+        scheduler.reset()
+        assert scheduler.state is None and scheduler.history == []
+        scheduler.step(data, names, seed=0)
+        assert scheduler.history[0].warm_started is False
+
+    def test_stats_summary_totals(self):
+        scheduler = RelearnScheduler(
+            LEASTConfig(max_outer_iterations=1, max_inner_iterations=10)
+        )
+        data, names = self._window(0)
+        scheduler.step(data, names, seed=0)
+        scheduler.step(data, names, seed=0)
+        summary = scheduler.stats_summary()
+        assert summary["n_windows"] == 2.0
+        assert summary["n_warm_windows"] == 1.0
+        assert summary["total_inner_iterations"] >= 2.0
+
+    def test_validates_warm_inner_scale(self):
+        with pytest.raises(ValidationError):
+            RelearnScheduler(warm_inner_scale=0.0)
+        with pytest.raises(ValidationError):
+            RelearnScheduler(warm_inner_scale=1.5)
+
+
+class TestPipelineWarmStart:
+    def test_pipeline_exposes_window_stats(self):
+        from repro.monitoring import BookingSimulator, MonitoringPipeline
+
+        simulator = BookingSimulator(seed=3)
+        pipeline = MonitoringPipeline(
+            simulator,
+            window_seconds=900.0,
+            least_config=LEASTConfig(
+                max_outer_iterations=2,
+                max_inner_iterations=40,
+                l1_penalty=0.02,
+                tolerance=1e-3,
+            ),
+        )
+        pipeline.run(3, seed=5)
+        # Window 0 establishes the baseline without learning; windows 1-2 learn.
+        assert len(pipeline.window_stats) == 2
+        assert pipeline.window_stats[0].warm_started is False
+        assert pipeline.window_stats[1].warm_started is True
+        summary = pipeline.solver_summary()
+        assert summary["n_windows"] == 2.0
+        assert summary["n_warm_windows"] == 1.0
