@@ -1,15 +1,21 @@
-"""E-serve — throughput of the batch serving layer (repro.serve).
+"""E-serve — throughput of the streaming serving layer (repro.serve).
 
 The paper's Section VI deployment executes ~100k structure-learning tasks per
-day; this module measures the three mechanisms the serving layer uses to get
-there on one machine and writes a ``BENCH_serve.json`` summary next to the
-repo root:
+day; this module measures the mechanisms the serving layer uses to get there
+on one machine and writes a ``BENCH_serve.json`` summary next to the repo
+root:
 
 * serial vs. parallel execution of a 16-job manifest (jobs/sec);
 * content-addressed caching (second submission of the same manifest);
 * cold vs. warm-started windowed re-learning (solver iterations per window and
-  equivalence of the produced anomaly reports).
+  equivalence of the produced anomaly reports);
+* time-to-first-result of the streaming engine vs. total batch wall clock
+  (``time_to_first_result`` section);
+* hard preemption: a manifest with one hanging job under a deadline — the
+  hanging worker is SIGKILLed, every normal result still streams out
+  (``preemption`` section).
 
+See ``docs/benchmarks.md`` for the exact ``BENCH_serve.json`` schema.
 Run with ``pytest benchmarks/bench_serve_throughput.py -s``.
 """
 
@@ -17,19 +23,47 @@ from __future__ import annotations
 
 import json
 import os
+import time
+from dataclasses import dataclass
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from benchmarks.helpers import print_table
 from repro.core.least import LEASTConfig
 from repro.monitoring import BookingSimulator, Incident, MonitoringPipeline
-from repro.serve import BatchRunner, InMemoryCache, LearningJob
+from repro.serve import BatchRunner, InMemoryCache, LearningJob, StreamingRunner
+from repro.serve.job import register_solver, unregister_solver
 
 N_JOBS = 16
 N_WORKERS = 4
 JOB_CONFIG = {"max_outer_iterations": 4, "max_inner_iterations": 150}
 RESULTS: dict[str, dict] = {}
+
+
+@dataclass(frozen=True)
+class _HangConfig:
+    duration: float = 300.0
+
+
+class _HangSolver:
+    """A solver that sleeps far past any deadline (module-level: picklable)."""
+
+    def __init__(self, config: _HangConfig):
+        self.config = config
+
+    def fit(self, data, seed=None):
+        time.sleep(self.config.duration)
+        from repro.core.least import LEASTResult
+
+        d = data.shape[1]
+        return LEASTResult(
+            weights=np.zeros((d, d)),
+            constraint_value=0.0,
+            converged=True,
+            n_outer_iterations=1,
+        )
 
 
 def _manifest() -> list[LearningJob]:
@@ -118,6 +152,108 @@ def test_cache_hits_skip_solver_execution(benchmark):
             ["second", f"{second.total_seconds:.3f}s", second.n_cache_hits],
         ],
     )
+
+
+def test_streaming_time_to_first_result(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    runner = StreamingRunner(n_workers=N_WORKERS)
+    started = time.perf_counter()
+    arrivals = []
+    for result in runner.stream(_manifest()):
+        assert result.status == "ok"
+        arrivals.append(time.perf_counter() - started)
+    total = time.perf_counter() - started
+
+    first = arrivals[0]
+    RESULTS["time_to_first_result"] = {
+        "n_jobs": N_JOBS,
+        "n_workers": N_WORKERS,
+        "first_result_seconds": first,
+        "median_result_seconds": sorted(arrivals)[len(arrivals) // 2],
+        "total_seconds": total,
+        "first_result_fraction_of_total": first / max(total, 1e-9),
+    }
+    print_table(
+        "repro.serve: streaming — when does each result become available?",
+        ["milestone", "seconds", "% of batch wall clock"],
+        [
+            ["first result", f"{first:.2f}s", f"{100 * first / total:.0f}%"],
+            [
+                "median result",
+                f"{sorted(arrivals)[len(arrivals) // 2]:.2f}s",
+                f"{100 * sorted(arrivals)[len(arrivals) // 2] / total:.0f}%",
+            ],
+            ["last result (= batch)", f"{total:.2f}s", "100%"],
+        ],
+    )
+    # Streaming must surface the first result well before the batch finishes.
+    assert len(arrivals) == N_JOBS
+    assert first < 0.75 * total
+
+
+def test_preemption_kills_hanging_job_and_streams_survivors(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    deadline = 6.0
+    register_solver("bench-hang", _HangSolver, _HangConfig, overwrite=True)
+    try:
+        hanging = LearningJob(
+            solver="bench-hang", data=np.zeros((4, 3)), config={"duration": 300.0}
+        )
+        normal = [
+            LearningJob(
+                dataset="er2",
+                seed=seed,
+                dataset_options={"n_nodes": 30},
+                config=dict(JOB_CONFIG),
+            )
+            for seed in range(6)
+        ]
+        runner = StreamingRunner(n_workers=2, timeout=deadline)
+        started = time.perf_counter()
+        arrivals: dict[str, float] = {}
+        statuses: dict[str, str] = {}
+        for result in runner.stream([hanging] + normal):
+            arrivals[result.job_id] = time.perf_counter() - started
+            statuses[result.job_id] = result.status
+        total = time.perf_counter() - started
+    finally:
+        unregister_solver("bench-hang")
+
+    survivor_ids = [job_id for job_id in statuses if job_id != "job-000"]
+    last_survivor = max(arrivals[job_id] for job_id in survivor_ids)
+    RESULTS["preemption"] = {
+        "deadline_seconds": deadline,
+        "n_jobs": len(statuses),
+        "n_ok": sum(1 for status in statuses.values() if status == "ok"),
+        "n_preempted": sum(1 for s in statuses.values() if s == "preempted"),
+        "hanging_job_sleep_seconds": 300.0,
+        "last_survivor_seconds": last_survivor,
+        "preempted_result_seconds": arrivals["job-000"],
+        "total_seconds": total,
+        "n_killed": runner.telemetry.n_killed,
+        "n_requeued": runner.telemetry.n_requeued,
+    }
+    print_table(
+        "repro.serve: hard preemption — 1 hanging + 6 normal jobs, 6s deadline",
+        ["event", "seconds"],
+        [
+            ["last normal result streamed", f"{last_survivor:.2f}s"],
+            ["hanging worker killed / reported", f"{arrivals['job-000']:.2f}s"],
+            ["whole batch done", f"{total:.2f}s"],
+            ["(cooperative wait would have been)", ">= 300s"],
+        ],
+    )
+    # All normal jobs stream out before the hanging job's deadline expires...
+    assert all(statuses[job_id] == "ok" for job_id in survivor_ids)
+    assert last_survivor < deadline
+    # ...the hanging worker is killed instead of sleeping out its 300s...
+    assert statuses["job-000"] == "preempted"
+    assert runner.telemetry.n_killed == 1
+    assert total < 3 * deadline
+    # ...and the killed worker leaves no orphan process behind.
+    for pid in runner.telemetry.killed_pids:
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)
 
 
 def test_warm_start_cuts_relearn_iterations(benchmark):

@@ -9,7 +9,10 @@ miniature, showing the three pillars of the serving layer:
    because results are keyed by (data fingerprint, config hash, seed);
 3. **Warm-started re-learning** — a ``RelearnScheduler`` re-learns a drifting
    scenario window by window, starting each solve from the previous solution
-   and spending measurably fewer solver iterations than cold starts.
+   and spending measurably fewer solver iterations than cold starts;
+4. **Streaming** — the same manifest consumed through a ``StreamingRunner``,
+   which yields each result the moment its job finishes (with hard per-job
+   deadlines available via ``timeout=``).
 
 Run with ``python examples/batch_serving.py``.
 """
@@ -19,7 +22,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.least import LEASTConfig
-from repro.serve import BatchRunner, InMemoryCache, LearningJob, RelearnScheduler
+from repro.serve import (
+    BatchRunner,
+    InMemoryCache,
+    LearningJob,
+    RelearnScheduler,
+    StreamingRunner,
+)
 
 
 def main(
@@ -85,10 +94,37 @@ def main(
         f"{summary['mean_inner_iterations_warm']:.0f} warm"
     )
 
+    # 4. Streaming: consume results as they complete instead of waiting for
+    #    the whole batch (a hard deadline would preempt runaway jobs here).
+    streaming = StreamingRunner(n_workers=n_workers)
+    stream_jobs = [
+        LearningJob(
+            dataset="er2",
+            seed=seed,
+            dataset_options={"n_nodes": n_nodes},
+            config=config,
+        )
+        for seed in range(n_jobs)
+    ]
+    n_streamed = 0
+    for result in streaming.stream(stream_jobs):
+        n_streamed += 1
+        print(f"  streamed {result.job_id}: {result.status} ({result.n_edges} edges)")
+    print(
+        f"streaming: first result after "
+        f"{streaming.telemetry.time_to_first_result:.2f}s, "
+        f"all {n_streamed} after {streaming.telemetry.total_seconds:.2f}s"
+    )
+
     return {
         "batch": report.summary(),
         "rerun": rerun.summary(),
         "relearn": summary,
+        "streaming": {
+            "n_streamed": n_streamed,
+            "time_to_first_result": streaming.telemetry.time_to_first_result,
+            "total_seconds": streaming.telemetry.total_seconds,
+        },
     }
 
 

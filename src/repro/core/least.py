@@ -96,6 +96,9 @@ class LEASTConfig:
     rho_start, rho_growth, rho_max:
         Initial quadratic penalty, its growth factor per outer iteration, and
         a cap preventing numerical overflow.
+    eta_start:
+        Initial value of the Lagrange multiplier η (updated as
+        ``η ← η + ρ δ(W*)`` after every outer iteration).
     inner_convergence_tol:
         Relative change of ℓ(W) below which the inner loop stops early.
     warm_start:

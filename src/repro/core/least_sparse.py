@@ -138,7 +138,42 @@ def random_sparse_glorot(
 
 @dataclass(frozen=True)
 class SparseLEASTConfig:
-    """Hyper-parameters of LEAST-SP (paper defaults for the scalability runs)."""
+    """Hyper-parameters of LEAST-SP (paper defaults for the scalability runs).
+
+    Attributes
+    ----------
+    k:
+        Rounds of the spectral-bound iteration (paper: 5).
+    alpha:
+        Row/column balancing factor of the bound (paper: 0.9).
+    l1_penalty:
+        λ of the L1 regularizer on the support values.
+    learning_rate:
+        Adam step size for the sparse inner loop.
+    init_density:
+        Density ζ of the random sparse support initialization (paper: 1e-4).
+    batch_size:
+        Mini-batch size B; ``None`` uses the full sample matrix.  Defaults to
+        1000 because LEAST-SP targets sample matrices too large to batch
+        fully.
+    threshold:
+        In-loop hard-thresholding value θ; entries falling below it are
+        removed from the support (the support can only shrink).
+    tolerance:
+        Target value ε for the acyclicity measure.
+    max_outer_iterations, max_inner_iterations:
+        Iteration caps T_o and T_i of the two loops.
+    rho_start, rho_growth, rho_max:
+        Initial quadratic penalty, its growth factor per outer iteration, and
+        a cap preventing numerical overflow.
+    eta_start:
+        Initial value of the Lagrange multiplier η.
+    inner_convergence_tol:
+        Relative change of ℓ(W) below which the inner loop stops early.
+    min_init_edges:
+        Floor on the number of non-zeros in the random support so tiny graphs
+        never start empty.
+    """
 
     k: int = 5
     alpha: float = 0.9

@@ -76,6 +76,12 @@ class MonitoringPipeline:
         vocabulary; False reproduces the original cold-start loop.
     warm_damping:
         Shrinkage applied to carried-over weights between windows.
+    window_deadline:
+        Optional hard per-window solve budget in seconds, forwarded to the
+        :class:`~repro.serve.scheduler.RelearnScheduler`.  A window whose
+        solve overruns is killed (hard preemption), recorded as preempted in
+        the solver telemetry, and the loop continues with the next window —
+        one pathological window can no longer stall the monitoring service.
     """
 
     def __init__(
@@ -89,6 +95,7 @@ class MonitoringPipeline:
         max_path_length: int = 3,
         warm_start: bool = True,
         warm_damping: float = 0.9,
+        window_deadline: float | None = None,
     ):
         check_positive(window_seconds, "window_seconds")
         check_positive(edge_threshold, "edge_threshold")
@@ -105,7 +112,10 @@ class MonitoringPipeline:
         self.min_support = min_support
         self.max_path_length = max_path_length
         self.scheduler = RelearnScheduler(
-            self.least_config, warm_start=warm_start, damping=warm_damping
+            self.least_config,
+            warm_start=warm_start,
+            damping=warm_damping,
+            window_deadline=window_deadline,
         )
         self.analyzer = RootCauseAnalyzer()
         self.reports: list[MonitoringReport] = []

@@ -6,12 +6,15 @@ package is that serving layer in miniature:
 
 * :mod:`repro.serve.job` — declarative :class:`LearningJob` specs and the
   uniform :class:`JobResult` record, covering all three solvers;
-* :mod:`repro.serve.runner` — :class:`BatchRunner`: serial or
-  process-parallel fan-out with per-job timeout, retry, and throughput
-  telemetry;
+* :mod:`repro.serve.streaming` — :class:`StreamingRunner`: the execution
+  engine — disposable worker processes, results yielded as they complete,
+  hard per-job preemption (SIGKILL on deadline + worker suicide timers);
+* :mod:`repro.serve.runner` — :class:`BatchRunner`: the batch-shaped facade
+  over the engine, returning a :class:`BatchReport` with throughput, cache,
+  and preemption telemetry;
 * :mod:`repro.serve.cache` — content-addressed result caching (in-memory or
   on-disk) keyed by (data fingerprint, config hash, seed), so repeated jobs
-  are near-free;
+  are near-free; both backends support bounded LRU operation;
 * :mod:`repro.serve.warm_start` — vocabulary-aware re-use of a previous
   solution as the next solve's initialization;
 * :mod:`repro.serve.scheduler` — :class:`RelearnScheduler`: the windowed
@@ -50,6 +53,13 @@ from repro.serve.job import (
 )
 from repro.serve.runner import BatchReport, BatchRunner
 from repro.serve.scheduler import RelearnScheduler, WindowStats
+from repro.serve.streaming import (
+    PreemptedError,
+    StreamingRunner,
+    StreamTelemetry,
+    WorkerCrashError,
+    call_with_deadline,
+)
 from repro.serve.warm_start import (
     WarmStartState,
     align_weights,
@@ -66,6 +76,11 @@ __all__ = [
     "unregister_solver",
     "BatchRunner",
     "BatchReport",
+    "StreamingRunner",
+    "StreamTelemetry",
+    "PreemptedError",
+    "WorkerCrashError",
+    "call_with_deadline",
     "ResultCache",
     "InMemoryCache",
     "DiskCache",

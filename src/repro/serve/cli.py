@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.serve manifest.json --workers 4 --output report.json
     repro-serve manifest.json --cache-dir .serve-cache --max-retries 1
+    repro-serve manifest.json --workers 4 --timeout 30 --stream
 
 The manifest is either ``{"jobs": [...]}`` or a bare JSON list, where each
 entry follows :meth:`repro.serve.job.LearningJob.from_dict`::
@@ -17,11 +18,18 @@ entry follows :meth:`repro.serve.job.LearningJob.from_dict`::
       ]
     }
 
-The report carries the aggregate ``summary`` block of
-:class:`~repro.serve.runner.BatchReport` plus one digest per job; weight
-matrices are not serialized (use the cache or the Python API to retrieve
-them).  Exit status is 0 when every job succeeded, 1 otherwise, 2 for a
-malformed manifest.
+Without ``--stream`` the report (the aggregate ``summary`` block of
+:class:`~repro.serve.runner.BatchReport` plus one digest per job) is printed
+to stdout, or written to ``--output``.  With ``--stream`` stdout instead
+carries one NDJSON line per *completed* job, emitted the moment the streaming
+engine yields it (completion order, not manifest order); the full report then
+goes to ``--output`` when given.  Weight matrices are never serialized — use
+the cache or the Python API to retrieve them.
+
+``--timeout`` is a hard deadline: overrunning workers are SIGKILLed and the
+job is reported ``"preempted"`` (``--preempt-policy requeue`` grants killed
+jobs a fresh attempt first).  Exit status is 0 when every job succeeded, 1
+when any failed, was preempted, or timed out, 2 for a malformed manifest.
 """
 
 from __future__ import annotations
@@ -34,23 +42,33 @@ from typing import Sequence
 
 from repro.exceptions import ValidationError
 from repro.serve.cache import DiskCache
-from repro.serve.job import LearningJob
-from repro.serve.runner import BatchRunner
+from repro.serve.job import JobResult, LearningJob
+from repro.serve.streaming import PREEMPT_POLICIES, StreamingRunner
 
 __all__ = ["build_parser", "load_manifest", "main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro-serve`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro-serve",
         description="Run a batch of structure-learning jobs from a JSON manifest.",
     )
     parser.add_argument("manifest", help="path to the job manifest (JSON), or - for stdin")
     parser.add_argument(
-        "--workers", type=int, default=1, help="worker processes (1 = serial)"
+        "--workers", type=int, default=1, help="max concurrent worker processes"
     )
     parser.add_argument(
-        "--timeout", type=float, default=None, help="per-job deadline in seconds"
+        "--timeout",
+        type=float,
+        default=None,
+        help="hard per-job deadline in seconds (overrunning workers are killed)",
+    )
+    parser.add_argument(
+        "--preempt-policy",
+        choices=PREEMPT_POLICIES,
+        default="fail",
+        help="what happens to a job killed at its deadline (default: fail)",
     )
     parser.add_argument(
         "--max-retries", type=int, default=0, help="extra attempts for failing jobs"
@@ -59,6 +77,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="directory of the on-disk result cache (created if missing)",
+    )
+    parser.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        help="LRU bound on the number of disk-cache entries",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="LRU bound on the total disk-cache size in bytes",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="emit one NDJSON line per completed job on stdout as results arrive",
     )
     parser.add_argument(
         "--output", default=None, help="write the JSON report here (default: stdout)"
@@ -95,7 +130,13 @@ def load_manifest(source: str) -> list[LearningJob]:
     return [LearningJob.from_dict(entry) for entry in entries]
 
 
+def _emit_ndjson(result: JobResult) -> None:
+    """Print one completed job as a single NDJSON line (flushed immediately)."""
+    print(json.dumps(result.summary(), sort_keys=True), flush=True)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    """Run the CLI; returns the process exit code (see module docstring)."""
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -106,35 +147,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
     try:
-        cache = DiskCache(args.cache_dir) if args.cache_dir else None
-        runner = BatchRunner(
+        cache = (
+            DiskCache(
+                args.cache_dir,
+                max_entries=args.cache_max_entries,
+                max_bytes=args.cache_max_bytes,
+            )
+            if args.cache_dir
+            else None
+        )
+        runner = StreamingRunner(
             n_workers=args.workers,
             cache=cache,
             timeout=args.timeout,
             max_retries=args.max_retries,
+            preempt_policy=args.preempt_policy,
         )
     except (ValidationError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report = runner.run(jobs)
+    report = runner.run(jobs, on_result=_emit_ndjson if args.stream else None)
 
-    payload = {
-        "summary": report.summary(),
-        "jobs": [result.summary() for result in report.results],
-    }
-    serialized = json.dumps(payload, indent=2, sort_keys=True)
-    if args.output:
-        Path(args.output).write_text(serialized + "\n")
-    else:
-        print(serialized)
+    if args.output or not args.stream:
+        payload = {
+            "summary": report.summary(),
+            "jobs": [result.summary() for result in report.results],
+        }
+        serialized = json.dumps(payload, indent=2, sort_keys=True)
+        if args.output:
+            Path(args.output).write_text(serialized + "\n")
+        else:
+            print(serialized)
 
     if not args.quiet:
         summary = report.summary()
         print(
             f"{summary['n_jobs']} jobs: {summary['n_ok']} ok, "
-            f"{summary['n_failed']} failed, {summary['n_timeout']} timed out, "
+            f"{summary['n_failed']} failed, {summary['n_preempted']} preempted, "
             f"{summary['n_cache_hits']} cache hits | "
             f"{summary['total_seconds']:.2f}s wall, "
+            f"first result after {summary['time_to_first_result'] or 0.0:.2f}s, "
             f"{summary['jobs_per_second']:.2f} jobs/s "
             f"({summary['n_workers']} workers)",
             file=sys.stderr,

@@ -210,11 +210,38 @@ class LearningJob:
 
 @dataclass
 class JobResult:
-    """Uniform outcome record of one job across all solvers."""
+    """Uniform outcome record of one job across all solvers.
+
+    Attributes
+    ----------
+    job_id, solver:
+        Provenance: which manifest entry produced this result, on which
+        solver.
+    status:
+        ``"ok"`` (solved), ``"failed"`` (dataset or solver error after all
+        retries), or ``"preempted"`` (the worker was killed at its hard
+        deadline; the legacy ``"timeout"`` status only appears in results
+        unpickled from caches written before hard preemption existed).
+    weights:
+        Learned weight matrix (dense or CSR); ``None`` unless ``status`` is
+        ``"ok"``.
+    constraint_value, converged, n_outer_iterations, n_inner_iterations:
+        Solver telemetry copied from the underlying result object.
+    elapsed_seconds:
+        Solver wall-clock time (0 for cache hits).
+    attempts:
+        Dataset-build plus solver attempts consumed (0 for cache hits).
+    cache_hit:
+        True when the result was served from a :class:`~repro.serve.cache.ResultCache`.
+    fingerprint:
+        Content-addressed cache key of the job (``None`` when caching is off).
+    error:
+        Human-readable failure/preemption reason, ``None`` on success.
+    """
 
     job_id: str
     solver: str
-    status: str  # "ok" | "failed" | "timeout"
+    status: str  # "ok" | "failed" | "preempted" (legacy: "timeout")
     weights: np.ndarray | sp.spmatrix | None = None
     constraint_value: float = float("nan")
     converged: bool = False
@@ -228,6 +255,7 @@ class JobResult:
 
     @property
     def ok(self) -> bool:
+        """True when the job solved successfully (``status == "ok"``)."""
         return self.status == "ok"
 
     @property
@@ -254,13 +282,19 @@ class JobResult:
         )
 
     def summary(self) -> dict[str, Any]:
-        """JSON-able digest without the weight matrix."""
+        """JSON-able digest without the weight matrix.
+
+        ``constraint_value`` is mapped to ``None`` when NaN (failed/preempted
+        jobs) so the digest serializes to *strict* JSON — NDJSON consumers of
+        the CLI's ``--stream`` mode reject bare ``NaN`` tokens.
+        """
+        constraint = float(self.constraint_value)
         return {
             "job_id": self.job_id,
             "solver": self.solver,
             "status": self.status,
             "converged": self.converged,
-            "constraint_value": float(self.constraint_value),
+            "constraint_value": None if np.isnan(constraint) else constraint,
             "n_edges": self.n_edges,
             "n_outer_iterations": self.n_outer_iterations,
             "n_inner_iterations": self.n_inner_iterations,

@@ -1,9 +1,11 @@
-"""Batch execution of learning jobs: serial or process-parallel, with retry,
-per-job timeout, caching, and throughput telemetry.
+"""Batch execution of learning jobs on the streaming, preemptible engine.
 
 This is the repo's analog of the paper's production scheduler (Section VI):
 a list of :class:`~repro.serve.job.LearningJob` specs goes in, a
 :class:`BatchReport` with per-job results and aggregate throughput comes out.
+Since the streaming rework, :class:`BatchRunner` is a thin batch-shaped facade
+over :class:`~repro.serve.streaming.StreamingRunner` — the engine that runs
+each job on a disposable worker process and yields results as they complete.
 
 Execution pipeline per job:
 
@@ -11,109 +13,105 @@ Execution pipeline per job:
    retried up to ``max_retries`` times);
 2. when a cache is attached, the job's content fingerprint is looked up and a
    hit is returned without touching a solver;
-3. misses are executed — inline for ``n_workers=1``, on a
-   ``ProcessPoolExecutor`` otherwise — with solver failures retried up to the
-   same ``max_retries`` budget;
+3. misses are executed — inline for ``n_workers=1`` with no deadline, on a
+   dedicated worker process otherwise — with solver failures retried up to
+   the same ``max_retries`` budget;
 4. successful results are written back to the cache.
 
-Timeout semantics: the deadline is enforced cooperatively.  In parallel mode
-the parent stops waiting for a job ``timeout`` seconds after it begins
-collecting that job's future (the worker is abandoned, never less than the
-full budget).  In serial mode the job runs to completion and is re-labelled
-``timeout`` when it overran the deadline.  Hard preemption of a running solver
-would require worker suicide timers; the cooperative version keeps results
-deterministic and portable.
+Timeout semantics: the deadline is enforced by **hard preemption**.  A job
+still running ``timeout`` seconds after its worker started is SIGKILLed (the
+worker also arms its own suicide timer as a backstop) and reported with the
+``"preempted"`` status; the ``preempt_policy`` decides whether it first gets
+requeued for a fresh attempt.  See :mod:`repro.serve.streaming` for the full
+preemption model; the old cooperative timeout (wait, then abandon the worker)
+is gone.
 """
 
 from __future__ import annotations
 
-import copy
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-import numpy as np
-
-import repro.serve.job as job_module
-from repro.exceptions import ValidationError
-from repro.serve.cache import ResultCache, job_fingerprint
-from repro.serve.job import JobResult, LearningJob, execute_job
-from repro.utils.timer import Timer
-from repro.utils.validation import check_positive
+from repro.serve.cache import ResultCache
+from repro.serve.job import JobResult, LearningJob
+from repro.serve.streaming import StreamingRunner
 
 __all__ = ["BatchReport", "BatchRunner"]
 
 
-def _initialize_worker(solver_registry: dict) -> None:
-    """Replicate the parent's solver registrations in a pool worker.
-
-    Under the ``fork`` start method workers inherit the registry anyway, but
-    ``spawn``/``forkserver`` workers import :mod:`repro.serve.job` fresh and
-    would otherwise not know about solvers added via ``register_solver``.
-    """
-    job_module._SOLVERS.update(solver_registry)
-
-
-def _execute_with_retry(
-    job: LearningJob,
-    data: np.ndarray,
-    fingerprint: str | None,
-    max_retries: int,
-    base_attempts: int,
-) -> JobResult:
-    """Top-level (picklable) worker: run the solver, retrying on failure."""
-    last_error = "job was never attempted"
-    attempts = base_attempts
-    for _ in range(max_retries + 1):
-        attempts += 1
-        try:
-            result = execute_job(job, data=data, fingerprint=fingerprint)
-            result.attempts = attempts
-            return result
-        except Exception as exc:  # noqa: BLE001 - failures become job status
-            last_error = f"{type(exc).__name__}: {exc}"
-    return JobResult(
-        job_id=job.job_id or job.describe(),
-        solver=job.solver,
-        status="failed",
-        attempts=attempts,
-        fingerprint=fingerprint,
-        error=last_error,
-    )
-
-
 @dataclass
 class BatchReport:
-    """Results of one :meth:`BatchRunner.run` call plus aggregate telemetry."""
+    """Results of one :meth:`BatchRunner.run` call plus aggregate telemetry.
+
+    Attributes
+    ----------
+    results:
+        One :class:`~repro.serve.job.JobResult` per manifest entry, in
+        manifest order.
+    total_seconds:
+        Wall-clock duration of the whole batch.
+    n_workers:
+        Worker cap the batch ran with.
+    solver_seconds_saved:
+        Solver time skipped thanks to cache hits.
+    cache_stats:
+        Snapshot of the attached cache's counters (empty without a cache).
+    time_to_first_result:
+        Seconds until the first job result was available (``None`` for an
+        empty manifest) — the latency the streaming engine optimizes for.
+    preemption_stats:
+        Kill/requeue counters from the engine (see
+        :meth:`~repro.serve.streaming.StreamTelemetry.preemption_summary`).
+    """
 
     results: list[JobResult]
     total_seconds: float
     n_workers: int
     solver_seconds_saved: float = 0.0
     cache_stats: dict[str, float] = field(default_factory=dict)
+    time_to_first_result: float | None = None
+    preemption_stats: dict[str, float] = field(default_factory=dict)
 
     @property
     def n_jobs(self) -> int:
+        """Number of jobs in the batch."""
         return len(self.results)
 
     @property
     def n_ok(self) -> int:
+        """Number of jobs that finished with status ``"ok"``."""
         return sum(1 for result in self.results if result.status == "ok")
 
     @property
     def n_failed(self) -> int:
+        """Number of jobs that finished with status ``"failed"``."""
         return sum(1 for result in self.results if result.status == "failed")
 
     @property
+    def n_preempted(self) -> int:
+        """Number of jobs killed at their deadline (status ``"preempted"``)."""
+        return sum(1 for result in self.results if result.status == "preempted")
+
+    @property
     def n_timeout(self) -> int:
-        return sum(1 for result in self.results if result.status == "timeout")
+        """Deadline-blown jobs.
+
+        Retained for backward compatibility with the cooperative-timeout era;
+        hard preemption records these as ``"preempted"``, so this is an alias
+        of :attr:`n_preempted` (plus any legacy ``"timeout"`` records loaded
+        from old caches).
+        """
+        legacy = sum(1 for result in self.results if result.status == "timeout")
+        return legacy + self.n_preempted
 
     @property
     def n_cache_hits(self) -> int:
+        """Number of jobs served from the result cache."""
         return sum(1 for result in self.results if result.cache_hit)
 
     @property
     def jobs_per_second(self) -> float:
+        """Aggregate throughput of the batch (0 for an instantaneous batch)."""
         if self.total_seconds <= 0:
             return 0.0
         return self.n_jobs / self.total_seconds
@@ -130,30 +128,40 @@ class BatchReport:
             "n_ok": self.n_ok,
             "n_failed": self.n_failed,
             "n_timeout": self.n_timeout,
+            "n_preempted": self.n_preempted,
             "n_cache_hits": self.n_cache_hits,
             "n_workers": self.n_workers,
             "total_seconds": self.total_seconds,
+            "time_to_first_result": self.time_to_first_result,
             "jobs_per_second": self.jobs_per_second,
             "solver_seconds": self.solver_seconds,
             "solver_seconds_saved": self.solver_seconds_saved,
             "cache_stats": dict(self.cache_stats),
+            "preemption": dict(self.preemption_stats),
         }
 
 
 class BatchRunner:
-    """Execute a list of jobs serially or across a process pool.
+    """Execute a list of jobs serially or across disposable worker processes.
 
     Parameters
     ----------
     n_workers:
-        1 runs jobs inline; >1 fans them out over a ``ProcessPoolExecutor``.
+        1 with no ``timeout`` runs jobs inline; otherwise each job gets its
+        own worker process, at most ``n_workers`` live at a time.
     cache:
         Optional :class:`~repro.serve.cache.ResultCache`; hits skip solver
         execution entirely and successful misses are written back.
     timeout:
-        Cooperative per-job deadline in seconds (see module docstring).
+        Hard per-job deadline in seconds — overrunning workers are SIGKILLed
+        and the job is reported ``"preempted"`` (see module docstring).
     max_retries:
         Additional attempts granted to a failing dataset build or solver run.
+    preempt_policy:
+        ``"fail"`` (default) or ``"requeue"`` — what happens to a job whose
+        worker was killed at the deadline.
+    preempt_retries:
+        Fresh attempts granted under the ``"requeue"`` policy.
     """
 
     def __init__(
@@ -162,201 +170,38 @@ class BatchRunner:
         cache: ResultCache | None = None,
         timeout: float | None = None,
         max_retries: int = 0,
+        preempt_policy: str = "fail",
+        preempt_retries: int = 1,
     ) -> None:
-        check_positive(n_workers, "n_workers")
-        if timeout is not None:
-            check_positive(timeout, "timeout")
-        if max_retries < 0:
-            raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
-        self.n_workers = int(n_workers)
-        self.cache = cache
-        self.timeout = timeout
-        self.max_retries = int(max_retries)
+        self._engine = StreamingRunner(
+            n_workers=n_workers,
+            cache=cache,
+            timeout=timeout,
+            max_retries=max_retries,
+            preempt_policy=preempt_policy,
+            preempt_retries=preempt_retries,
+        )
 
-    # -- public API ------------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        """Worker cap of the underlying engine."""
+        return self._engine.n_workers
+
+    @property
+    def cache(self) -> ResultCache | None:
+        """The attached result cache (``None`` when caching is off)."""
+        return self._engine.cache
+
+    @property
+    def timeout(self) -> float | None:
+        """The hard per-job deadline in seconds (``None`` = unbounded)."""
+        return self._engine.timeout
+
+    @property
+    def max_retries(self) -> int:
+        """Extra attempts granted to failing dataset builds / solver runs."""
+        return self._engine.max_retries
 
     def run(self, jobs: Sequence[LearningJob]) -> BatchReport:
         """Execute ``jobs`` and return a :class:`BatchReport`."""
-        jobs = list(jobs)
-        for index, job in enumerate(jobs):
-            if job.job_id is None:
-                job.job_id = f"job-{index:03d}"
-
-        timer = Timer()
-        with timer:
-            slots: list[JobResult | None] = [None] * len(jobs)
-            pending: list[tuple[int, LearningJob, np.ndarray, str | None, int]] = []
-            seconds_saved = 0.0
-
-            for index, job in enumerate(jobs):
-                data, error, used_attempts = self._materialize(job)
-                if data is None:
-                    slots[index] = JobResult(
-                        job_id=job.job_id,
-                        solver=job.solver,
-                        status="failed",
-                        attempts=used_attempts,
-                        error=error,
-                    )
-                    continue
-                fingerprint = None
-                if self.cache is not None:
-                    fingerprint = job_fingerprint(job, data)
-                    cached = self.cache.get(fingerprint)
-                    if cached is not None and cached.status == "ok":
-                        seconds_saved += cached.elapsed_seconds
-                        slots[index] = cached.as_cache_hit(job_id=job.job_id)
-                        continue
-                pending.append((index, job, data, fingerprint, used_attempts - 1))
-
-            if pending:
-                if self.n_workers > 1:
-                    executed = self._run_parallel(pending)
-                else:
-                    executed = self._run_serial(pending)
-                for index, result in executed:
-                    slots[index] = result
-                    if (
-                        self.cache is not None
-                        and result.status == "ok"
-                        and result.fingerprint is not None
-                    ):
-                        self.cache.put(result.fingerprint, result)
-
-        results = [slot for slot in slots if slot is not None]
-        return BatchReport(
-            results=results,
-            total_seconds=timer.elapsed,
-            n_workers=self.n_workers,
-            solver_seconds_saved=seconds_saved,
-            cache_stats=self.cache.stats() if self.cache is not None else {},
-        )
-
-    # -- internals --------------------------------------------------------------
-
-    def _materialize(
-        self, job: LearningJob
-    ) -> tuple[np.ndarray | None, str | None, int]:
-        """Resolve the job's data with retries; returns (data, error, attempts)."""
-        error = None
-        for attempt in range(1, self.max_retries + 2):
-            try:
-                return job.resolve_data(), None, attempt
-            except Exception as exc:  # noqa: BLE001 - failures become job status
-                error = f"{type(exc).__name__}: {exc}"
-        return None, error, self.max_retries + 1
-
-    def _run_serial(
-        self, pending: list[tuple[int, LearningJob, np.ndarray, str | None, int]]
-    ) -> list[tuple[int, JobResult]]:
-        executed = []
-        for index, job, data, fingerprint, base_attempts in pending:
-            result = _execute_with_retry(
-                job, data, fingerprint, self.max_retries, base_attempts
-            )
-            if (
-                self.timeout is not None
-                and result.status == "ok"
-                and result.elapsed_seconds > self.timeout
-            ):
-                result = JobResult(
-                    job_id=result.job_id,
-                    solver=result.solver,
-                    status="timeout",
-                    attempts=result.attempts,
-                    elapsed_seconds=result.elapsed_seconds,
-                    fingerprint=fingerprint,
-                    error=(
-                        f"job exceeded the {self.timeout:.3f}s deadline "
-                        f"({result.elapsed_seconds:.3f}s)"
-                    ),
-                )
-            executed.append((index, result))
-        return executed
-
-    def _run_parallel(
-        self, pending: list[tuple[int, LearningJob, np.ndarray, str | None, int]]
-    ) -> list[tuple[int, JobResult]]:
-        executed: list[tuple[int, JobResult]] = []
-        workers = min(self.n_workers, len(pending))
-        executor = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_initialize_worker,
-            initargs=(dict(job_module._SOLVERS),),
-        )
-        try:
-            future_to_item = {}
-            for item in pending:
-                index, job, data, fingerprint, base_attempts = item
-                if job.data is not None:
-                    # The materialized matrix travels as the explicit `data`
-                    # argument; don't ship a second copy inside the job spec.
-                    job = copy.copy(job)
-                    job.data = None
-                future = executor.submit(
-                    _execute_with_retry,
-                    job,
-                    data,
-                    fingerprint,
-                    self.max_retries,
-                    base_attempts,
-                )
-                future_to_item[future] = item
-
-            outstanding = set(future_to_item)
-            while outstanding:
-                done, outstanding = wait(
-                    outstanding, timeout=self.timeout, return_when=FIRST_COMPLETED
-                )
-                if not done:
-                    # Deadline elapsed with nothing finishing: every job still
-                    # outstanding has now had at least `timeout` seconds.
-                    break
-                for future in done:
-                    index, job, _, fingerprint, base_attempts = future_to_item[future]
-                    try:
-                        executed.append((index, future.result()))
-                    except Exception as exc:  # noqa: BLE001 - pool crash
-                        executed.append(
-                            (
-                                index,
-                                JobResult(
-                                    job_id=job.job_id or job.describe(),
-                                    solver=job.solver,
-                                    status="failed",
-                                    attempts=base_attempts + 1,
-                                    fingerprint=fingerprint,
-                                    error=f"{type(exc).__name__}: {exc}",
-                                ),
-                            )
-                        )
-            for future in outstanding:
-                # A future that can still be cancelled never reached a worker:
-                # it starved in the queue rather than overrunning its budget.
-                never_started = future.cancel()
-                index, job, _, fingerprint, base_attempts = future_to_item[future]
-                if never_started:
-                    error = (
-                        f"batch deadline ({self.timeout:.3f}s) elapsed before "
-                        "the job was assigned a worker"
-                    )
-                    attempts = base_attempts
-                else:
-                    error = f"job exceeded the {self.timeout:.3f}s deadline"
-                    attempts = base_attempts + 1
-                executed.append(
-                    (
-                        index,
-                        JobResult(
-                            job_id=job.job_id or job.describe(),
-                            solver=job.solver,
-                            status="timeout",
-                            attempts=attempts,
-                            fingerprint=fingerprint,
-                            error=error,
-                        ),
-                    )
-                )
-        finally:
-            executor.shutdown(wait=False, cancel_futures=True)
-        return executed
+        return self._engine.run(jobs)

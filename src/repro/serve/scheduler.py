@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.least import LEAST, LEASTConfig, LEASTResult
 from repro.exceptions import ValidationError
+from repro.serve.streaming import PreemptedError, call_with_deadline
 from repro.serve.warm_start import WarmStartState, prepare_init
 from repro.utils.random import RandomState
 from repro.utils.timer import Timer
@@ -33,7 +34,27 @@ __all__ = ["WindowStats", "RelearnScheduler"]
 
 @dataclass
 class WindowStats:
-    """Telemetry of one scheduled window solve."""
+    """Telemetry of one scheduled window solve.
+
+    Attributes
+    ----------
+    window_index:
+        Zero-based position of the window in the schedule.
+    warm_started:
+        True when the solve was seeded from the previous window's solution.
+    n_nodes, n_shared_nodes:
+        Size of the window's vocabulary and its overlap with the previous one.
+    n_outer_iterations, n_inner_iterations:
+        Solver iteration counts of the window (0 for a preempted window).
+    elapsed_seconds:
+        Wall-clock duration of the solve (for a preempted window, roughly the
+        deadline).
+    converged:
+        Solver convergence flag (always False for a preempted window).
+    preempted:
+        True when the window solve was killed at the scheduler's
+        ``window_deadline`` instead of finishing.
+    """
 
     window_index: int
     warm_started: bool
@@ -43,8 +64,10 @@ class WindowStats:
     n_inner_iterations: int
     elapsed_seconds: float
     converged: bool
+    preempted: bool = False
 
     def as_dict(self) -> dict[str, Any]:
+        """JSON-able view of the window telemetry."""
         return {
             "window_index": self.window_index,
             "warm_started": self.warm_started,
@@ -54,6 +77,7 @@ class WindowStats:
             "n_inner_iterations": self.n_inner_iterations,
             "elapsed_seconds": self.elapsed_seconds,
             "converged": self.converged,
+            "preempted": self.preempted,
         }
 
 
@@ -89,6 +113,15 @@ class RelearnScheduler:
         those converge in one or two outer rounds, but on drifting data the
         immediately-high penalty suppresses new edges before the data term can
         grow them.  Default False.
+    window_deadline:
+        Optional hard per-window solve budget in seconds.  When set, each
+        window's ``fit`` runs on a disposable worker process via
+        :func:`repro.serve.streaming.call_with_deadline` and is SIGKILLed if
+        it overruns; the window is then recorded as ``preempted`` in
+        :attr:`history`, the carried warm-start state is left untouched, and
+        :meth:`step` returns a degraded result (the window's init — or zeros —
+        with ``converged=False``) so the loop survives one runaway solve.
+        ``None`` (default) solves inline with no budget.
     """
 
     def __init__(
@@ -100,12 +133,17 @@ class RelearnScheduler:
         min_shared_nodes: int = 1,
         warm_inner_scale: float = 0.5,
         resume_penalty: bool = False,
+        window_deadline: float | None = None,
     ) -> None:
         check_unit_interval(damping, "damping")
         check_non_negative(init_threshold, "init_threshold")
         if not 0.0 < warm_inner_scale <= 1.0:
             raise ValidationError(
                 f"warm_inner_scale must be in (0, 1], got {warm_inner_scale}"
+            )
+        if window_deadline is not None and window_deadline <= 0:
+            raise ValidationError(
+                f"window_deadline must be positive, got {window_deadline}"
             )
         self.least_config = least_config or LEASTConfig()
         self.warm_start = warm_start
@@ -114,6 +152,7 @@ class RelearnScheduler:
         self.min_shared_nodes = max(int(min_shared_nodes), 1)
         self.warm_inner_scale = warm_inner_scale
         self.resume_penalty = resume_penalty
+        self.window_deadline = window_deadline
         self.state: WarmStartState | None = None
         self.history: list[WindowStats] = []
         self._previous_rho: float | None = None
@@ -123,7 +162,25 @@ class RelearnScheduler:
     def step(
         self, data: np.ndarray, node_names: Sequence[str], seed: RandomState = None
     ) -> LEASTResult:
-        """Solve one window and update the carried warm-start state."""
+        """Solve one window and update the carried warm-start state.
+
+        Parameters
+        ----------
+        data:
+            The window's ``n × d`` (standardized) sample matrix.
+        node_names:
+            Vocabulary of the window's ``d`` columns, used to re-align the
+            previous solution across vocabulary changes.
+        seed:
+            Seed/generator forwarded to the solver.
+
+        Returns
+        -------
+        LEASTResult
+            The window's solve result.  With a ``window_deadline`` set, a
+            preempted window returns a degraded result (its init — or zeros —
+            with ``converged=False``) instead of raising.
+        """
         names = list(node_names)
         init = None
         shared = 0
@@ -152,11 +209,34 @@ class RelearnScheduler:
                 )
         solver = LEAST(config)
         timer = Timer()
+        preempted = False
         with timer:
-            result = solver.fit(data, seed=seed, init_weights=init)
+            try:
+                result = call_with_deadline(
+                    solver.fit,
+                    data,
+                    deadline=self.window_deadline,
+                    seed=seed,
+                    init_weights=init,
+                )
+            except PreemptedError:
+                preempted = True
+                fallback = init if init is not None else np.zeros((len(names),) * 2)
+                result = LEASTResult(
+                    weights=np.asarray(fallback, dtype=float).copy(),
+                    constraint_value=float("inf"),
+                    converged=False,
+                    n_outer_iterations=0,
+                    n_inner_iterations=0,
+                )
 
-        self.state = WarmStartState(weights=result.weights.copy(), node_names=names)
-        self._previous_rho = float(result.log.last("rho", config.rho_start))
+        if not preempted:
+            # A preempted window leaves the carried state and ρ untouched so
+            # the next window warm-starts from the last *completed* solve.
+            self.state = WarmStartState(
+                weights=result.weights.copy(), node_names=names
+            )
+            self._previous_rho = float(result.log.last("rho", config.rho_start))
         self.history.append(
             WindowStats(
                 window_index=len(self.history),
@@ -167,6 +247,7 @@ class RelearnScheduler:
                 n_inner_iterations=result.n_inner_iterations,
                 elapsed_seconds=timer.elapsed,
                 converged=result.converged,
+                preempted=preempted,
             )
         )
         return result
@@ -180,9 +261,17 @@ class RelearnScheduler:
     # -- aggregate views ---------------------------------------------------------
 
     def stats_summary(self) -> dict[str, float]:
-        """Totals across all scheduled windows (cold and warm counted apart)."""
-        warm = [stats for stats in self.history if stats.warm_started]
-        cold = [stats for stats in self.history if not stats.warm_started]
+        """Totals across all scheduled windows (cold and warm counted apart).
+
+        Warm/cold counts and iteration means cover *completed* solves only —
+        preempted windows report 0 iterations and would deflate the means;
+        they are tallied separately under ``n_preempted_windows``, so
+        ``n_warm_windows + n_cold_windows + n_preempted_windows ==
+        n_windows``.
+        """
+        completed = [stats for stats in self.history if not stats.preempted]
+        warm = [stats for stats in completed if stats.warm_started]
+        cold = [stats for stats in completed if not stats.warm_started]
 
         def _mean_inner(windows: list[WindowStats]) -> float:
             if not windows:
@@ -193,6 +282,9 @@ class RelearnScheduler:
             "n_windows": float(len(self.history)),
             "n_warm_windows": float(len(warm)),
             "n_cold_windows": float(len(cold)),
+            "n_preempted_windows": float(
+                sum(1 for s in self.history if s.preempted)
+            ),
             "total_inner_iterations": float(
                 sum(s.n_inner_iterations for s in self.history)
             ),

@@ -1,0 +1,759 @@
+"""Streaming, preemptible execution engine for the serving layer.
+
+:class:`StreamingRunner` is the execution core behind
+:class:`~repro.serve.runner.BatchRunner`: it runs every
+:class:`~repro.serve.job.LearningJob` in a disposable worker process and
+*streams* :class:`~repro.serve.job.JobResult` records back the moment each job
+finishes, instead of blocking until the whole manifest is done.  That is the
+shape the paper's deployment needs — ~100k tasks per day, where downstream
+consumers (dashboards, alerting, the re-learn loop) want each scenario's graph
+as soon as it exists, and one runaway solve must never stall the fleet.
+
+Preemption model
+----------------
+Deadlines are enforced with *hard* preemption, replacing the cooperative
+timeouts of the original runner:
+
+* every deadline-bound job runs in its own worker process (one process per
+  job, so killing one job can never poison a shared pool);
+* the parent polls the workers and sends ``SIGKILL`` to any worker still
+  alive past its deadline — a solver stuck in a C loop is killed all the
+  same;
+* each worker additionally arms a *suicide timer*
+  (``signal.setitimer(ITIMER_REAL, ...)`` with ``SIGALRM`` left at its
+  default, process-terminating disposition) slightly after the parent's
+  deadline, so a worker orphaned by a dead parent still kills itself;
+* a killed job is recorded with the ``"preempted"`` status and, depending on
+  :attr:`StreamingRunner.preempt_policy`, is either failed immediately or
+  requeued for a fresh attempt with a fresh deadline.
+
+Jobs with no deadline and ``n_workers=1`` are executed inline in the parent
+(no fork, no pickling) — the cheap path for small serial manifests.
+
+Environment knobs (also honored by the tier-1 test-suite):
+
+``REPRO_SERVE_START_METHOD``
+    Override the :mod:`multiprocessing` start method (``fork`` / ``spawn`` /
+    ``forkserver``).  Default: the platform default.
+``REPRO_SERVE_KILL_GRACE``
+    Seconds of grace between the parent's deadline check and the worker's
+    suicide timer (default ``0.5``).
+``REPRO_SERVE_POLL_INTERVAL``
+    Upper bound on the parent's poll sleep in seconds (default ``0.05``).
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing as mp
+import os
+import pickle
+import signal
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+import repro.serve.job as job_module
+from repro.exceptions import ValidationError
+from repro.serve.cache import ResultCache, job_fingerprint
+from repro.serve.job import JobResult, LearningJob, execute_job
+
+__all__ = [
+    "PreemptedError",
+    "WorkerCrashError",
+    "StreamTelemetry",
+    "StreamingRunner",
+    "call_with_deadline",
+]
+
+#: Allowed values of :attr:`StreamingRunner.preempt_policy`.
+PREEMPT_POLICIES: tuple[str, ...] = ("fail", "requeue")
+
+
+def _kill_grace() -> float:
+    """Grace period between parent kill and worker suicide timer (seconds)."""
+    return float(os.environ.get("REPRO_SERVE_KILL_GRACE", "0.5"))
+
+
+def _poll_interval() -> float:
+    """Upper bound on the parent's poll sleep (seconds)."""
+    return float(os.environ.get("REPRO_SERVE_POLL_INTERVAL", "0.05"))
+
+
+def _mp_context() -> mp.context.BaseContext:
+    """The multiprocessing context honoring ``REPRO_SERVE_START_METHOD``."""
+    method = os.environ.get("REPRO_SERVE_START_METHOD") or None
+    return mp.get_context(method)
+
+
+class PreemptedError(RuntimeError):
+    """Raised by :func:`call_with_deadline` when the worker was killed on deadline."""
+
+
+class WorkerCrashError(RuntimeError):
+    """Raised when a worker process died without producing a result or error."""
+
+
+# -- worker-side code ----------------------------------------------------------
+
+
+def _arm_suicide_timer(deadline: float | None) -> None:
+    """Arm the worker's own kill switch slightly past the parent's deadline.
+
+    ``SIGALRM`` is deliberately left at its *default* disposition: the kernel
+    terminates the process when the timer fires even if the interpreter is
+    stuck inside a C extension and would never run a Python handler.  The
+    parent's ``SIGKILL`` remains the primary enforcement; the suicide timer
+    only matters when the parent itself died and can no longer clean up.
+    """
+    if deadline is None:
+        return
+    if not (hasattr(signal, "setitimer") and hasattr(signal, "SIGALRM")):
+        return  # pragma: no cover - non-POSIX platforms
+    signal.signal(signal.SIGALRM, signal.SIG_DFL)
+    signal.setitimer(signal.ITIMER_REAL, deadline + _kill_grace())
+
+
+def _execute_with_retry(
+    job: LearningJob,
+    data: np.ndarray,
+    fingerprint: str | None,
+    max_retries: int,
+    base_attempts: int,
+) -> JobResult:
+    """Run the solver for one job, retrying failures within the same worker.
+
+    Parameters
+    ----------
+    job, data, fingerprint:
+        The job spec, its materialized sample matrix, and its cache key.
+    max_retries:
+        Additional solver attempts granted after the first failure.
+    base_attempts:
+        Attempts already consumed in the parent (dataset materialization).
+
+    Returns
+    -------
+    JobResult
+        An ``"ok"`` result from the first successful attempt, or a
+        ``"failed"`` result carrying the last error once the budget is spent.
+    """
+    last_error = "job was never attempted"
+    attempts = base_attempts
+    for _ in range(max_retries + 1):
+        attempts += 1
+        try:
+            result = execute_job(job, data=data, fingerprint=fingerprint)
+            result.attempts = attempts
+            return result
+        except Exception as exc:  # noqa: BLE001 - failures become job status
+            last_error = f"{type(exc).__name__}: {exc}"
+    return JobResult(
+        job_id=job.job_id or job.describe(),
+        solver=job.solver,
+        status="failed",
+        attempts=attempts,
+        fingerprint=fingerprint,
+        error=last_error,
+    )
+
+
+def _job_worker(
+    conn,
+    deadline: float | None,
+    job: LearningJob,
+    data: np.ndarray,
+    fingerprint: str | None,
+    max_retries: int,
+    base_attempts: int,
+    solver_registry: dict,
+) -> None:
+    """Worker entry point: execute one job and send its result over ``conn``.
+
+    The solver registry snapshot replicates parent-side
+    :func:`~repro.serve.job.register_solver` calls for ``spawn``/``forkserver``
+    workers (``fork`` workers inherit it anyway).
+    """
+    _arm_suicide_timer(deadline)
+    job_module._SOLVERS.update(solver_registry)
+    result = _execute_with_retry(job, data, fingerprint, max_retries, base_attempts)
+    try:
+        conn.send(result)
+    finally:
+        conn.close()
+
+
+def _call_worker(conn, deadline: float | None, fn, args, kwargs) -> None:
+    """Worker entry point for :func:`call_with_deadline`."""
+    _arm_suicide_timer(deadline)
+    try:
+        value = fn(*args, **kwargs)
+        payload = ("ok", value)
+    except BaseException as exc:  # noqa: BLE001 - shipped back to the parent
+        payload = ("error", f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+# -- parent-side primitives ----------------------------------------------------
+
+
+def _terminate(process: mp.process.BaseProcess) -> None:
+    """SIGKILL ``process`` and reap it (best effort, never raises)."""
+    try:
+        process.kill()
+    except Exception:  # pragma: no cover - process already gone
+        pass
+    process.join(timeout=5.0)
+
+
+def _suicide_exit(exitcode: int | None) -> bool:
+    """True when the worker died from its own ``SIGALRM`` suicide timer.
+
+    The parent's own deadline kills never reach the exit-code classifiers —
+    the parent records them directly at the moment it sends the ``SIGKILL``.
+    A ``-SIGKILL`` exit observed *here* therefore came from outside the
+    engine (e.g. the kernel OOM killer) and is a crash, not a preemption;
+    only the ``SIGALRM`` the worker armed itself counts as a deadline death.
+    """
+    if exitcode is None:
+        return False
+    return hasattr(signal, "SIGALRM") and exitcode == -int(signal.SIGALRM)
+
+
+def call_with_deadline(
+    fn: Callable[..., Any],
+    *args: Any,
+    deadline: float | None = None,
+    **kwargs: Any,
+) -> Any:
+    """Run ``fn(*args, **kwargs)`` in a disposable worker, SIGKILLed on deadline.
+
+    This is the single-call face of the preemption machinery, used by
+    :class:`~repro.serve.scheduler.RelearnScheduler` to bound one window solve.
+    The callable, its arguments, and its return value must be picklable under
+    the active start method (under the default ``fork`` they are simply
+    inherited).
+
+    Parameters
+    ----------
+    fn:
+        The callable to execute.
+    deadline:
+        Seconds the call may run.  ``None`` runs ``fn`` inline with no worker
+        process and no preemption.
+
+    Returns
+    -------
+    Any
+        Whatever ``fn`` returned.
+
+    Raises
+    ------
+    PreemptedError
+        The deadline elapsed and the worker was killed.
+    WorkerCrashError
+        The worker died without reporting a result (e.g. a segfault).
+    RuntimeError
+        ``fn`` raised; the original exception type and message are preserved
+        in the error text.
+    """
+    if deadline is None:
+        return fn(*args, **kwargs)
+    if deadline <= 0:
+        raise ValidationError(f"deadline must be positive, got {deadline}")
+
+    context = _mp_context()
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_call_worker,
+        args=(child_conn, deadline, fn, args, kwargs),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    deadline_at = time.monotonic() + deadline
+    try:
+        while True:
+            remaining = deadline_at - time.monotonic()
+            if parent_conn.poll(max(remaining, 0.0)):
+                try:
+                    kind, value = parent_conn.recv()
+                except (EOFError, OSError, pickle.UnpicklingError):
+                    process.join(timeout=5.0)
+                    raise WorkerCrashError(
+                        "worker died while sending its result "
+                        f"(exit code {process.exitcode})"
+                    ) from None
+                process.join(timeout=5.0)
+                if kind == "ok":
+                    return value
+                raise RuntimeError(value)
+            # Deadline elapsed with no message seen by the timed poll.  A
+            # result that landed in the race window between that poll and now
+            # is preferred over killing/condemning the worker.
+            if parent_conn.poll(0):
+                continue
+            if process.is_alive():
+                _terminate(process)
+                raise PreemptedError(
+                    f"call exceeded the {deadline:.3f}s deadline and was killed"
+                )
+            process.join(timeout=5.0)
+            if _suicide_exit(process.exitcode):
+                raise PreemptedError(
+                    f"worker killed itself at the {deadline:.3f}s deadline "
+                    f"(exit code {process.exitcode})"
+                )
+            raise WorkerCrashError(
+                f"worker died without a result (exit code {process.exitcode})"
+            )
+    finally:
+        parent_conn.close()
+        if process.is_alive():  # pragma: no cover - defensive
+            _terminate(process)
+
+
+# -- the streaming engine ------------------------------------------------------
+
+
+@dataclass
+class StreamTelemetry:
+    """Execution telemetry of one :meth:`StreamingRunner.stream` pass.
+
+    Attributes
+    ----------
+    time_to_first_result:
+        Seconds from stream start to the first yielded result (``None`` until
+        one arrives).
+    total_seconds:
+        Wall-clock duration of the whole stream.
+    n_yielded:
+        Results yielded so far (all statuses).
+    n_killed:
+        Workers the parent SIGKILLed at their deadline.
+    n_suicide_exits:
+        Workers found dead from their own ``SIGALRM`` suicide timer.
+    n_requeued:
+        Preempted jobs granted a fresh attempt under the ``"requeue"`` policy.
+    killed_pids:
+        Process ids of the killed workers (all reaped — useful for asserting
+        that no orphans survive).
+    """
+
+    time_to_first_result: float | None = None
+    total_seconds: float = 0.0
+    n_yielded: int = 0
+    n_killed: int = 0
+    n_suicide_exits: int = 0
+    n_requeued: int = 0
+    killed_pids: list[int] = field(default_factory=list)
+
+    def preemption_summary(self) -> dict[str, float]:
+        """JSON-able preemption counters (the report's ``preemption`` block)."""
+        return {
+            "n_killed": float(self.n_killed),
+            "n_suicide_exits": float(self.n_suicide_exits),
+            "n_requeued": float(self.n_requeued),
+        }
+
+
+@dataclass
+class _PendingItem:
+    """One manifest entry waiting for (or holding) a worker."""
+
+    index: int
+    job: LearningJob
+    data: np.ndarray | None = None
+    fingerprint: str | None = None
+    base_attempts: int = 0
+    preempt_attempts: int = 0
+
+
+@dataclass
+class _ActiveWorker:
+    """A live worker process bound to one job."""
+
+    item: _PendingItem
+    process: mp.process.BaseProcess
+    conn: Any
+    deadline_at: float | None
+
+
+class StreamingRunner:
+    """Execute jobs on disposable workers, yielding results as they complete.
+
+    This is the engine underneath :class:`~repro.serve.runner.BatchRunner`;
+    use it directly when results should be consumed the moment they exist
+    (NDJSON streaming, dashboards, pipelining into downstream work).
+
+    Parameters
+    ----------
+    n_workers:
+        Maximum number of concurrently live worker processes.  ``1`` with no
+        ``timeout`` executes jobs inline in the parent (no subprocess).
+    cache:
+        Optional :class:`~repro.serve.cache.ResultCache`.  Hits are yielded
+        immediately without a worker; successful misses are written back.
+    timeout:
+        Hard per-job deadline in seconds.  A job still running this long
+        after its worker started is SIGKILLed and reported ``"preempted"``.
+        ``None`` disables preemption.
+    max_retries:
+        Additional attempts for failing dataset builds and solver runs
+        (retries happen inside the worker, within the same deadline).
+    preempt_policy:
+        ``"fail"`` (default) reports a killed job as ``"preempted"``
+        immediately; ``"requeue"`` grants it up to ``preempt_retries`` fresh
+        attempts (each with a full deadline) before giving up.
+    preempt_retries:
+        Fresh attempts granted to a preempted job under the ``"requeue"``
+        policy.
+
+    Examples
+    --------
+    >>> from repro.serve import LearningJob, StreamingRunner
+    >>> jobs = [LearningJob(dataset="er2", seed=s, dataset_options={"n_nodes": 12},
+    ...                     config={"max_outer_iterations": 2,
+    ...                             "max_inner_iterations": 20})
+    ...         for s in range(3)]
+    >>> for result in StreamingRunner(n_workers=2).stream(jobs):
+    ...     _ = result.status  # arrives the moment each job finishes
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        cache: ResultCache | None = None,
+        timeout: float | None = None,
+        max_retries: int = 0,
+        preempt_policy: str = "fail",
+        preempt_retries: int = 1,
+    ) -> None:
+        if n_workers < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        if timeout is not None and timeout <= 0:
+            raise ValidationError(f"timeout must be positive, got {timeout}")
+        if max_retries < 0:
+            raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
+        if preempt_policy not in PREEMPT_POLICIES:
+            raise ValidationError(
+                f"preempt_policy must be one of {PREEMPT_POLICIES}, "
+                f"got {preempt_policy!r}"
+            )
+        if preempt_retries < 0:
+            raise ValidationError(
+                f"preempt_retries must be >= 0, got {preempt_retries}"
+            )
+        self.n_workers = int(n_workers)
+        self.cache = cache
+        self.timeout = timeout
+        self.max_retries = int(max_retries)
+        self.preempt_policy = preempt_policy
+        self.preempt_retries = int(preempt_retries)
+        self.telemetry = StreamTelemetry()
+        self.solver_seconds_saved = 0.0
+
+    # -- public API ------------------------------------------------------------
+
+    def stream(self, jobs: Sequence[LearningJob]) -> Iterator[JobResult]:
+        """Yield one :class:`JobResult` per job, in completion order.
+
+        Telemetry for the pass is left on :attr:`telemetry` (and
+        :attr:`solver_seconds_saved`) after the generator is exhausted.
+        """
+        for _, result in self._stream(jobs):
+            yield result
+
+    def run(self, jobs, on_result: Callable[[JobResult], None] | None = None):
+        """Drain the stream into a :class:`~repro.serve.runner.BatchReport`.
+
+        ``report.results`` is in manifest order regardless of completion
+        order.  ``on_result`` (when given) is invoked once per result in
+        completion order — this is how the CLI's ``--stream`` mode emits
+        NDJSON lines while still producing the final report.
+
+        Returns
+        -------
+        BatchReport
+            Results plus aggregate throughput, cache, and preemption
+            telemetry.
+        """
+        from repro.serve.runner import BatchReport
+
+        jobs = list(jobs)
+        slots: list[JobResult | None] = [None] * len(jobs)
+        for index, result in self._stream(jobs):
+            slots[index] = result
+            if on_result is not None:
+                on_result(result)
+        results = [slot for slot in slots if slot is not None]
+        return BatchReport(
+            results=results,
+            total_seconds=self.telemetry.total_seconds,
+            n_workers=self.n_workers,
+            solver_seconds_saved=self.solver_seconds_saved,
+            cache_stats=self.cache.stats() if self.cache is not None else {},
+            time_to_first_result=self.telemetry.time_to_first_result,
+            preemption_stats=self.telemetry.preemption_summary(),
+        )
+
+    # -- internals --------------------------------------------------------------
+
+    def _stream(self, jobs: Sequence[LearningJob]) -> Iterator[tuple[int, JobResult]]:
+        """Yield ``(manifest index, result)`` pairs in completion order."""
+        jobs = list(jobs)
+        for index, job in enumerate(jobs):
+            if job.job_id is None:
+                job.job_id = f"job-{index:03d}"
+
+        self.telemetry = StreamTelemetry()
+        self.solver_seconds_saved = 0.0
+        started = time.monotonic()
+        pending: deque[_PendingItem] = deque(
+            _PendingItem(index=index, job=job) for index, job in enumerate(jobs)
+        )
+        active: list[_ActiveWorker] = []
+        inline = self.n_workers == 1 and self.timeout is None
+
+        def _finish(index: int, result: JobResult) -> tuple[int, JobResult]:
+            now = time.monotonic() - started
+            if self.telemetry.time_to_first_result is None:
+                self.telemetry.time_to_first_result = now
+            self.telemetry.total_seconds = now
+            self.telemetry.n_yielded += 1
+            if (
+                self.cache is not None
+                and result.status == "ok"
+                and not result.cache_hit  # hits must not overwrite the entry
+                and result.fingerprint is not None
+            ):
+                self.cache.put(result.fingerprint, result)
+            return index, result
+
+        try:
+            while pending or active:
+                # Fill free capacity; immediate outcomes (materialization
+                # failures, cache hits, inline execution) yield right away.
+                while pending and len(active) < self.n_workers:
+                    item = pending.popleft()
+                    immediate = self._prepare(item)
+                    if immediate is not None:
+                        yield _finish(item.index, immediate)
+                        continue
+                    if inline:
+                        yield _finish(item.index, self._run_inline(item))
+                        continue
+                    active.append(self._launch(item))
+
+                if not active:
+                    continue
+                self._wait(active)
+                now = time.monotonic()
+                still_active: list[_ActiveWorker] = []
+                for worker in active:
+                    outcome, requeue = self._poll_worker(worker, now)
+                    if outcome is None and requeue is None:
+                        still_active.append(worker)
+                    elif requeue is not None:
+                        pending.append(requeue)
+                    else:
+                        yield _finish(worker.item.index, outcome)
+                active = still_active
+        finally:
+            for worker in active:  # only on generator abandonment / error
+                # Cleanup kills are not deadline preemptions: keep them out
+                # of the kill telemetry.
+                _terminate(worker.process)
+                worker.conn.close()
+            self.telemetry.total_seconds = time.monotonic() - started
+
+    def _prepare(self, item: _PendingItem) -> JobResult | None:
+        """Materialize data and consult the cache; a result short-circuits."""
+        job = item.job
+        if item.data is None:  # a requeued item keeps its materialized data
+            data, error, used_attempts = self._materialize(job)
+            if data is None:
+                return JobResult(
+                    job_id=job.job_id,
+                    solver=job.solver,
+                    status="failed",
+                    attempts=used_attempts,
+                    error=error,
+                )
+            item.data = data
+            item.base_attempts = used_attempts - 1
+            if self.cache is not None:
+                item.fingerprint = job_fingerprint(job, data)
+                cached = self.cache.get(item.fingerprint)
+                if cached is not None and cached.status == "ok":
+                    self.solver_seconds_saved += cached.elapsed_seconds
+                    return cached.as_cache_hit(job_id=job.job_id)
+        return None
+
+    def _materialize(self, job: LearningJob) -> tuple[np.ndarray | None, str | None, int]:
+        """Resolve the job's data with retries; returns (data, error, attempts)."""
+        error = None
+        for attempt in range(1, self.max_retries + 2):
+            try:
+                return job.resolve_data(), None, attempt
+            except Exception as exc:  # noqa: BLE001 - failures become job status
+                error = f"{type(exc).__name__}: {exc}"
+        return None, error, self.max_retries + 1
+
+    def _run_inline(self, item: _PendingItem) -> JobResult:
+        """Execute one job in the parent process (serial, no-deadline path)."""
+        return _execute_with_retry(
+            item.job, item.data, item.fingerprint, self.max_retries, item.base_attempts
+        )
+
+    def _launch(self, item: _PendingItem) -> _ActiveWorker:
+        """Start a dedicated worker process for one job."""
+        context = _mp_context()
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        job = item.job
+        if job.data is not None:
+            # The materialized matrix travels as the explicit `data` argument;
+            # don't ship a second copy inside the job spec.
+            job = copy.copy(job)
+            job.data = None
+        process = context.Process(
+            target=_job_worker,
+            args=(
+                child_conn,
+                self.timeout,
+                job,
+                item.data,
+                item.fingerprint,
+                self.max_retries,
+                item.base_attempts,
+                dict(job_module._SOLVERS),
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        deadline_at = (
+            time.monotonic() + self.timeout if self.timeout is not None else None
+        )
+        return _ActiveWorker(
+            item=item, process=process, conn=parent_conn, deadline_at=deadline_at
+        )
+
+    def _wait(self, active: list[_ActiveWorker]) -> None:
+        """Block until a worker has news, its deadline passes, or a poll tick."""
+        from multiprocessing.connection import wait as connection_wait
+
+        now = time.monotonic()
+        timeout = _poll_interval()
+        for worker in active:
+            if worker.deadline_at is not None:
+                timeout = min(timeout, max(worker.deadline_at - now, 0.0))
+        handles = [worker.conn for worker in active]
+        handles.extend(worker.process.sentinel for worker in active)
+        connection_wait(handles, timeout=timeout)
+
+    def _poll_worker(
+        self, worker: _ActiveWorker, now: float
+    ) -> tuple[JobResult | None, _PendingItem | None]:
+        """Check one worker for a result, a crash, or a blown deadline.
+
+        Returns ``(result, None)`` when the job finished (any status),
+        ``(None, item)`` when a preempted job should be requeued, and
+        ``(None, None)`` when the worker is still running.
+        """
+        item = worker.item
+        # Sample liveness BEFORE draining the pipe: a worker that sends its
+        # result and exits between the two steps is then caught by the drain
+        # (the message is fully buffered before exit), never misclassified as
+        # a crash with its completed result discarded.
+        exited = worker.process.exitcode is not None
+        if worker.conn.poll(0):
+            try:
+                result: JobResult = worker.conn.recv()
+            except (EOFError, OSError, pickle.UnpicklingError):
+                return self._dead_worker_outcome(worker, mid_send=True)
+            worker.process.join(timeout=5.0)
+            worker.conn.close()
+            # Attempts killed on earlier requeued workers are invisible to
+            # this worker; fold them in so success and final-preemption paths
+            # account alike.
+            result.attempts += item.preempt_attempts
+            return result, None
+        if exited:
+            worker.process.join(timeout=5.0)
+            return self._dead_worker_outcome(worker, mid_send=False)
+        if worker.deadline_at is not None and now >= worker.deadline_at:
+            self._record_kill(worker)
+            worker.conn.close()
+            return self._preempted_outcome(
+                item, f"job exceeded the {self.timeout:.3f}s deadline and was killed"
+            )
+        return None, None
+
+    def _record_kill(self, worker: _ActiveWorker) -> None:
+        """SIGKILL a worker and account for it in the telemetry."""
+        pid = worker.process.pid
+        _terminate(worker.process)
+        self.telemetry.n_killed += 1
+        if pid is not None:
+            self.telemetry.killed_pids.append(pid)
+
+    def _dead_worker_outcome(
+        self, worker: _ActiveWorker, mid_send: bool
+    ) -> tuple[JobResult | None, _PendingItem | None]:
+        """Classify a worker that died without delivering a result."""
+        item = worker.item
+        worker.conn.close()
+        exitcode = worker.process.exitcode
+        # Parent deadline kills are recorded at the kill site, so only the
+        # worker's own suicide timer reaches this classifier as a preemption;
+        # an external SIGKILL (e.g. the kernel OOM killer) is a plain failure
+        # — requeueing it would just repeat the damage.
+        if self.timeout is not None and _suicide_exit(exitcode):
+            self.telemetry.n_suicide_exits += 1
+            reason = (
+                f"worker killed itself at the {self.timeout:.3f}s deadline "
+                f"(exit code {exitcode})"
+            )
+            return self._preempted_outcome(item, reason)
+        detail = "while sending its result " if mid_send else ""
+        return (
+            JobResult(
+                job_id=item.job.job_id,
+                solver=item.job.solver,
+                status="failed",
+                attempts=item.base_attempts + 1,
+                fingerprint=item.fingerprint,
+                error=f"worker crashed {detail}(exit code {exitcode})",
+            ),
+            None,
+        )
+
+    def _preempted_outcome(
+        self, item: _PendingItem, reason: str
+    ) -> tuple[JobResult | None, _PendingItem | None]:
+        """Apply the preemption policy: requeue the job or fail it for good."""
+        item.preempt_attempts += 1
+        if (
+            self.preempt_policy == "requeue"
+            and item.preempt_attempts <= self.preempt_retries
+        ):
+            self.telemetry.n_requeued += 1
+            return None, item
+        return (
+            JobResult(
+                job_id=item.job.job_id,
+                solver=item.job.solver,
+                status="preempted",
+                attempts=item.base_attempts + item.preempt_attempts,
+                fingerprint=item.fingerprint,
+                error=reason,
+            ),
+            None,
+        )

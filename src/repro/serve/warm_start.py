@@ -106,6 +106,7 @@ class WarmStartState:
 
     @property
     def n_nodes(self) -> int:
+        """Size of the carried vocabulary (== the weight matrix dimension)."""
         return len(self.node_names)
 
 

@@ -1,0 +1,121 @@
+"""Documentation contract: the public serve + core.least* APIs are documented.
+
+The CI docs job runs this module (alongside the markdown link check) so the
+documentation site in ``docs/`` cannot silently rot: every public module,
+class, function, method, and property of the serving layer and the LEAST
+solver family must carry a docstring, and the solver config dataclasses must
+describe every field they expose.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+
+import pytest
+
+import repro.core.least as least
+import repro.core.least_sparse as least_sparse
+import repro.serve as serve
+import repro.serve.cache as serve_cache
+import repro.serve.cli as serve_cli
+import repro.serve.job as serve_job
+import repro.serve.runner as serve_runner
+import repro.serve.scheduler as serve_scheduler
+import repro.serve.streaming as serve_streaming
+import repro.serve.warm_start as serve_warm_start
+
+MODULES = [
+    serve,
+    serve_cache,
+    serve_cli,
+    serve_job,
+    serve_runner,
+    serve_scheduler,
+    serve_streaming,
+    serve_warm_start,
+    least,
+    least_sparse,
+]
+
+CONFIG_CLASSES = [least.LEASTConfig, least_sparse.SparseLEASTConfig]
+
+
+def _public_members(module):
+    """(name, object) pairs of the module's public API (``__all__`` first)."""
+    names = list(getattr(module, "__all__", None) or [])
+    if not names:
+        names = [name for name in dir(module) if not name.startswith("_")]
+    return [(name, getattr(module, name)) for name in names]
+
+
+def _documented(obj) -> bool:
+    doc = inspect.getdoc(obj)
+    return bool(doc and doc.strip())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert _documented(module), f"module {module.__name__} has no docstring"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_members_have_docstrings(module):
+    missing = []
+    for name, member in _public_members(module):
+        if inspect.ismodule(member):
+            continue
+        if not (inspect.isclass(member) or callable(member)):
+            continue  # data constants (e.g. SOLVER_NAMES) document themselves
+        if not _documented(member):
+            missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"undocumented public members: {missing}"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_methods_and_properties_have_docstrings(module):
+    missing = []
+    for name, member in _public_members(module):
+        if not inspect.isclass(member):
+            continue
+        for attr_name, attr in vars(member).items():
+            if attr_name.startswith("_"):
+                continue
+            if isinstance(attr, property):
+                target = attr.fget
+            elif isinstance(attr, (staticmethod, classmethod)):
+                target = attr.__func__
+            elif inspect.isfunction(attr):
+                target = attr
+            else:
+                continue  # dataclass fields and plain class attributes
+            if not _documented(target):
+                missing.append(f"{module.__name__}.{name}.{attr_name}")
+    assert not missing, f"undocumented public methods/properties: {missing}"
+
+
+@pytest.mark.parametrize(
+    "config_class", CONFIG_CLASSES, ids=lambda c: c.__name__
+)
+def test_solver_configs_document_every_field(config_class):
+    """Every tunable of a solver config appears in its class docstring."""
+    doc = inspect.getdoc(config_class) or ""
+    missing = [
+        field.name
+        for field in dataclasses.fields(config_class)
+        if field.name not in doc
+    ]
+    assert not missing, (
+        f"{config_class.__name__} docstring does not mention fields: {missing}"
+    )
+
+
+def test_serve_package_reexports_are_documented():
+    """Everything importable from ``repro.serve`` is documented at the source."""
+    missing = [
+        name
+        for name in serve.__all__
+        if (inspect.isclass(getattr(serve, name)) or callable(getattr(serve, name)))
+        and not _documented(getattr(serve, name))
+    ]
+    assert not missing, f"undocumented repro.serve exports: {missing}"

@@ -53,6 +53,8 @@ def test_batch_serving_flow(capsys):
     assert outcome["rerun"]["n_cache_hits"] == 3
     assert outcome["relearn"]["n_windows"] == 2.0
     assert outcome["relearn"]["n_warm_windows"] == 1.0
+    assert outcome["streaming"]["n_streamed"] == 3
+    assert "streamed job-000" in captured
 
 
 @pytest.mark.parametrize("name", ["quickstart", "batch_serving"])

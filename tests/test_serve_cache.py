@@ -100,7 +100,10 @@ class TestInMemoryCache:
         cache.put(KEY_A, _result())
         hit = cache.get(KEY_A)
         assert hit is not None and hit.n_inner_iterations == 42
-        assert cache.stats() == {"hits": 1.0, "misses": 1.0, "hit_rate": 0.5}
+        stats = cache.stats()
+        assert stats["hits"] == 1.0 and stats["misses"] == 1.0
+        assert stats["hit_rate"] == 0.5
+        assert stats["evictions"] == 0.0 and stats["n_entries"] == 1.0
 
     def test_contains_and_len(self):
         cache = InMemoryCache()
@@ -130,13 +133,136 @@ class TestDiskCache:
         reopened = DiskCache(tmp_path)
         assert reopened.get(KEY_A).job_id == "persisted"
 
-    def test_corrupt_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_is_deleted(self, tmp_path):
         cache = DiskCache(tmp_path)
-        (tmp_path / f"{KEY_A}.pkl").write_bytes(b"not a pickle")
+        path = tmp_path / f"{KEY_A}.pkl"
+        path.write_bytes(b"not a pickle")
         assert cache.get(KEY_A) is None
-        assert cache.stats()["misses"] == 1.0
+        stats = cache.stats()
+        assert stats["misses"] == 1.0
+        assert stats["corrupt_entries"] == 1.0
+        # Recovery: the corrupt file is gone, so the entry can be re-stored
+        # and served again.
+        assert not path.exists()
+        cache.put(KEY_A, _result())
+        assert cache.get(KEY_A) is not None
 
     def test_rejects_non_hex_keys(self, tmp_path):
         cache = DiskCache(tmp_path)
         with pytest.raises(ValidationError):
             cache.put("../escape", _result())
+
+
+def _hex_key(index: int) -> str:
+    return format(index, "x").rjust(64, "0")
+
+
+class TestInMemoryCacheEviction:
+    def test_max_entries_evicts_least_recently_used(self):
+        cache = InMemoryCache(max_entries=2)
+        cache.put(KEY_A, _result("a"))
+        cache.put(KEY_B, _result("b"))
+        assert cache.get(KEY_A) is not None  # refresh A; B is now LRU
+        cache.put(_hex_key(3), _result("c"))
+        assert KEY_B not in cache
+        assert KEY_A in cache and _hex_key(3) in cache
+        assert cache.stats()["evictions"] == 1.0
+        assert len(cache) == 2
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ValidationError):
+            InMemoryCache(max_entries=0)
+
+
+class TestDiskCacheEviction:
+    def _put(self, cache, index, mtime=None):
+        key = _hex_key(index)
+        cache.put(key, _result(f"job-{index}"))
+        if mtime is not None:
+            # Stamp an explicit LRU position (mtime is the recency clock).
+            import os
+
+            os.utime(cache.directory / f"{key}.pkl", (mtime, mtime))
+        return key
+
+    def test_max_entries_keeps_only_the_most_recent(self, tmp_path):
+        cache = DiskCache(tmp_path, max_entries=2)
+        keys = [self._put(cache, index, mtime=1000.0 + index) for index in range(4)]
+        assert len(cache) == 2
+        assert keys[0] not in cache and keys[1] not in cache
+        assert keys[2] in cache and keys[3] in cache
+        assert cache.stats()["evictions"] == 2.0
+        assert cache.stats()["n_entries"] == 2.0
+
+    def test_lru_order_respects_get_recency(self, tmp_path):
+        cache = DiskCache(tmp_path, max_entries=2)
+        first = self._put(cache, 1, mtime=1000.0)
+        second = self._put(cache, 2, mtime=2000.0)
+        # Touching the older entry via a hit makes the other one the victim.
+        assert cache.get(first) is not None
+        third = self._put(cache, 3)
+        assert second not in cache
+        assert first in cache and third in cache
+
+    def test_contains_does_not_promote_in_lru_order(self, tmp_path):
+        cache = DiskCache(tmp_path, max_entries=2)
+        first = self._put(cache, 1, mtime=1000.0)
+        second = self._put(cache, 2, mtime=2000.0)
+        # A membership probe is not a use: the probed entry stays LRU...
+        assert first in cache
+        third = self._put(cache, 3)
+        assert first not in cache
+        assert second in cache and third in cache
+        # ...and probes don't distort the hit/miss counters either.
+        assert cache.stats()["hits"] == 0.0 and cache.stats()["misses"] == 0.0
+
+    def test_max_bytes_is_enforced(self, tmp_path):
+        cache = DiskCache(tmp_path, max_bytes=1)
+        self._put(cache, 1)
+        # A 1-byte budget cannot retain any real entry: the store itself is
+        # evicted and the cache stays within bounds.
+        stats = cache.stats()
+        assert stats["total_bytes"] <= 1.0
+        assert stats["evictions"] >= 1.0
+        assert stats["bytes_evicted"] > 0.0
+
+    def test_max_bytes_keeps_recent_entries_within_budget(self, tmp_path):
+        probe = DiskCache(tmp_path / "probe")
+        probe_key = _hex_key(1)
+        probe.put(probe_key, _result("probe"))
+        entry_size = (probe.directory / f"{probe_key}.pkl").stat().st_size
+
+        cache = DiskCache(tmp_path / "bounded", max_bytes=2 * entry_size)
+        keys = [self._put(cache, index, mtime=1000.0 + index) for index in range(1, 5)]
+        stats = cache.stats()
+        assert stats["total_bytes"] <= 2 * entry_size
+        assert len(cache) == 2
+        assert keys[-1] in cache and keys[-2] in cache
+
+    def test_reopening_an_overgrown_directory_trims_it(self, tmp_path):
+        unbounded = DiskCache(tmp_path)
+        for index in range(5):
+            key = _hex_key(index)
+            unbounded.put(key, _result(f"job-{index}"))
+            import os
+
+            os.utime(tmp_path / f"{key}.pkl", (1000.0 + index,) * 2)
+        # Re-open the same directory with tighter limits: a get-only workload
+        # must still see the bound enforced, so __init__ trims immediately.
+        reopened = DiskCache(tmp_path, max_entries=2)
+        assert len(reopened) == 2
+        assert _hex_key(4) in reopened and _hex_key(3) in reopened
+        assert reopened.stats()["evictions"] == 3.0
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        for index in range(5):
+            self._put(cache, index)
+        assert len(cache) == 5
+        assert cache.stats()["evictions"] == 0.0
+
+    def test_rejects_non_positive_bounds(self, tmp_path):
+        with pytest.raises(ValidationError):
+            DiskCache(tmp_path, max_entries=0)
+        with pytest.raises(ValidationError):
+            DiskCache(tmp_path, max_bytes=0)

@@ -179,11 +179,14 @@ class TestBatchRunnerSerial:
         assert report.n_failed == 1
         assert "k" in report.results[0].error
 
-    def test_serial_timeout_relabels_overrunning_jobs(self, sleepy_solver):
-        job = LearningJob(solver="sleepy", data=np.zeros((4, 3)), config={"duration": 0.2})
-        report = BatchRunner(timeout=0.05).run([job])
-        assert report.n_timeout == 1
+    def test_serial_deadline_preempts_overrunning_jobs(self, sleepy_solver):
+        job = LearningJob(solver="sleepy", data=np.zeros((4, 3)), config={"duration": 5.0})
+        report = BatchRunner(timeout=0.2).run([job])
+        assert report.n_preempted == 1 and report.n_timeout == 1
+        assert report.results[0].status == "preempted"
         assert "deadline" in report.results[0].error
+        # The worker is killed at the deadline, not after the 5s sleep.
+        assert report.total_seconds < 5.0
 
     def test_solver_retry_succeeds_within_budget(self, flaky_solver):
         job = LearningJob(solver="flaky", data=np.zeros((4, 3)), config={"fail_times": 1})
@@ -239,16 +242,20 @@ class TestBatchRunnerParallel:
         report = BatchRunner(n_workers=2).run(jobs)
         assert report.n_ok == 2 and report.n_failed == 1
 
-    def test_parallel_timeout(self, sleepy_solver):
+    def test_parallel_deadline_preempts_hanging_job(self, sleepy_solver):
         jobs = [
             LearningJob(solver="sleepy", data=np.zeros((4, 3)), config={"duration": 5.0}),
             _inline_job(seed=1),
         ]
         report = BatchRunner(n_workers=2, timeout=1.0).run(jobs)
         statuses = {r.job_id: r.status for r in report.results}
-        assert statuses["job-000"] == "timeout"
+        assert statuses["job-000"] == "preempted"
         assert statuses["job-001"] == "ok"
+        # Hard preemption kills the worker at the deadline instead of waiting
+        # out the 5s sleep cooperatively.
         assert report.total_seconds < 5.0
+        assert report.n_preempted == 1 and report.n_timeout == 1
+        assert report.preemption_stats["n_killed"] >= 1
 
 
 class TestRunnerCacheIntegration:

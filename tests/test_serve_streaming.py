@@ -1,0 +1,499 @@
+"""Tests for repro.serve.streaming: streamed results, hard preemption, policies."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serve.cache import DiskCache, InMemoryCache
+from repro.serve.job import LearningJob, register_solver, unregister_solver
+from repro.serve.scheduler import RelearnScheduler
+from repro.serve.streaming import (
+    PreemptedError,
+    StreamingRunner,
+    WorkerCrashError,
+    call_with_deadline,
+)
+
+FAST_CONFIG = {"max_outer_iterations": 3, "max_inner_iterations": 40}
+
+
+def _boom():
+    """Module-level (hence spawn-picklable) always-raising callable."""
+    raise ValueError("inner failure")
+
+
+def _inline_job(seed: int = 0, **overrides) -> LearningJob:
+    rng = np.random.default_rng(99)
+    data = rng.normal(size=(40, 6))
+    options = {"data": data, "seed": seed, "config": dict(FAST_CONFIG)}
+    options.update(overrides)
+    return LearningJob(**options)
+
+
+@dataclass(frozen=True)
+class _HangConfig:
+    duration: float = 60.0
+
+
+class _HangSolver:
+    """A solver that sleeps far past any reasonable deadline."""
+
+    def __init__(self, config: _HangConfig):
+        self.config = config
+
+    def fit(self, data, seed=None):
+        time.sleep(self.config.duration)
+        from repro.core.least import LEASTResult
+
+        d = data.shape[1]
+        return LEASTResult(
+            weights=np.zeros((d, d)),
+            constraint_value=0.0,
+            converged=True,
+            n_outer_iterations=1,
+        )
+
+
+@dataclass(frozen=True)
+class _MarkerConfig:
+    """Hang until ``marker_path`` exists (creating it first), then succeed."""
+
+    marker_path: str = ""
+    duration: float = 60.0
+
+
+class _MarkerSolver:
+    """Hangs on the first attempt, succeeds once its marker file exists."""
+
+    def __init__(self, config: _MarkerConfig):
+        self.config = config
+
+    def fit(self, data, seed=None):
+        from pathlib import Path
+
+        marker = Path(self.config.marker_path)
+        if not marker.exists():
+            marker.touch()
+            time.sleep(self.config.duration)
+        from repro.core.least import LEASTResult
+
+        d = data.shape[1]
+        return LEASTResult(
+            weights=np.zeros((d, d)),
+            constraint_value=0.0,
+            converged=True,
+            n_outer_iterations=1,
+        )
+
+
+@pytest.fixture
+def marker_solver():
+    register_solver("marker", _MarkerSolver, _MarkerConfig, overwrite=True)
+    yield
+    unregister_solver("marker")
+
+
+@dataclass(frozen=True)
+class _CrashConfig:
+    exit_code: int = 3
+
+
+class _CrashSolver:
+    """A solver whose worker dies without ever reporting back."""
+
+    def __init__(self, config: _CrashConfig):
+        self.config = config
+
+    def fit(self, data, seed=None):
+        os._exit(self.config.exit_code)
+
+
+@pytest.fixture
+def hang_solver():
+    register_solver("hang", _HangSolver, _HangConfig, overwrite=True)
+    yield
+    unregister_solver("hang")
+
+
+@pytest.fixture
+def crash_solver():
+    register_solver("crash", _CrashSolver, _CrashConfig, overwrite=True)
+    yield
+    unregister_solver("crash")
+
+
+class TestStreamingOrder:
+    def test_stream_yields_every_job(self):
+        jobs = [_inline_job(seed=s) for s in range(4)]
+        runner = StreamingRunner(n_workers=2)
+        results = list(runner.stream(jobs))
+        assert sorted(r.job_id for r in results) == [f"job-00{i}" for i in range(4)]
+        assert all(r.status == "ok" for r in results)
+        assert runner.telemetry.n_yielded == 4
+
+    def test_time_to_first_result_precedes_total(self):
+        jobs = [_inline_job(seed=s) for s in range(4)]
+        runner = StreamingRunner(n_workers=2)
+        list(runner.stream(jobs))
+        telemetry = runner.telemetry
+        assert telemetry.time_to_first_result is not None
+        assert 0 < telemetry.time_to_first_result <= telemetry.total_seconds
+
+    def test_run_preserves_manifest_order_and_reports_completion_order(self):
+        jobs = [_inline_job(seed=s) for s in range(3)]
+        arrival: list[str] = []
+        report = StreamingRunner(n_workers=2).run(
+            jobs, on_result=lambda r: arrival.append(r.job_id)
+        )
+        assert [r.job_id for r in report.results] == ["job-000", "job-001", "job-002"]
+        assert sorted(arrival) == ["job-000", "job-001", "job-002"]
+        assert report.time_to_first_result is not None
+
+    def test_matches_inline_serial_results(self):
+        serial = StreamingRunner(n_workers=1).run([_inline_job(seed=7)])
+        streamed = StreamingRunner(n_workers=2).run([_inline_job(seed=7)])
+        np.testing.assert_allclose(
+            serial.results[0].weights, streamed.results[0].weights
+        )
+
+
+class TestPreemption:
+    def test_hanging_job_is_killed_and_survivors_stream_out(self, hang_solver):
+        """The acceptance scenario: 1 hanging + N normal jobs under a deadline."""
+        deadline = 8.0  # generous: workers may pay interpreter boot under spawn
+        hanging = LearningJob(
+            solver="hang", data=np.zeros((4, 3)), config={"duration": 60.0}
+        )
+        normal = [_inline_job(seed=s) for s in range(3)]
+        runner = StreamingRunner(n_workers=2, timeout=deadline)
+
+        started = time.monotonic()
+        arrivals: list[tuple[str, str, float]] = []
+        for result in runner.stream([hanging] + normal):
+            arrivals.append((result.job_id, result.status, time.monotonic() - started))
+
+        by_id = {job_id: status for job_id, status, _ in arrivals}
+        assert by_id["job-000"] == "preempted"
+        assert all(by_id[f"job-00{i}"] == "ok" for i in (1, 2, 3))
+        # Every normal result streamed out before the hanging job's deadline
+        # expired; the preempted record is the last to arrive.
+        normal_arrivals = [t for job_id, _, t in arrivals if job_id != "job-000"]
+        assert max(normal_arrivals) < deadline
+        assert arrivals[-1][0] == "job-000"
+        # The whole batch finished shortly after the deadline, not after 60s.
+        assert time.monotonic() - started < 2 * deadline
+        assert runner.telemetry.n_killed == 1
+
+    def test_killed_worker_leaves_no_orphan_process(self, hang_solver):
+        import multiprocessing as mp
+
+        job = LearningJob(solver="hang", data=np.zeros((4, 3)), config={"duration": 60.0})
+        runner = StreamingRunner(n_workers=1, timeout=0.5)
+        report = runner.run([job])
+        assert report.results[0].status == "preempted"
+        assert runner.telemetry.killed_pids
+        for pid in runner.telemetry.killed_pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+        assert not any(
+            child.pid in runner.telemetry.killed_pids
+            for child in mp.active_children()
+        )
+
+    def test_preempted_error_mentions_deadline(self, hang_solver):
+        job = LearningJob(solver="hang", data=np.zeros((4, 3)), config={"duration": 60.0})
+        report = StreamingRunner(timeout=0.3).run([job])
+        result = report.results[0]
+        assert result.status == "preempted"
+        assert "deadline" in result.error
+
+    def test_requeue_policy_grants_fresh_attempts(self, hang_solver):
+        job = LearningJob(solver="hang", data=np.zeros((4, 3)), config={"duration": 60.0})
+        runner = StreamingRunner(
+            timeout=0.3, preempt_policy="requeue", preempt_retries=2
+        )
+        started = time.monotonic()
+        report = runner.run([job])
+        elapsed = time.monotonic() - started
+        result = report.results[0]
+        assert result.status == "preempted"
+        assert runner.telemetry.n_requeued == 2
+        assert runner.telemetry.n_killed == 3  # initial attempt + 2 requeues
+        assert result.attempts == 3
+        assert elapsed >= 0.9  # three full deadlines were actually granted
+
+    def test_success_after_requeue_accounts_killed_attempts(
+        self, marker_solver, tmp_path
+    ):
+        """A job killed once then succeeding on the requeue reports both
+        attempts, matching the accounting of finally-preempted jobs."""
+        job = LearningJob(
+            solver="marker",
+            data=np.zeros((4, 3)),
+            config={"marker_path": str(tmp_path / "marker"), "duration": 60.0},
+        )
+        runner = StreamingRunner(
+            timeout=1.0, preempt_policy="requeue", preempt_retries=2
+        )
+        report = runner.run([job])
+        result = report.results[0]
+        assert result.status == "ok"
+        assert runner.telemetry.n_killed == 1
+        assert runner.telemetry.n_requeued == 1
+        assert result.attempts == 2  # the killed attempt + the successful one
+
+    def test_fast_jobs_finish_under_generous_deadline(self):
+        report = StreamingRunner(n_workers=2, timeout=60.0).run(
+            [_inline_job(seed=s) for s in range(3)]
+        )
+        assert report.n_ok == 3 and report.n_preempted == 0
+        assert report.preemption_stats["n_killed"] == 0.0
+
+
+@dataclass(frozen=True)
+class _SigkillConfig:
+    pass
+
+
+class _SigkillSolver:
+    """A solver whose worker is SIGKILLed externally (simulated OOM kill)."""
+
+    def __init__(self, config: _SigkillConfig):
+        self.config = config
+
+    def fit(self, data, seed=None):
+        import signal as _signal
+
+        os.kill(os.getpid(), _signal.SIGKILL)
+
+
+@pytest.fixture
+def sigkill_solver():
+    register_solver("sigkill", _SigkillSolver, _SigkillConfig, overwrite=True)
+    yield
+    unregister_solver("sigkill")
+
+
+class TestWorkerCrashes:
+    def test_crashed_worker_is_reported_failed(self, crash_solver):
+        job = LearningJob(solver="crash", data=np.zeros((4, 3)), config={"exit_code": 3})
+        report = StreamingRunner(n_workers=2, timeout=30.0).run([job, _inline_job(seed=1)])
+        statuses = {r.job_id: r.status for r in report.results}
+        assert statuses["job-000"] == "failed"
+        assert statuses["job-001"] == "ok"
+        assert "exit code 3" in report.results[0].error
+
+    def test_external_sigkill_without_deadline_is_failed_not_preempted(
+        self, sigkill_solver
+    ):
+        """A kill that cannot have come from the engine (no timeout set) is a
+        plain failure — it must not be requeued as 'preempted' work."""
+        job = LearningJob(solver="sigkill", data=np.zeros((4, 3)))
+        runner = StreamingRunner(n_workers=2, preempt_policy="requeue")
+        report = runner.run([job])
+        assert report.results[0].status == "failed"
+        assert report.n_preempted == 0
+        assert runner.telemetry.n_requeued == 0
+
+    def test_external_sigkill_long_before_deadline_is_failed(self, sigkill_solver):
+        """Even with a deadline set, a SIGKILL the parent did not send (the
+        worker dies immediately, way before the budget) is a crash: the
+        engine's own kills are recorded at the kill site, not inferred from
+        exit codes."""
+        job = LearningJob(solver="sigkill", data=np.zeros((4, 3)))
+        runner = StreamingRunner(timeout=30.0, preempt_policy="requeue")
+        started = time.monotonic()
+        report = runner.run([job])
+        assert time.monotonic() - started < 10.0  # did not wait out the deadline
+        assert report.results[0].status == "failed"
+        assert runner.telemetry.n_killed == 0
+        assert runner.telemetry.n_requeued == 0
+
+    def test_abandoning_the_stream_does_not_count_phantom_kills(self):
+        jobs = [_inline_job(seed=s) for s in range(4)]
+        runner = StreamingRunner(n_workers=2, timeout=60.0)
+        stream = runner.stream(jobs)
+        next(stream)  # take one result, abandon the rest
+        stream.close()
+        assert runner.telemetry.n_killed == 0
+        assert runner.telemetry.killed_pids == []
+
+    def test_cache_hits_are_not_written_back(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        job = _inline_job(seed=0)
+        StreamingRunner(cache=cache).run([job])
+        fingerprint = next(iter(tmp_path.glob("*.pkl"))).stem
+        stored_before = cache.get(fingerprint)
+        assert stored_before.elapsed_seconds > 0
+        # Two more fully-cached runs: the stored entry must keep its original
+        # solver provenance (a hit re-written would zero elapsed_seconds and
+        # make solver_seconds_saved vanish on the next run).
+        StreamingRunner(cache=cache).run([_inline_job(seed=0)])
+        third = StreamingRunner(cache=cache).run([_inline_job(seed=0)])
+        assert third.n_cache_hits == 1
+        assert third.solver_seconds_saved > 0
+        stored_after = cache.get(fingerprint)
+        assert stored_after.elapsed_seconds == stored_before.elapsed_seconds
+        assert stored_after.cache_hit is False
+
+
+class TestCacheIntegration:
+    def test_stream_serves_and_fills_the_cache(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        jobs = [_inline_job(seed=s) for s in range(2)]
+        first = StreamingRunner(n_workers=2, timeout=60.0, cache=cache).run(jobs)
+        assert first.n_cache_hits == 0
+        second = StreamingRunner(cache=cache).run(
+            [_inline_job(seed=s) for s in range(2)]
+        )
+        assert second.n_cache_hits == 2
+        assert second.solver_seconds_saved > 0
+
+    def test_preempted_jobs_are_not_cached(self, hang_solver):
+        cache = InMemoryCache()
+        job = LearningJob(solver="hang", data=np.zeros((4, 3)), config={"duration": 60.0})
+        StreamingRunner(timeout=0.3, cache=cache).run([job])
+        assert len(cache) == 0
+
+
+class TestCallWithDeadline:
+    def test_inline_when_no_deadline(self):
+        assert call_with_deadline(sum, [1, 2, 3]) == 6
+
+    def test_returns_value_within_deadline(self):
+        assert call_with_deadline(sum, [1, 2, 3], deadline=30.0) == 6
+
+    def test_kills_overrunning_call(self):
+        started = time.monotonic()
+        with pytest.raises(PreemptedError):
+            call_with_deadline(time.sleep, 60.0, deadline=0.3)
+        assert time.monotonic() - started < 5.0
+
+    def test_propagates_worker_exceptions(self):
+        with pytest.raises(RuntimeError, match="inner failure"):
+            call_with_deadline(_boom, deadline=30.0)
+
+    def test_crash_raises_worker_crash_error(self):
+        with pytest.raises(WorkerCrashError):
+            call_with_deadline(os._exit, 5, deadline=30.0)
+
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(ValidationError):
+            call_with_deadline(sum, [1], deadline=0.0)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            StreamingRunner(n_workers=0)
+        with pytest.raises(ValidationError):
+            StreamingRunner(timeout=-1.0)
+        with pytest.raises(ValidationError):
+            StreamingRunner(max_retries=-1)
+        with pytest.raises(ValidationError):
+            StreamingRunner(preempt_policy="abandon")
+        with pytest.raises(ValidationError):
+            StreamingRunner(preempt_retries=-1)
+
+
+class TestSchedulerDeadline:
+    def test_preempted_window_degrades_gracefully(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(60, 5))
+        names = [f"n{i}" for i in range(5)]
+        # A budget far too small for even one inner iteration batch: the solve
+        # is killed and the scheduler records a preempted window.
+        scheduler = RelearnScheduler(window_deadline=30.0)
+        first = scheduler.step(data, names, seed=1)
+        assert scheduler.history[-1].preempted is False
+        assert first.weights.shape == (5, 5)
+
+        from repro.core.least import LEASTConfig
+
+        slow = RelearnScheduler(
+            least_config=LEASTConfig(
+                max_outer_iterations=50, max_inner_iterations=100000,
+                inner_convergence_tol=0.0, tolerance=1e-300,
+            ),
+            window_deadline=0.2,
+        )
+        result = slow.step(data, names, seed=1)
+        stats = slow.history[-1]
+        assert stats.preempted is True and stats.converged is False
+        assert result.converged is False
+        # The carried warm-start state is untouched by the preempted window.
+        assert slow.state is None
+        assert slow.stats_summary()["n_preempted_windows"] == 1.0
+
+
+class TestCliStream:
+    def test_stream_mode_emits_one_ndjson_line_per_job(self, tmp_path, capsys):
+        from repro.serve.cli import main
+
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "jobs": [
+                        {
+                            "dataset": "er2",
+                            "seed": seed,
+                            "dataset_options": {"n_nodes": 10},
+                            "config": {
+                                "max_outer_iterations": 2,
+                                "max_inner_iterations": 30,
+                            },
+                        }
+                        for seed in range(3)
+                    ]
+                }
+            )
+        )
+        output = tmp_path / "report.json"
+        code = main([str(manifest), "--stream", "--quiet", "--output", str(output)])
+        assert code == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines() if line.strip()
+        ]
+        assert len(lines) == 3
+        parsed = [json.loads(line) for line in lines]
+        assert sorted(p["job_id"] for p in parsed) == ["job-000", "job-001", "job-002"]
+        assert all(p["status"] == "ok" for p in parsed)
+        report = json.loads(output.read_text())
+        assert report["summary"]["n_ok"] == 3
+        assert report["summary"]["time_to_first_result"] is not None
+        assert "preemption" in report["summary"]
+
+    def test_stream_mode_reports_preempted_jobs(self, tmp_path, capsys, hang_solver):
+        from repro.serve.cli import main
+
+        # The hang solver is registered in this process; fork workers inherit
+        # it, and the registry snapshot covers spawn workers too.
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(
+            json.dumps(
+                {
+                    "jobs": [
+                        {
+                            "solver": "hang",
+                            "data": [[0.0, 0.0], [0.0, 0.0]],
+                            "config": {"duration": 60.0},
+                        }
+                    ]
+                }
+            )
+        )
+        code = main([str(manifest), "--stream", "--quiet", "--timeout", "0.3"])
+        assert code == 1
+        lines = [
+            line for line in capsys.readouterr().out.splitlines() if line.strip()
+        ]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["status"] == "preempted"

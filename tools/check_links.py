@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Markdown link checker for the documentation site (stdlib only).
+
+Scans the given markdown files (or every ``*.md`` under the given
+directories) for inline links and images — ``[text](target)`` /
+``![alt](target)`` — and reference definitions — ``[label]: target`` — and
+verifies that every *relative* target resolves to an existing file or
+directory. External schemes (``http://``, ``https://``, ``mailto:``) and
+pure in-page anchors (``#section``) are skipped; a fragment on a relative
+link (``page.md#section``) is stripped before the existence check.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+
+Exit status: 0 when every relative link resolves, 1 otherwise (each broken
+link is reported as ``file:line: broken link -> target``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links/images. The target group stops at the first closing paren or
+#: whitespace (titles like ``(foo.md "Title")`` keep only the path part).
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+#: Reference-style definitions: ``[label]: target``.
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$")
+#: Schemes that are never checked against the filesystem.
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def iter_markdown_files(arguments: list[str]) -> list[Path]:
+    """Resolve CLI arguments into a sorted list of markdown files."""
+    files: set[Path] = set()
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.update(path.rglob("*.md"))
+        elif path.exists():
+            files.add(path)
+        else:
+            print(f"error: no such file or directory: {argument}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(files)
+
+
+def iter_links(text: str):
+    """Yield ``(line_number, target)`` for every link-like construct."""
+    in_code_fence = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in INLINE_LINK.finditer(line):
+            yield line_number, match.group(1)
+        match = REFERENCE_DEF.match(line)
+        if match:
+            yield line_number, match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return a list of broken-link messages for one markdown file."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for line_number, target in iter_links(text):
+        if EXTERNAL.match(target) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}:{line_number}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    """Check every file and report; see module docstring for semantics."""
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = iter_markdown_files(argv)
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    checked = len(files)
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"ok: {checked} markdown file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
