@@ -21,7 +21,13 @@ The package is organised in layers:
   specs, a parallel :class:`~repro.serve.BatchRunner` with retry/timeout,
   content-addressed result caching, and warm-started windowed re-learning via
   :class:`~repro.serve.RelearnScheduler` (also exposed as the
-  ``python -m repro.serve`` CLI).
+  ``python -m repro.serve`` CLI);
+* :mod:`repro.shard` — block-partitioned solving of one huge problem on top
+  of the serving engine: correlation-skeleton planning
+  (:class:`~repro.shard.ShardPlanner`), per-block streamed execution
+  (:class:`~repro.shard.ShardExecutor`), and DAG-guaranteed stitching
+  (:class:`~repro.shard.Stitcher`), also exposed as the
+  ``repro-serve shard`` CLI subcommand.
 
 Quickstart
 ----------
@@ -66,6 +72,7 @@ from repro.serve import (
     LearningJob,
     RelearnScheduler,
 )
+from repro.shard import ShardExecutor, ShardPlanner, Stitcher, solve_sharded
 
 __version__ = "1.1.0"
 
@@ -96,5 +103,9 @@ __all__ = [
     "InMemoryCache",
     "DiskCache",
     "RelearnScheduler",
+    "ShardPlanner",
+    "ShardExecutor",
+    "Stitcher",
+    "solve_sharded",
     "__version__",
 ]

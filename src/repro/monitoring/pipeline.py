@@ -82,6 +82,18 @@ class MonitoringPipeline:
         solve overruns is killed (hard preemption), recorded as preempted in
         the solver telemetry, and the loop continues with the next window —
         one pathological window can no longer stall the monitoring service.
+    shard_vocabulary_threshold:
+        When set, a window whose encoded vocabulary reaches this many nodes
+        is solved block-partitioned via :mod:`repro.shard` (forwarded to the
+        scheduler): the correlation skeleton is split into blocks, each block
+        runs as a streamed job (a ``window_deadline`` is split across the
+        blocks so the whole window stays bounded), and the stitched DAG
+        replaces the monolithic solve.  Block sub-graphs are pruned at this
+        pipeline's ``edge_threshold`` before stitching.  ``None`` (default)
+        always solves monolithically.
+    shard_n_workers:
+        Concurrent block workers for sharded windows (forwarded to the
+        scheduler).
     """
 
     def __init__(
@@ -96,6 +108,8 @@ class MonitoringPipeline:
         warm_start: bool = True,
         warm_damping: float = 0.9,
         window_deadline: float | None = None,
+        shard_vocabulary_threshold: int | None = None,
+        shard_n_workers: int = 1,
     ):
         check_positive(window_seconds, "window_seconds")
         check_positive(edge_threshold, "edge_threshold")
@@ -116,6 +130,9 @@ class MonitoringPipeline:
             warm_start=warm_start,
             damping=warm_damping,
             window_deadline=window_deadline,
+            shard_vocabulary_threshold=shard_vocabulary_threshold,
+            shard_n_workers=shard_n_workers,
+            shard_edge_threshold=edge_threshold,
         )
         self.analyzer = RootCauseAnalyzer()
         self.reports: list[MonitoringReport] = []

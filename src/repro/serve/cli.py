@@ -5,6 +5,7 @@ Usage::
     python -m repro.serve manifest.json --workers 4 --output report.json
     repro-serve manifest.json --cache-dir .serve-cache --max-retries 1
     repro-serve manifest.json --workers 4 --timeout 30 --stream
+    repro-serve shard data.npy --workers 4 --edge-threshold 0.3
 
 The manifest is either ``{"jobs": [...]}`` or a bare JSON list, where each
 entry follows :meth:`repro.serve.job.LearningJob.from_dict`::
@@ -30,6 +31,17 @@ the cache or the Python API to retrieve them.
 job is reported ``"preempted"`` (``--preempt-policy requeue`` grants killed
 jobs a fresh attempt first).  Exit status is 0 when every job succeeded, 1
 when any failed, was preempted, or timed out, 2 for a malformed manifest.
+
+The ``shard`` subcommand instead solves **one large problem** by block
+partition: it loads a sample matrix (``.npy``, or ``.csv``/``.txt`` with
+comma-separated rows), plans blocks from the correlation skeleton
+(:class:`~repro.shard.planner.ShardPlanner`), solves each block as a streamed
+job (:class:`~repro.shard.executor.ShardExecutor` — ``--timeout`` becomes a
+hard *per-block* deadline), and stitches the surviving sub-graphs into a
+global DAG.  The JSON report carries the plan/stitch digests and the gap
+record; ``--save-weights`` additionally writes the stitched matrix as
+``.npy``.  Exit status is 0 when every block completed, 1 when the stitched
+graph has gaps, 2 for unreadable input.
 """
 
 from __future__ import annotations
@@ -40,12 +52,21 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+import numpy as np
+
 from repro.exceptions import ValidationError
 from repro.serve.cache import DiskCache
 from repro.serve.job import JobResult, LearningJob
 from repro.serve.streaming import PREEMPT_POLICIES, StreamingRunner
 
-__all__ = ["build_parser", "load_manifest", "main"]
+__all__ = [
+    "build_parser",
+    "build_shard_parser",
+    "load_manifest",
+    "load_sample_matrix",
+    "main",
+    "shard_main",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,8 +156,191 @@ def _emit_ndjson(result: JobResult) -> None:
     print(json.dumps(result.summary(), sort_keys=True), flush=True)
 
 
+def build_shard_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the ``repro-serve shard`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve shard",
+        description=(
+            "Solve one large structure-learning problem by block partition: "
+            "plan blocks from the correlation skeleton, solve each block as a "
+            "streamed job, stitch the results into a global DAG."
+        ),
+    )
+    parser.add_argument(
+        "data", help="sample matrix: .npy, or .csv/.txt with comma-separated rows"
+    )
+    parser.add_argument(
+        "--skeleton-threshold",
+        type=float,
+        default=0.2,
+        help="|correlation| above which two columns are skeleton neighbors",
+    )
+    parser.add_argument(
+        "--max-block-size", type=int, default=64, help="max core nodes per block"
+    )
+    parser.add_argument(
+        "--min-block-size",
+        type=int,
+        default=1,
+        help="pack smaller skeleton components together up to this size",
+    )
+    parser.add_argument(
+        "--halo-depth",
+        type=int,
+        default=1,
+        help="skeleton hops of halo context around each block (0 disables)",
+    )
+    parser.add_argument(
+        "--max-halo-size",
+        type=int,
+        default=None,
+        help="cap on halo nodes per block (strongest correlations kept)",
+    )
+    parser.add_argument(
+        "--solver", default="least", help="registered solver used for every block"
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        help='solver config as inline JSON, e.g. \'{"max_outer_iterations": 5}\'',
+    )
+    parser.add_argument(
+        "--edge-threshold",
+        type=float,
+        default=0.05,
+        help=(
+            "drop |weight| below this from each block before stitching "
+            "(default 0.05; raw solver outputs are near-dense, so stitching "
+            "at 0 is slow and its conflict counters are noise)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed (block k solves with seed+k)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="max concurrent worker processes"
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="hard per-BLOCK deadline in seconds (overrunning workers are killed)",
+    )
+    parser.add_argument(
+        "--preempt-policy",
+        choices=PREEMPT_POLICIES,
+        default="fail",
+        help="what happens to a block killed at its deadline (default: fail)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0, help="extra attempts for failing blocks"
+    )
+    parser.add_argument(
+        "--save-weights",
+        default=None,
+        help="also write the stitched weight matrix here (.npy)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the JSON report here (default: stdout)"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the human-readable summary"
+    )
+    return parser
+
+
+def load_sample_matrix(source: str) -> np.ndarray:
+    """Load the shard subcommand's ``n × d`` sample matrix from disk."""
+    path = Path(source)
+    if not path.exists():
+        raise ValidationError(f"data file not found: {source}")
+    try:
+        if path.suffix == ".npy":
+            matrix = np.load(path)
+        else:
+            matrix = np.loadtxt(path, delimiter=",", ndmin=2)
+    except (OSError, ValueError) as exc:
+        raise ValidationError(f"cannot read sample matrix from {source}: {exc}") from exc
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValidationError(
+            f"sample matrix must be 2-D, got shape {matrix.shape}"
+        )
+    return matrix
+
+
+def shard_main(argv: Sequence[str] | None = None) -> int:
+    """Run the ``shard`` subcommand; returns the process exit code."""
+    from repro.shard import ShardExecutor, ShardPlanner
+
+    parser = build_shard_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        data = load_sample_matrix(args.data)
+        config = json.loads(args.config) if args.config else {}
+        if not isinstance(config, dict):
+            raise ValidationError("--config must be a JSON object")
+        planner = ShardPlanner(
+            skeleton_threshold=args.skeleton_threshold,
+            max_block_size=args.max_block_size,
+            min_block_size=args.min_block_size,
+            halo_depth=args.halo_depth,
+            max_halo_size=args.max_halo_size,
+        )
+        executor = ShardExecutor(
+            solver=args.solver,
+            config=config,
+            n_workers=args.workers,
+            timeout=args.timeout,
+            preempt_policy=args.preempt_policy,
+            max_retries=args.max_retries,
+            edge_threshold=args.edge_threshold,
+        )
+        plan = planner.plan(data)
+    except (ValidationError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        result = executor.run(data, plan, seed=args.seed)
+    except ValidationError as exc:  # e.g. an unknown --solver name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    serialized = json.dumps(result.report(), indent=2, sort_keys=True)
+    if args.output:
+        Path(args.output).write_text(serialized + "\n")
+    else:
+        print(serialized)
+    if args.save_weights:
+        np.save(args.save_weights, result.weights)
+
+    if not args.quiet:
+        summary = plan.summary()
+        stitch = result.stitched.report
+        print(
+            f"{summary['n_blocks']} blocks over {summary['n_nodes']} nodes: "
+            f"{result.n_blocks_ok} ok, {result.n_blocks_failed} failed, "
+            f"{result.n_blocks_preempted} preempted | "
+            f"{stitch.n_edges} stitched edges "
+            f"({stitch.n_duplicate_edges} dups, "
+            f"{stitch.n_direction_conflicts} direction conflicts, "
+            f"{stitch.n_cycle_edges_removed} cycle edges removed) | "
+            f"{result.total_seconds:.2f}s wall ({args.workers} workers)",
+            file=sys.stderr,
+        )
+
+    return 0 if result.complete else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the CLI; returns the process exit code (see module docstring)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "shard":
+        return shard_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 

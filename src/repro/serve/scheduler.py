@@ -54,6 +54,16 @@ class WindowStats:
     preempted:
         True when the window solve was killed at the scheduler's
         ``window_deadline`` instead of finishing.
+    sharded:
+        True when the window was solved block-partitioned via
+        :mod:`repro.shard` because its vocabulary exceeded
+        ``shard_vocabulary_threshold``.
+    n_blocks:
+        Number of blocks of a sharded window's plan (0 for monolithic
+        windows).
+    n_blocks_unsolved:
+        Blocks of a sharded window that failed or were preempted — the
+        stitched graph has gaps at their owned nodes.
     """
 
     window_index: int
@@ -65,6 +75,9 @@ class WindowStats:
     elapsed_seconds: float
     converged: bool
     preempted: bool = False
+    sharded: bool = False
+    n_blocks: int = 0
+    n_blocks_unsolved: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-able view of the window telemetry."""
@@ -78,6 +91,9 @@ class WindowStats:
             "elapsed_seconds": self.elapsed_seconds,
             "converged": self.converged,
             "preempted": self.preempted,
+            "sharded": self.sharded,
+            "n_blocks": self.n_blocks,
+            "n_blocks_unsolved": self.n_blocks_unsolved,
         }
 
 
@@ -122,6 +138,31 @@ class RelearnScheduler:
         :meth:`step` returns a degraded result (the window's init — or zeros —
         with ``converged=False``) so the loop survives one runaway solve.
         ``None`` (default) solves inline with no budget.
+    shard_vocabulary_threshold:
+        When set, a window whose vocabulary has at least this many nodes is
+        solved *block-partitioned* via :mod:`repro.shard` instead of
+        monolithically: a :class:`~repro.shard.planner.ShardPlanner`
+        decomposes the window, each block runs as a streamed job, and the
+        stitched DAG becomes the window's result.  A ``window_deadline`` is
+        split across the serial block waves (each block gets
+        ``window_deadline / ceil(n_blocks / shard_n_workers)``) so the
+        *window* stays bounded, not just each block.
+        Sharded windows always solve cold (block solves cannot reuse the
+        carried global solution), but they still *update* the carried state
+        so the next monolithic window can warm-start from the stitch.
+        ``None`` (default) never shards.
+    shard_planner:
+        Optional pre-configured :class:`~repro.shard.planner.ShardPlanner`
+        for sharded windows (defaults are used when omitted).
+    shard_n_workers:
+        Concurrent block workers for sharded windows.
+    shard_edge_threshold:
+        ``|weight|`` threshold applied to each block's sub-graph before
+        stitching a sharded window (forwarded to
+        :class:`~repro.shard.executor.ShardExecutor`).  Raw LEAST outputs
+        are near-dense, so stitching unthresholded blocks would be slow and
+        its conflict telemetry meaningless; keep this at (or below) the
+        threshold the consumer prunes with anyway.
     """
 
     def __init__(
@@ -134,6 +175,10 @@ class RelearnScheduler:
         warm_inner_scale: float = 0.5,
         resume_penalty: bool = False,
         window_deadline: float | None = None,
+        shard_vocabulary_threshold: int | None = None,
+        shard_planner=None,
+        shard_n_workers: int = 1,
+        shard_edge_threshold: float = 0.05,
     ) -> None:
         check_unit_interval(damping, "damping")
         check_non_negative(init_threshold, "init_threshold")
@@ -145,6 +190,11 @@ class RelearnScheduler:
             raise ValidationError(
                 f"window_deadline must be positive, got {window_deadline}"
             )
+        if shard_vocabulary_threshold is not None and shard_vocabulary_threshold < 1:
+            raise ValidationError(
+                "shard_vocabulary_threshold must be >= 1, got "
+                f"{shard_vocabulary_threshold}"
+            )
         self.least_config = least_config or LEASTConfig()
         self.warm_start = warm_start
         self.damping = damping
@@ -153,8 +203,14 @@ class RelearnScheduler:
         self.warm_inner_scale = warm_inner_scale
         self.resume_penalty = resume_penalty
         self.window_deadline = window_deadline
+        check_non_negative(shard_edge_threshold, "shard_edge_threshold")
+        self.shard_vocabulary_threshold = shard_vocabulary_threshold
+        self.shard_planner = shard_planner
+        self.shard_n_workers = int(shard_n_workers)
+        self.shard_edge_threshold = float(shard_edge_threshold)
         self.state: WarmStartState | None = None
         self.history: list[WindowStats] = []
+        self.last_shard_result = None
         self._previous_rho: float | None = None
 
     # -- public API ------------------------------------------------------------
@@ -182,9 +238,13 @@ class RelearnScheduler:
             with ``converged=False``) instead of raising.
         """
         names = list(node_names)
+        sharded = (
+            self.shard_vocabulary_threshold is not None
+            and len(names) >= self.shard_vocabulary_threshold
+        )
         init = None
         shared = 0
-        if self.warm_start and self.state is not None:
+        if not sharded and self.warm_start and self.state is not None:
             shared = len(set(self.state.node_names) & set(names))
             init = prepare_init(
                 self.state,
@@ -207,28 +267,36 @@ class RelearnScheduler:
                 config = replace(
                     config, rho_start=min(self._previous_rho, config.rho_max)
                 )
-        solver = LEAST(config)
         timer = Timer()
         preempted = False
-        with timer:
-            try:
-                result = call_with_deadline(
-                    solver.fit,
-                    data,
-                    deadline=self.window_deadline,
-                    seed=seed,
-                    init_weights=init,
+        n_blocks = 0
+        n_blocks_unsolved = 0
+        if sharded:
+            with timer:
+                result, preempted, n_blocks, n_blocks_unsolved = self._step_sharded(
+                    data, names, seed
                 )
-            except PreemptedError:
-                preempted = True
-                fallback = init if init is not None else np.zeros((len(names),) * 2)
-                result = LEASTResult(
-                    weights=np.asarray(fallback, dtype=float).copy(),
-                    constraint_value=float("inf"),
-                    converged=False,
-                    n_outer_iterations=0,
-                    n_inner_iterations=0,
-                )
+        else:
+            solver = LEAST(config)
+            with timer:
+                try:
+                    result = call_with_deadline(
+                        solver.fit,
+                        data,
+                        deadline=self.window_deadline,
+                        seed=seed,
+                        init_weights=init,
+                    )
+                except PreemptedError:
+                    preempted = True
+                    fallback = init if init is not None else np.zeros((len(names),) * 2)
+                    result = LEASTResult(
+                        weights=np.asarray(fallback, dtype=float).copy(),
+                        constraint_value=float("inf"),
+                        converged=False,
+                        n_outer_iterations=0,
+                        n_inner_iterations=0,
+                    )
 
         if not preempted:
             # A preempted window leaves the carried state and ρ untouched so
@@ -236,7 +304,10 @@ class RelearnScheduler:
             self.state = WarmStartState(
                 weights=result.weights.copy(), node_names=names
             )
-            self._previous_rho = float(result.log.last("rho", config.rho_start))
+            # A stitched window has no augmented-Lagrangian trace to resume.
+            self._previous_rho = (
+                None if sharded else float(result.log.last("rho", config.rho_start))
+            )
         self.history.append(
             WindowStats(
                 window_index=len(self.history),
@@ -248,14 +319,91 @@ class RelearnScheduler:
                 elapsed_seconds=timer.elapsed,
                 converged=result.converged,
                 preempted=preempted,
+                sharded=sharded,
+                n_blocks=n_blocks,
+                n_blocks_unsolved=n_blocks_unsolved,
             )
         )
         return result
+
+    def _step_sharded(
+        self, data: np.ndarray, names: list[str], seed: RandomState
+    ) -> tuple[LEASTResult, bool, int, int]:
+        """Solve one window block-partitioned via :mod:`repro.shard`.
+
+        Returns ``(result, window_preempted, n_blocks, n_blocks_unsolved)``.
+        The window counts as preempted only when *no* block completed — a
+        partially stitched window is a degraded success, its gaps recorded in
+        :attr:`last_shard_result` (and in the window's
+        ``n_blocks_unsolved``).  ``window_deadline`` bounds the *window*:
+        each block's hard deadline is the window budget divided by the number
+        of serial block waves.  A generator ``seed`` is reduced to one drawn
+        integer so sharded windows stay reproducible for a fixed generator
+        state.
+        """
+        import dataclasses
+
+        from repro.shard.executor import ShardExecutor
+        from repro.shard.planner import ShardPlanner
+
+        planner = self.shard_planner or ShardPlanner()
+        plan = planner.plan(data)
+        config_dict = {
+            field.name: getattr(self.least_config, field.name)
+            for field in dataclasses.fields(self.least_config)
+            if field.name != "init_weights"
+        }
+        block_deadline = None
+        if self.window_deadline is not None:
+            # Blocks run in ceil(n_blocks / workers) serial waves; giving each
+            # block (window / waves) keeps the whole window within budget.
+            waves = -(-plan.n_blocks // max(self.shard_n_workers, 1))
+            block_deadline = self.window_deadline / max(waves, 1)
+        executor = ShardExecutor(
+            solver="least",
+            config=config_dict,
+            n_workers=self.shard_n_workers,
+            timeout=block_deadline,
+            edge_threshold=self.shard_edge_threshold,
+        )
+        if seed is None or isinstance(seed, (int, np.integer)):
+            base_seed = None if seed is None else int(seed)
+        else:
+            # A generator seed is reduced to one drawn integer: deterministic
+            # for a fixed generator state, so sharded windows reproduce.
+            from repro.utils.random import as_generator
+
+            base_seed = int(as_generator(seed).integers(2**31))
+        shard_result = executor.run(data, plan, seed=base_seed)
+        self.last_shard_result = shard_result
+
+        n_unsolved = plan.n_blocks - shard_result.n_blocks_ok
+        if shard_result.n_blocks_ok == 0:
+            # Nothing survived: degrade exactly like a preempted monolithic
+            # window (zeros, untouched carried state).
+            result = LEASTResult(
+                weights=np.zeros((len(names),) * 2),
+                constraint_value=float("inf"),
+                converged=False,
+                n_outer_iterations=0,
+                n_inner_iterations=0,
+            )
+            return result, True, plan.n_blocks, n_unsolved
+        ok_results = [r for r in shard_result.block_results if r.status == "ok"]
+        result = LEASTResult(
+            weights=shard_result.weights,
+            constraint_value=0.0,
+            converged=shard_result.complete and all(r.converged for r in ok_results),
+            n_outer_iterations=sum(r.n_outer_iterations for r in ok_results),
+            n_inner_iterations=sum(r.n_inner_iterations for r in ok_results),
+        )
+        return result, False, plan.n_blocks, n_unsolved
 
     def reset(self) -> None:
         """Forget the carried state and telemetry (next step is cold)."""
         self.state = None
         self.history.clear()
+        self.last_shard_result = None
         self._previous_rho = None
 
     # -- aggregate views ---------------------------------------------------------

@@ -1,0 +1,60 @@
+"""repro.shard — block-partitioned structure learning on the serving engine.
+
+The paper's headline claim is structure learning at ~100k-node scale; this
+package is the divide-and-conquer layer that gets one huge problem there on
+top of :mod:`repro.serve`:
+
+* :mod:`repro.shard.planner` — :class:`ShardPlanner`: threshold the
+  correlation skeleton of the data and partition the nodes into blocks of
+  bounded size with one-hop halos for cross-boundary context;
+* :mod:`repro.shard.executor` — :class:`ShardExecutor`: materialize each
+  block as an inline-data :class:`~repro.serve.job.LearningJob` and drive
+  them through the streaming, preemptible engine (parallel workers, hard
+  per-block deadlines, fail/requeue policy, caching);
+* :mod:`repro.shard.stitcher` — :class:`Stitcher`: merge the surviving block
+  sub-graphs into one global graph, deduplicating halo edges, resolving
+  direction conflicts by weight, and greedily removing minimum-weight cycle
+  edges so the output is **always a DAG**.
+
+``benchmarks/bench_shard.py`` regenerates ``BENCH_shard.json`` from this
+package (sharded vs monolithic on a 520-node, 8-component problem), and the
+``repro-serve shard`` CLI subcommand runs a sharded solve from a sample
+matrix on disk.  See ``docs/sharding.md`` for semantics and schemas.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.shard import ShardExecutor, ShardPlanner, solve_sharded
+>>> rng = np.random.default_rng(0)
+>>> data = rng.normal(size=(200, 12))
+>>> result = solve_sharded(
+...     data,
+...     planner=ShardPlanner(skeleton_threshold=0.3, max_block_size=6),
+...     executor=ShardExecutor(config={"max_outer_iterations": 2,
+...                                    "max_inner_iterations": 20}),
+... )
+>>> result.weights.shape
+(12, 12)
+"""
+
+from repro.shard.executor import ShardExecutor, ShardResult, solve_sharded
+from repro.shard.planner import (
+    ShardBlock,
+    ShardPlan,
+    ShardPlanner,
+    correlation_skeleton,
+)
+from repro.shard.stitcher import StitchedGraph, Stitcher, StitchReport
+
+__all__ = [
+    "ShardBlock",
+    "ShardPlan",
+    "ShardPlanner",
+    "correlation_skeleton",
+    "Stitcher",
+    "StitchReport",
+    "StitchedGraph",
+    "ShardExecutor",
+    "ShardResult",
+    "solve_sharded",
+]

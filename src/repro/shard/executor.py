@@ -1,0 +1,296 @@
+"""Executing a shard plan on the streaming serving engine.
+
+:class:`ShardExecutor` materializes every block of a
+:class:`~repro.shard.planner.ShardPlan` as an inline-data
+:class:`~repro.serve.job.LearningJob` and drives the whole set through
+:class:`~repro.serve.streaming.StreamingRunner` — inheriting the engine's
+parallel workers, hard per-block deadlines (SIGKILL + suicide timers), the
+fail/requeue preemption policy, and result caching.  Block results are
+consumed as they stream in; once the stream drains, the surviving sub-graphs
+are merged by :class:`~repro.shard.stitcher.Stitcher` into one global DAG.
+
+Failure containment is the point of running blocks as independent jobs: a
+block whose worker crashes or blows its deadline costs exactly that block —
+the stitcher assembles a DAG from the survivors and the gap (which blocks and
+which owned nodes are missing) is recorded in the :class:`ShardResult` report
+instead of poisoning the whole solve.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.thresholding import threshold_weights
+from repro.exceptions import ValidationError
+from repro.graph.adjacency import to_dense
+from repro.serve.cache import ResultCache
+from repro.serve.job import JobResult, LearningJob
+from repro.serve.streaming import StreamingRunner
+from repro.shard.planner import ShardBlock, ShardPlan, ShardPlanner
+from repro.shard.stitcher import StitchedGraph, Stitcher
+from repro.utils.validation import check_non_negative, ensure_2d
+
+__all__ = ["ShardResult", "ShardExecutor", "solve_sharded"]
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one sharded solve.
+
+    Attributes
+    ----------
+    weights:
+        The stitched global ``d × d`` weight matrix — always a DAG, built
+        from the blocks that completed.
+    plan:
+        The executed :class:`~repro.shard.planner.ShardPlan`.
+    stitched:
+        The :class:`~repro.shard.stitcher.StitchedGraph` carrying the
+        conflict-accounting report.
+    block_results:
+        One :class:`~repro.serve.job.JobResult` per block, in block order.
+    missing_nodes:
+        Global indices owned by blocks that did not complete (failed or
+        preempted); their outgoing/incoming edges may be absent from
+        :attr:`weights`.
+    total_seconds:
+        Wall-clock duration of the execute-and-stitch pass.
+    preemption:
+        The streaming engine's preemption counters for the pass
+        (``n_killed`` / ``n_suicide_exits`` / ``n_requeued``).
+    """
+
+    weights: np.ndarray
+    plan: ShardPlan
+    stitched: StitchedGraph
+    block_results: list[JobResult] = field(default_factory=list)
+    missing_nodes: list[int] = field(default_factory=list)
+    total_seconds: float = 0.0
+    preemption: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_blocks_ok(self) -> int:
+        """Blocks that solved successfully."""
+        return sum(1 for r in self.block_results if r.status == "ok")
+
+    @property
+    def n_blocks_failed(self) -> int:
+        """Blocks that failed (dataset/solver error or worker crash)."""
+        return sum(1 for r in self.block_results if r.status == "failed")
+
+    @property
+    def n_blocks_preempted(self) -> int:
+        """Blocks killed at their deadline (after any requeue attempts)."""
+        return sum(1 for r in self.block_results if r.status == "preempted")
+
+    @property
+    def complete(self) -> bool:
+        """True when every block of the plan completed successfully."""
+        return self.n_blocks_ok == self.plan.n_blocks
+
+    def report(self) -> dict[str, Any]:
+        """JSON-able run report: plan and stitch digests plus the gap record.
+
+        The ``gaps`` block is how a degraded solve is surfaced: which blocks
+        did not complete, why, and which owned nodes the stitched graph is
+        therefore missing context for.
+        """
+        return {
+            "plan": self.plan.summary(),
+            "stitch": self.stitched.report.as_dict(),
+            "blocks": [
+                {
+                    "job_id": r.job_id,
+                    "status": r.status,
+                    "n_edges": r.n_edges,
+                    "elapsed_seconds": r.elapsed_seconds,
+                    "attempts": r.attempts,
+                    "error": r.error,
+                }
+                for r in self.block_results
+            ],
+            "gaps": {
+                "n_blocks_ok": self.n_blocks_ok,
+                "n_blocks_failed": self.n_blocks_failed,
+                "n_blocks_preempted": self.n_blocks_preempted,
+                "n_missing_nodes": len(self.missing_nodes),
+                "missing_nodes": list(self.missing_nodes),
+            },
+            "total_seconds": self.total_seconds,
+            "preemption": dict(self.preemption),
+        }
+
+
+class ShardExecutor:
+    """Solve every block of a plan as a streamed job and stitch the results.
+
+    Parameters
+    ----------
+    solver:
+        Registered solver name used for every block job (``least``,
+        ``least_sparse``, ``notears``, or anything added through
+        :func:`~repro.serve.job.register_solver`).
+    config:
+        JSON-able keyword arguments for the solver's config class, shared by
+        all blocks.
+    n_workers:
+        Concurrent worker processes of the underlying
+        :class:`~repro.serve.streaming.StreamingRunner`.
+    timeout:
+        Hard per-block deadline in seconds (``None`` disables preemption).
+    preempt_policy, preempt_retries:
+        Forwarded to the streaming engine: what happens to a block killed at
+        its deadline (``"fail"`` or ``"requeue"`` with fresh attempts).
+    max_retries:
+        Extra in-worker attempts for failing block solves.
+    cache:
+        Optional :class:`~repro.serve.cache.ResultCache` shared across runs —
+        re-solving an unchanged block becomes a cache hit.
+    edge_threshold:
+        Entries with ``|weight|`` below this are dropped from each block's
+        sub-graph *before* stitching, so conflict accounting operates on the
+        edges that would survive anyway.
+    stitcher:
+        The :class:`~repro.shard.stitcher.Stitcher` to merge with (a default
+        one is built when omitted).
+    """
+
+    def __init__(
+        self,
+        solver: str = "least",
+        config: dict[str, Any] | None = None,
+        n_workers: int = 1,
+        timeout: float | None = None,
+        preempt_policy: str = "fail",
+        preempt_retries: int = 1,
+        max_retries: int = 0,
+        cache: ResultCache | None = None,
+        edge_threshold: float = 0.0,
+        stitcher: Stitcher | None = None,
+    ) -> None:
+        check_non_negative(edge_threshold, "edge_threshold")
+        self.solver = solver
+        self.config = dict(config or {})
+        self.n_workers = n_workers
+        self.timeout = timeout
+        self.preempt_policy = preempt_policy
+        self.preempt_retries = preempt_retries
+        self.max_retries = max_retries
+        self.cache = cache
+        self.edge_threshold = edge_threshold
+        self.stitcher = stitcher or Stitcher()
+
+    # -- public API ------------------------------------------------------------
+
+    def build_jobs(
+        self, data: np.ndarray, plan: ShardPlan, seed: int | None = 0
+    ) -> list[LearningJob]:
+        """Materialize one inline-data job per block of ``plan``.
+
+        Block ``k`` gets ``job_id="block-kkk"`` and seed ``seed + k`` so block
+        solves stay individually reproducible yet mutually decorrelated.
+        """
+        data = ensure_2d(data, "data")
+        if data.shape[1] != plan.n_nodes:
+            raise ValidationError(
+                f"data has {data.shape[1]} columns but the plan covers "
+                f"{plan.n_nodes} nodes"
+            )
+        jobs = []
+        for block in plan.blocks:
+            columns = np.asarray(block.nodes, dtype=int)
+            jobs.append(
+                LearningJob(
+                    solver=self.solver,
+                    data=np.ascontiguousarray(data[:, columns]),
+                    config=dict(self.config),
+                    seed=None if seed is None else seed + block.index,
+                    job_id=f"block-{block.index:03d}",
+                )
+            )
+        return jobs
+
+    def run(
+        self, data: np.ndarray, plan: ShardPlan, seed: int | None = 0
+    ) -> ShardResult:
+        """Execute the plan on the streaming engine and stitch the survivors.
+
+        Results are consumed in completion order as the engine yields them;
+        preempted or failed blocks become gaps in the :class:`ShardResult`
+        rather than errors.
+        """
+        jobs = self.build_jobs(data, plan, seed=seed)
+        runner = StreamingRunner(
+            n_workers=self.n_workers,
+            cache=self.cache,
+            timeout=self.timeout,
+            max_retries=self.max_retries,
+            preempt_policy=self.preempt_policy,
+            preempt_retries=self.preempt_retries,
+        )
+        started = time.perf_counter()
+        by_block: dict[int, JobResult] = {}
+        survivors: list[tuple[ShardBlock, np.ndarray]] = []
+        for result in runner.stream(jobs):
+            index = int(result.job_id.split("-")[-1])
+            by_block[index] = result
+            if result.status == "ok" and result.weights is not None:
+                local = to_dense(result.weights)
+                if self.edge_threshold > 0.0:
+                    local = threshold_weights(local, self.edge_threshold)
+                survivors.append((plan.blocks[index], local))
+
+        survivors.sort(key=lambda pair: pair[0].index)
+        stitched = self.stitcher.stitch(survivors, plan.n_nodes)
+        block_results = [by_block[block.index] for block in plan.blocks]
+        missing = sorted(
+            node
+            for block in plan.blocks
+            if by_block[block.index].status != "ok"
+            for node in block.core
+        )
+        return ShardResult(
+            weights=stitched.weights,
+            plan=plan,
+            stitched=stitched,
+            block_results=block_results,
+            missing_nodes=missing,
+            total_seconds=time.perf_counter() - started,
+            preemption=runner.telemetry.preemption_summary(),
+        )
+
+
+def solve_sharded(
+    data: np.ndarray,
+    planner: ShardPlanner | None = None,
+    executor: ShardExecutor | None = None,
+    seed: int | None = 0,
+) -> ShardResult:
+    """Plan, execute, and stitch in one call.
+
+    Parameters
+    ----------
+    data:
+        ``n × d`` sample matrix.
+    planner:
+        The :class:`~repro.shard.planner.ShardPlanner` to decompose with
+        (defaults used when omitted).
+    executor:
+        The :class:`ShardExecutor` to solve with (a serial single-worker one
+        when omitted).
+    seed:
+        Base seed for the block solves.
+
+    Returns
+    -------
+    ShardResult
+        The stitched DAG plus the full plan/stitch/gap report.
+    """
+    planner = planner or ShardPlanner()
+    executor = executor or ShardExecutor()
+    plan = planner.plan(data)
+    return executor.run(data, plan, seed=seed)

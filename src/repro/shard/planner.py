@@ -1,0 +1,413 @@
+"""Block partitioning of one large structure-learning problem.
+
+The paper scales LEAST to ~100k-node problems; past a few hundred nodes a
+single monolithic solve is both slow (every inner step touches the full
+``d × d`` candidate matrix) and inaccurate under a fixed iteration budget (the
+budget is spread over ``d²`` parameters).  :class:`ShardPlanner` implements the
+standard divide-and-conquer remedy: threshold the empirical correlation matrix
+into an undirected *skeleton*, split its connected components into blocks of
+bounded size, and attach a one-hop *halo* of skeleton neighbors to each block
+so cross-boundary dependencies keep enough context to be learned by at least
+one block.
+
+The resulting :class:`ShardPlan` is pure data — blocks are tuples of global
+column indices — and is consumed by
+:class:`~repro.shard.executor.ShardExecutor` (one
+:class:`~repro.serve.job.LearningJob` per block) and
+:class:`~repro.shard.stitcher.Stitcher` (merging the per-block sub-graphs back
+into one DAG over all ``d`` nodes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_non_negative, ensure_2d
+
+__all__ = ["ShardBlock", "ShardPlan", "ShardPlanner", "correlation_skeleton"]
+
+
+def _correlation_strengths(data: np.ndarray) -> np.ndarray:
+    """``d × d`` matrix of absolute pairwise correlations (NaNs become 0)."""
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = np.corrcoef(data, rowvar=False)
+    return np.abs(
+        np.nan_to_num(np.atleast_2d(corr), nan=0.0, posinf=0.0, neginf=0.0)
+    )
+
+
+def _skeleton_from_strengths(strengths: np.ndarray, threshold: float) -> np.ndarray:
+    """Threshold an absolute-correlation matrix into a boolean skeleton."""
+    skeleton = strengths >= threshold
+    skeleton &= skeleton.T  # enforce symmetry against float asymmetries
+    np.fill_diagonal(skeleton, False)
+    return skeleton
+
+
+def correlation_skeleton(data: np.ndarray, threshold: float) -> np.ndarray:
+    """Boolean undirected skeleton from thresholded absolute correlations.
+
+    Parameters
+    ----------
+    data:
+        ``n × d`` sample matrix.
+    threshold:
+        Pairs with ``|corr| >= threshold`` become skeleton edges.  Columns
+        with zero variance (undefined correlation) are treated as isolated.
+
+    Returns
+    -------
+    numpy.ndarray
+        Symmetric boolean ``d × d`` matrix with a False diagonal.
+    """
+    data = ensure_2d(data, "data")
+    check_non_negative(threshold, "threshold")
+    d = data.shape[1]
+    if data.shape[0] < 2:
+        return np.zeros((d, d), dtype=bool)
+    return _skeleton_from_strengths(_correlation_strengths(data), threshold)
+
+
+@dataclass(frozen=True)
+class ShardBlock:
+    """One block of a :class:`ShardPlan`.
+
+    Attributes
+    ----------
+    index:
+        Zero-based position of the block in the plan.
+    core:
+        Global column indices *owned* by this block.  The cores of a plan
+        partition the node set: every node belongs to exactly one core.
+    halo:
+        Skeleton neighbors of the core borrowed from other blocks for
+        context.  Halo nodes are solved inside this block too, but edges
+        between two halo nodes are discarded at stitch time (their own block
+        owns them).
+    """
+
+    index: int
+    core: tuple[int, ...]
+    halo: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.core:
+            raise ValidationError("a shard block must own at least one node")
+        if set(self.core) & set(self.halo):
+            raise ValidationError("core and halo of a block must be disjoint")
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        """Core followed by halo: the global indices of the block's columns.
+
+        The position of a global index in this tuple is its *local* index in
+        the block's sample sub-matrix and learned sub-graph.
+        """
+        return self.core + self.halo
+
+    @property
+    def n_core(self) -> int:
+        """Number of owned nodes."""
+        return len(self.core)
+
+    @property
+    def n_halo(self) -> int:
+        """Number of borrowed context nodes."""
+        return len(self.halo)
+
+
+@dataclass
+class ShardPlan:
+    """A complete block decomposition of one learning problem.
+
+    Attributes
+    ----------
+    n_nodes:
+        Total number of columns of the partitioned problem.
+    blocks:
+        The blocks, in index order.  Their cores partition ``range(n_nodes)``.
+    n_skeleton_edges:
+        Undirected edge count of the correlation skeleton the plan was built
+        from.
+    skeleton_threshold:
+        The ``|corr|`` threshold that produced the skeleton.
+    """
+
+    n_nodes: int
+    blocks: list[ShardBlock] = field(default_factory=list)
+    n_skeleton_edges: int = 0
+    skeleton_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        for position, block in enumerate(self.blocks):
+            if block.index != position:
+                raise ValidationError(
+                    f"block at position {position} has index {block.index}; "
+                    "block indices must match their list positions (the "
+                    "executor maps job ids back through them)"
+                )
+        owned: list[int] = [node for block in self.blocks for node in block.core]
+        if sorted(owned) != list(range(self.n_nodes)):
+            raise ValidationError(
+                "block cores must partition the node set exactly: every node "
+                "in exactly one core"
+            )
+        for block in self.blocks:
+            for node in block.halo:
+                if not 0 <= node < self.n_nodes:
+                    raise ValidationError(f"halo node {node} out of range")
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of blocks in the plan."""
+        return len(self.blocks)
+
+    @property
+    def is_monolithic(self) -> bool:
+        """True when the plan degenerates to one block covering every node."""
+        return self.n_blocks == 1
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-able digest (the ``plan`` section of ``BENCH_shard.json``)."""
+        core_sizes = [block.n_core for block in self.blocks]
+        halo_sizes = [block.n_halo for block in self.blocks]
+        return {
+            "is_monolithic": self.is_monolithic,
+            "max_block_size": max(core_sizes),
+            "mean_block_size": float(np.mean(core_sizes)),
+            "mean_halo_size": float(np.mean(halo_sizes)),
+            "min_block_size": min(core_sizes),
+            "n_blocks": self.n_blocks,
+            "n_nodes": self.n_nodes,
+            "n_skeleton_edges": self.n_skeleton_edges,
+        }
+
+
+def _connected_components(skeleton: np.ndarray) -> list[list[int]]:
+    """BFS connected components of the skeleton, each in BFS visit order."""
+    d = skeleton.shape[0]
+    neighbors = [list(np.flatnonzero(skeleton[i])) for i in range(d)]
+    seen = np.zeros(d, dtype=bool)
+    components: list[list[int]] = []
+    for start in range(d):
+        if seen[start]:
+            continue
+        seen[start] = True
+        queue: deque[int] = deque([start])
+        component = []
+        while queue:
+            node = queue.popleft()
+            component.append(node)
+            for neighbor in neighbors[node]:
+                if not seen[neighbor]:
+                    seen[neighbor] = True
+                    queue.append(neighbor)
+        components.append(component)
+    return components
+
+
+def _split_chunks(component: Sequence[int], max_size: int) -> list[list[int]]:
+    """Split a BFS-ordered component into nearly equal chunks of <= max_size.
+
+    Contiguous BFS ranges are used so each chunk stays a locally connected
+    patch of the skeleton rather than a random node sample.
+    """
+    n = len(component)
+    n_chunks = -(-n // max_size)  # ceil
+    base, extra = divmod(n, n_chunks)
+    chunks: list[list[int]] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        chunks.append(list(component[start : start + size]))
+        start += size
+    return chunks
+
+
+class ShardPlanner:
+    """Plan a block decomposition from the correlation skeleton of the data.
+
+    Parameters
+    ----------
+    skeleton_threshold:
+        ``|corr|`` value above which two columns are considered skeleton
+        neighbors.  Higher thresholds produce smaller, more numerous blocks.
+    max_block_size:
+        Upper bound on the number of *core* nodes per block; skeleton
+        components larger than this are split along their BFS order.
+    min_block_size:
+        Components (or split chunks) smaller than this are packed together
+        into shared blocks, so a sea of isolated nodes does not become a sea
+        of single-node solver jobs.  ``1`` disables packing.
+    halo_depth:
+        How many skeleton hops around the core are included as halo context
+        (``0`` disables halos entirely).
+    max_halo_size:
+        Optional cap on the halo size of each block; when the one-hop
+        neighborhood is larger, the neighbors with the strongest correlation
+        to the core are kept.  ``None`` keeps every halo candidate.
+    """
+
+    def __init__(
+        self,
+        skeleton_threshold: float = 0.2,
+        max_block_size: int = 64,
+        min_block_size: int = 1,
+        halo_depth: int = 1,
+        max_halo_size: int | None = None,
+    ) -> None:
+        check_non_negative(skeleton_threshold, "skeleton_threshold")
+        if max_block_size < 1:
+            raise ValidationError(
+                f"max_block_size must be >= 1, got {max_block_size}"
+            )
+        if min_block_size < 1:
+            raise ValidationError(
+                f"min_block_size must be >= 1, got {min_block_size}"
+            )
+        if min_block_size > max_block_size:
+            raise ValidationError(
+                "min_block_size must not exceed max_block_size, got "
+                f"{min_block_size} > {max_block_size}"
+            )
+        if halo_depth < 0:
+            raise ValidationError(f"halo_depth must be >= 0, got {halo_depth}")
+        if max_halo_size is not None and max_halo_size < 0:
+            raise ValidationError(
+                f"max_halo_size must be >= 0, got {max_halo_size}"
+            )
+        self.skeleton_threshold = float(skeleton_threshold)
+        self.max_block_size = int(max_block_size)
+        self.min_block_size = int(min_block_size)
+        self.halo_depth = int(halo_depth)
+        self.max_halo_size = max_halo_size
+
+    # -- public API ------------------------------------------------------------
+
+    def plan(self, data: np.ndarray) -> ShardPlan:
+        """Build a :class:`ShardPlan` for the ``n × d`` sample matrix.
+
+        The pairwise correlations are computed once: the thresholded skeleton
+        and the halo-ranking strengths are both derived from the same matrix
+        (and the strengths are only kept when :attr:`max_halo_size` needs
+        them for ranking).
+        """
+        data = ensure_2d(data, "data")
+        if data.shape[0] < 2:
+            d = data.shape[1]
+            return self.plan_from_skeleton(np.zeros((d, d), dtype=bool))
+        strengths = _correlation_strengths(data)
+        skeleton = _skeleton_from_strengths(strengths, self.skeleton_threshold)
+        if self.max_halo_size is None:
+            strengths = None  # never consulted: skip carrying the d×d matrix
+        return self.plan_from_skeleton(skeleton, strengths=strengths)
+
+    def plan_from_skeleton(
+        self, skeleton: np.ndarray, strengths: np.ndarray | None = None
+    ) -> ShardPlan:
+        """Build a plan from a precomputed boolean skeleton matrix.
+
+        Parameters
+        ----------
+        skeleton:
+            Symmetric boolean ``d × d`` adjacency of the undirected skeleton.
+        strengths:
+            Optional ``d × d`` non-negative affinity matrix used to rank halo
+            candidates when :attr:`max_halo_size` trims them; defaults to the
+            skeleton itself (every neighbor equally strong).
+        """
+        skeleton = np.asarray(skeleton, dtype=bool)
+        if skeleton.ndim != 2 or skeleton.shape[0] != skeleton.shape[1]:
+            raise ValidationError("skeleton must be a square matrix")
+        d = skeleton.shape[0]
+        if d == 0:
+            raise ValidationError("cannot plan over zero nodes")
+        n_skeleton_edges = int(np.count_nonzero(np.triu(skeleton, k=1)))
+
+        cores = self._cores(skeleton)
+        blocks = [
+            ShardBlock(
+                index=index,
+                core=tuple(int(node) for node in core),
+                halo=tuple(int(node) for node in self._halo(skeleton, strengths, core)),
+            )
+            for index, core in enumerate(cores)
+        ]
+        return ShardPlan(
+            n_nodes=d,
+            blocks=blocks,
+            n_skeleton_edges=n_skeleton_edges,
+            skeleton_threshold=self.skeleton_threshold,
+        )
+
+    # -- internals --------------------------------------------------------------
+
+    def _cores(self, skeleton: np.ndarray) -> list[list[int]]:
+        """Partition the nodes into cores: split large components, pack small."""
+        chunks: list[list[int]] = []
+        for component in _connected_components(skeleton):
+            if len(component) <= self.max_block_size:
+                chunks.append(component)
+            else:
+                chunks.extend(_split_chunks(component, self.max_block_size))
+
+        if self.min_block_size <= 1:
+            return chunks
+
+        # Greedily pack undersized chunks together (largest first) until each
+        # pack reaches min_block_size, never exceeding max_block_size.
+        small = sorted(
+            (c for c in chunks if len(c) < self.min_block_size), key=len, reverse=True
+        )
+        cores = [c for c in chunks if len(c) >= self.min_block_size]
+        pack: list[int] = []
+        for chunk in small:
+            if pack and len(pack) + len(chunk) > self.max_block_size:
+                cores.append(pack)
+                pack = []
+            pack = pack + chunk
+            if len(pack) >= self.min_block_size:
+                cores.append(pack)
+                pack = []
+        if pack:
+            cores.append(pack)
+        return cores
+
+    def _halo(
+        self,
+        skeleton: np.ndarray,
+        strengths: np.ndarray | None,
+        core: Sequence[int],
+    ) -> list[int]:
+        """Skeleton neighborhood of ``core`` up to ``halo_depth`` hops."""
+        if self.halo_depth == 0 or (
+            self.max_halo_size is not None and self.max_halo_size == 0
+        ):
+            return []
+        core_set = set(core)
+        frontier = set(core)
+        halo: set[int] = set()
+        for _ in range(self.halo_depth):
+            neighbors: set[int] = set()
+            for node in frontier:
+                neighbors.update(np.flatnonzero(skeleton[node]).tolist())
+            frontier = neighbors - core_set - halo
+            if not frontier:
+                break
+            halo |= frontier
+        candidates = sorted(halo)
+        if self.max_halo_size is None or len(candidates) <= self.max_halo_size:
+            return candidates
+        affinity = strengths if strengths is not None else skeleton.astype(float)
+        core_idx = np.asarray(sorted(core_set))
+        scored = sorted(
+            candidates,
+            key=lambda node: float(np.max(affinity[node, core_idx])),
+            reverse=True,
+        )
+        return sorted(scored[: self.max_halo_size])

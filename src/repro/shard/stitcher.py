@@ -1,0 +1,213 @@
+"""Merging per-block sub-graphs back into one global DAG.
+
+Each block of a :class:`~repro.shard.planner.ShardPlan` learns a weighted
+graph over its own columns (core + halo).  :class:`Stitcher` maps those local
+edges back to global indices and resolves the three ways independent block
+solves can disagree:
+
+1. **Duplicate edges** — an edge whose endpoints appear in two blocks (one
+   block's core node is another's halo node) is learned twice; the heavier
+   estimate (largest ``|weight|``) wins and the duplicate is counted in
+   ``n_duplicate_edges``.
+2. **Direction conflicts** — block A learns ``i -> j`` while block B learns
+   ``j -> i``; the heavier direction wins and the pair is counted in
+   ``n_direction_conflicts``.
+3. **Cycles** — acyclicity is only enforced *within* each block, so the merged
+   graph can contain cross-block cycles; they are broken greedily by removing
+   the minimum-``|weight|`` edge of each remaining cycle until the graph is a
+   DAG.  Removed edges are counted in ``n_cycle_edges_removed`` and their
+   total magnitude in ``removed_weight``.
+
+Edges between two *halo* nodes of the same block are discarded before
+merging: both endpoints are owned by other blocks, which learn that
+neighborhood with full context.
+
+The output is always a DAG, whatever the inputs — the invariant the
+property-based suite (``tests/test_shard_property.py``) hammers on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ValidationError
+from repro.graph.adjacency import to_dense
+from repro.graph.dag import find_cycle
+from repro.shard.planner import ShardBlock
+
+__all__ = ["StitchReport", "StitchedGraph", "Stitcher"]
+
+
+@dataclass
+class StitchReport:
+    """Conflict accounting of one stitch pass.
+
+    Attributes
+    ----------
+    n_blocks:
+        Number of block sub-graphs that were merged.
+    n_duplicate_edges:
+        Directed edges learned by more than one block (each extra occurrence
+        counts once).
+    n_direction_conflicts:
+        Node pairs learned with opposite directions by different blocks.
+    n_cycle_edges_removed:
+        Edges removed to break cross-block cycles.
+    removed_weight:
+        Total ``|weight|`` of the cycle-breaking removals.
+    n_edges:
+        Directed edge count of the final stitched DAG.
+    """
+
+    n_blocks: int = 0
+    n_duplicate_edges: int = 0
+    n_direction_conflicts: int = 0
+    n_cycle_edges_removed: int = 0
+    removed_weight: float = 0.0
+    n_edges: int = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able digest (the ``stitch`` section of ``BENCH_shard.json``)."""
+        return {
+            "n_blocks": self.n_blocks,
+            "n_cycle_edges_removed": self.n_cycle_edges_removed,
+            "n_direction_conflicts": self.n_direction_conflicts,
+            "n_duplicate_edges": self.n_duplicate_edges,
+            "n_edges": self.n_edges,
+            "removed_weight": self.removed_weight,
+        }
+
+
+@dataclass
+class StitchedGraph:
+    """A stitched global graph plus its conflict accounting.
+
+    Attributes
+    ----------
+    weights:
+        ``d × d`` weighted adjacency matrix; always a DAG.
+    report:
+        The :class:`StitchReport` of the pass that produced it.
+    """
+
+    weights: np.ndarray
+    report: StitchReport
+
+
+class Stitcher:
+    """Merge block sub-graphs into one global DAG (see module docstring).
+
+    Parameters
+    ----------
+    drop_halo_halo_edges:
+        When True (default) edges between two halo nodes of the same block
+        are ignored — their owning blocks learn them with full context.
+        Disable only for diagnostics.
+    """
+
+    def __init__(self, drop_halo_halo_edges: bool = True) -> None:
+        self.drop_halo_halo_edges = drop_halo_halo_edges
+
+    def stitch(
+        self,
+        block_graphs: Sequence[tuple[ShardBlock, np.ndarray | sp.spmatrix]],
+        n_nodes: int,
+    ) -> StitchedGraph:
+        """Merge ``(block, local weights)`` pairs into a global DAG.
+
+        Parameters
+        ----------
+        block_graphs:
+            One entry per *surviving* block: the block and the weight matrix
+            its solve produced, indexed by the block's local node order
+            (:attr:`~repro.shard.planner.ShardBlock.nodes`).  Blocks whose
+            jobs failed or were preempted are simply absent.
+        n_nodes:
+            Number of nodes of the global graph.
+
+        Returns
+        -------
+        StitchedGraph
+            The merged ``n_nodes × n_nodes`` weight matrix (always a DAG) and
+            the conflict accounting that produced it.
+        """
+        if n_nodes < 1:
+            raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
+        report = StitchReport(n_blocks=len(block_graphs))
+        merged = np.zeros((n_nodes, n_nodes))
+
+        for block, local in block_graphs:
+            nodes = np.asarray(block.nodes, dtype=int)
+            local = to_dense(local)
+            if local.shape != (len(nodes), len(nodes)):
+                raise ValidationError(
+                    f"block {block.index} weights have shape {local.shape}, "
+                    f"expected {(len(nodes), len(nodes))}"
+                )
+            if np.any(nodes >= n_nodes) or np.any(nodes < 0):
+                raise ValidationError(
+                    f"block {block.index} references nodes outside "
+                    f"range(0, {n_nodes})"
+                )
+            core = set(block.core)
+            rows, cols = np.nonzero(local)
+            for a, b in zip(rows, cols):
+                i, j = int(nodes[a]), int(nodes[b])
+                if i == j:
+                    continue
+                if (
+                    self.drop_halo_halo_edges
+                    and i not in core
+                    and j not in core
+                ):
+                    continue
+                weight = float(local[a, b])
+                existing = merged[i, j]
+                if existing != 0.0:
+                    report.n_duplicate_edges += 1
+                    if abs(weight) > abs(existing):
+                        merged[i, j] = weight
+                else:
+                    merged[i, j] = weight
+
+        self._resolve_direction_conflicts(merged, report)
+        self._break_cycles(merged, report)
+        report.n_edges = int(np.count_nonzero(merged))
+        return StitchedGraph(weights=merged, report=report)
+
+    # -- internals --------------------------------------------------------------
+
+    @staticmethod
+    def _resolve_direction_conflicts(
+        merged: np.ndarray, report: StitchReport
+    ) -> None:
+        """Keep the heavier direction of every i<->j pair (in place)."""
+        forward = np.transpose(np.nonzero(np.triu(merged, k=1)))
+        for i, j in forward:
+            if merged[j, i] == 0.0:
+                continue
+            report.n_direction_conflicts += 1
+            if abs(merged[i, j]) >= abs(merged[j, i]):
+                merged[j, i] = 0.0
+            else:
+                merged[i, j] = 0.0
+
+    @staticmethod
+    def _break_cycles(merged: np.ndarray, report: StitchReport) -> None:
+        """Remove the lightest edge of each remaining cycle until acyclic."""
+        while (cycle := find_cycle(merged)) is not None:
+            lightest: tuple[int, int] | None = None
+            lightest_weight = np.inf
+            for u, v in zip(cycle, cycle[1:]):
+                weight = abs(merged[u, v])
+                if weight < lightest_weight:
+                    lightest_weight = weight
+                    lightest = (u, v)
+            assert lightest is not None  # a cycle always has edges
+            merged[lightest] = 0.0
+            report.n_cycle_edges_removed += 1
+            report.removed_weight += float(lightest_weight)

@@ -1,10 +1,10 @@
-"""Documentation contract: the public serve + core.least* APIs are documented.
+"""Documentation contract: the public serve + shard + core.least* APIs are documented.
 
 The CI docs job runs this module (alongside the markdown link check) so the
 documentation site in ``docs/`` cannot silently rot: every public module,
-class, function, method, and property of the serving layer and the LEAST
-solver family must carry a docstring, and the solver config dataclasses must
-describe every field they expose.
+class, function, method, and property of the serving layer, the sharding
+subsystem, and the LEAST solver family must carry a docstring, and the solver
+config dataclasses must describe every field they expose.
 """
 
 from __future__ import annotations
@@ -24,6 +24,10 @@ import repro.serve.runner as serve_runner
 import repro.serve.scheduler as serve_scheduler
 import repro.serve.streaming as serve_streaming
 import repro.serve.warm_start as serve_warm_start
+import repro.shard as shard
+import repro.shard.executor as shard_executor
+import repro.shard.planner as shard_planner
+import repro.shard.stitcher as shard_stitcher
 
 MODULES = [
     serve,
@@ -34,6 +38,10 @@ MODULES = [
     serve_scheduler,
     serve_streaming,
     serve_warm_start,
+    shard,
+    shard_executor,
+    shard_planner,
+    shard_stitcher,
     least,
     least_sparse,
 ]
@@ -110,12 +118,16 @@ def test_solver_configs_document_every_field(config_class):
     )
 
 
-def test_serve_package_reexports_are_documented():
-    """Everything importable from ``repro.serve`` is documented at the source."""
+@pytest.mark.parametrize("package", [serve, shard], ids=lambda m: m.__name__)
+def test_package_reexports_are_documented(package):
+    """Everything importable from the package is documented at the source."""
     missing = [
         name
-        for name in serve.__all__
-        if (inspect.isclass(getattr(serve, name)) or callable(getattr(serve, name)))
-        and not _documented(getattr(serve, name))
+        for name in package.__all__
+        if (
+            inspect.isclass(getattr(package, name))
+            or callable(getattr(package, name))
+        )
+        and not _documented(getattr(package, name))
     ]
-    assert not missing, f"undocumented repro.serve exports: {missing}"
+    assert not missing, f"undocumented {package.__name__} exports: {missing}"

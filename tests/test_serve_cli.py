@@ -101,3 +101,89 @@ class TestMain:
 
     def test_module_entry_point_exists(self):
         import repro.serve.__main__  # noqa: F401 - import is the test
+
+
+class TestShardSubcommand:
+    def _write_data(self, tmp_path, d=10, n=200, seed=2):
+        import numpy as np
+
+        from repro.graph.generation import random_dag
+        from repro.sem.linear_sem import simulate_linear_sem
+
+        truth = random_dag("ER-2", d, seed=0)
+        data = simulate_linear_sem(truth, n, seed=seed)
+        path = tmp_path / "data.npy"
+        np.save(path, data)
+        return str(path)
+
+    def test_shard_report_and_weights(self, tmp_path, capsys):
+        import numpy as np
+
+        data_path = self._write_data(tmp_path)
+        out = tmp_path / "report.json"
+        weights_path = tmp_path / "weights.npy"
+        code = main(
+            [
+                "shard",
+                data_path,
+                "--max-block-size",
+                "5",
+                "--edge-threshold",
+                "0.3",
+                "--config",
+                '{"max_outer_iterations": 2, "max_inner_iterations": 30}',
+                "--output",
+                str(out),
+                "--save-weights",
+                str(weights_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert set(report) == {
+            "plan",
+            "stitch",
+            "blocks",
+            "gaps",
+            "total_seconds",
+            "preemption",
+        }
+        assert report["plan"]["n_nodes"] == 10
+        assert report["gaps"]["n_missing_nodes"] == 0
+        assert all(block["status"] == "ok" for block in report["blocks"])
+        weights = np.load(weights_path)
+        assert weights.shape == (10, 10)
+        assert "blocks over 10 nodes" in capsys.readouterr().err
+
+    def test_shard_csv_input_and_stdout_report(self, tmp_path, capsys):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        path = tmp_path / "data.csv"
+        np.savetxt(path, rng.normal(size=(60, 4)), delimiter=",")
+        code = main(
+            [
+                "shard",
+                str(path),
+                "--config",
+                '{"max_outer_iterations": 2, "max_inner_iterations": 20}',
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["plan"]["n_nodes"] == 4
+
+    def test_shard_missing_data_exit_code(self, tmp_path, capsys):
+        assert main(["shard", str(tmp_path / "nope.npy")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_shard_bad_config_exit_code(self, tmp_path, capsys):
+        data_path = self._write_data(tmp_path, d=4, n=50)
+        assert main(["shard", data_path, "--config", "[1, 2]"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_shard_unknown_solver_exit_code(self, tmp_path, capsys):
+        data_path = self._write_data(tmp_path, d=4, n=50)
+        assert main(["shard", data_path, "--solver", "leest"]) == 2
+        assert "error:" in capsys.readouterr().err

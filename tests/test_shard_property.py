@@ -1,0 +1,178 @@
+"""Property-based tests (Hypothesis) for the sharding invariants.
+
+Three invariants must hold for *any* data and *any* plan, not just the
+benchmark scenario:
+
+1. the stitched graph is always a DAG — whatever the block solves hand over,
+   including cyclic or adversarial sub-graphs;
+2. every node appears in at least one block (the cores partition the node
+   set, halos only add);
+3. stitching sub-graphs of a ground truth never *invents* edges — in
+   particular, two disjoint components never acquire a cross-component edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dag import is_dag
+from repro.graph.generation import random_dag
+from repro.sem.linear_sem import simulate_linear_sem
+from repro.shard.planner import ShardPlanner
+from repro.shard.stitcher import Stitcher
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def _random_sem_data(
+    n_nodes: int, seed: int, n_samples: int = 60
+) -> tuple[np.ndarray, np.ndarray]:
+    """A random weighted DAG and LSEM samples drawn from it."""
+    truth = random_dag("ER-2", n_nodes, seed=seed)
+    data = simulate_linear_sem(truth, n_samples, noise_type="gaussian", seed=seed + 1)
+    return truth, data
+
+
+def _random_planner(
+    n_nodes: int, threshold: float, max_block: int, min_block: int, halo_cap: int | None
+) -> ShardPlanner:
+    """A planner with randomized but mutually consistent knobs."""
+    max_block = max(1, min(max_block, n_nodes))
+    return ShardPlanner(
+        skeleton_threshold=threshold,
+        max_block_size=max_block,
+        min_block_size=min(min_block, max_block),
+        max_halo_size=halo_cap,
+    )
+
+
+@SETTINGS
+@given(
+    n_nodes=st.integers(2, 24),
+    seed=st.integers(0, 10_000),
+    threshold=st.floats(0.05, 0.8),
+    max_block=st.integers(1, 12),
+    min_block=st.integers(1, 12),
+    halo_cap=st.one_of(st.none(), st.integers(0, 6)),
+)
+def test_every_node_appears_in_at_least_one_block(
+    n_nodes, seed, threshold, max_block, min_block, halo_cap
+):
+    _, data = _random_sem_data(n_nodes, seed)
+    planner = _random_planner(n_nodes, threshold, max_block, min_block, halo_cap)
+    plan = planner.plan(data)
+
+    covered = sorted({node for block in plan.blocks for node in block.core})
+    assert covered == list(range(n_nodes))  # cores partition => full coverage
+    for block in plan.blocks:
+        assert len(block.core) <= planner.max_block_size
+        assert not set(block.core) & set(block.halo)
+        if halo_cap is not None:
+            assert len(block.halo) <= halo_cap
+    summary = plan.summary()
+    assert summary["n_nodes"] == n_nodes
+    assert summary["n_blocks"] == plan.n_blocks
+    assert summary["is_monolithic"] == (plan.n_blocks == 1)
+
+
+@SETTINGS
+@given(
+    n_nodes=st.integers(2, 20),
+    seed=st.integers(0, 10_000),
+    threshold=st.floats(0.05, 0.6),
+    max_block=st.integers(1, 8),
+    density=st.floats(0.0, 0.9),
+    drop=st.integers(0, 2),
+)
+def test_stitched_graph_is_always_a_dag(
+    n_nodes, seed, threshold, max_block, density, drop
+):
+    """Even adversarial (cyclic, dense) block graphs stitch into a DAG."""
+    _, data = _random_sem_data(n_nodes, seed)
+    plan = _random_planner(n_nodes, threshold, max_block, 1, None).plan(data)
+    rng = np.random.default_rng(seed + 17)
+
+    block_graphs = []
+    for block in plan.blocks:
+        size = len(block.nodes)
+        local = rng.normal(size=(size, size)) * (rng.random((size, size)) < density)
+        np.fill_diagonal(local, 0.0)
+        block_graphs.append((block, local))
+    # Some blocks may be missing entirely (failed / preempted jobs).
+    block_graphs = block_graphs[: max(0, len(block_graphs) - drop)]
+
+    stitched = Stitcher().stitch(block_graphs, n_nodes)
+    assert is_dag(stitched.weights)
+    assert stitched.report.n_edges == int(np.count_nonzero(stitched.weights))
+
+
+@SETTINGS
+@given(
+    n_nodes=st.integers(2, 20),
+    seed=st.integers(0, 10_000),
+    threshold=st.floats(0.05, 0.6),
+    max_block=st.integers(1, 8),
+)
+def test_stitching_true_subgraphs_never_invents_edges(
+    n_nodes, seed, threshold, max_block
+):
+    """The stitched edge set is a subset of the union of the block edge sets."""
+    truth, data = _random_sem_data(n_nodes, seed)
+    plan = _random_planner(n_nodes, threshold, max_block, 1, None).plan(data)
+
+    block_graphs = [
+        (block, truth[np.ix_(block.nodes, block.nodes)]) for block in plan.blocks
+    ]
+    stitched = Stitcher().stitch(block_graphs, n_nodes)
+    assert is_dag(stitched.weights)
+    invented = (stitched.weights != 0) & (truth == 0)
+    assert not invented.any()
+
+
+@SETTINGS
+@given(
+    size_a=st.integers(2, 10),
+    size_b=st.integers(2, 10),
+    seed=st.integers(0, 10_000),
+    threshold=st.floats(0.05, 0.6),
+    max_block=st.integers(1, 8),
+    min_block=st.integers(1, 8),
+)
+def test_disjoint_components_never_gain_cross_edges(
+    size_a, size_b, seed, threshold, max_block, min_block
+):
+    """Two independent SEM components stay independent through plan + stitch.
+
+    Even when the planner packs nodes of both components into a shared block,
+    stitching the per-block *sub-graphs of the truth* must not produce a
+    single edge between the two components.
+    """
+    truth_a = random_dag("ER-2", size_a, seed=seed)
+    truth_b = random_dag("ER-2", size_b, seed=seed + 1)
+    n_nodes = size_a + size_b
+    truth = np.zeros((n_nodes, n_nodes))
+    truth[:size_a, :size_a] = truth_a
+    truth[size_a:, size_a:] = truth_b
+    data = simulate_linear_sem(truth, 80, noise_type="gaussian", seed=seed + 2)
+
+    plan = _random_planner(n_nodes, threshold, max_block, min_block, None).plan(data)
+    block_graphs = [
+        (block, truth[np.ix_(block.nodes, block.nodes)]) for block in plan.blocks
+    ]
+    stitched = Stitcher().stitch(block_graphs, n_nodes)
+
+    assert is_dag(stitched.weights)
+    cross_ab = stitched.weights[:size_a, size_a:]
+    cross_ba = stitched.weights[size_a:, :size_a]
+    assert not cross_ab.any() and not cross_ba.any()
+
+
+def test_constant_columns_plan_as_isolated_nodes():
+    """Zero-variance columns (undefined correlation) still get a block."""
+    data = np.ones((50, 6))
+    plan = ShardPlanner(skeleton_threshold=0.2).plan(data)
+    covered = sorted({node for block in plan.blocks for node in block.core})
+    assert covered == list(range(6))
+    assert plan.n_skeleton_edges == 0

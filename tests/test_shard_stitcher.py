@@ -1,0 +1,213 @@
+"""Unit tests for the Stitcher's conflict accounting against hand-built fixtures.
+
+Every counter of :class:`repro.shard.stitcher.StitchReport`
+(``n_duplicate_edges``, ``n_direction_conflicts``, ``n_cycle_edges_removed``,
+``removed_weight``) is pinned to a small fixture where the expected value can
+be read off by hand, mirroring the ``stitch`` section of ``BENCH_shard.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graph.dag import is_dag
+from repro.shard.planner import ShardBlock
+from repro.shard.stitcher import Stitcher, StitchReport
+
+
+def _local(n: int, edges: dict[tuple[int, int], float]) -> np.ndarray:
+    """Build an ``n × n`` local weight matrix from ``{(i, j): w}``."""
+    matrix = np.zeros((n, n))
+    for (i, j), weight in edges.items():
+        matrix[i, j] = weight
+    return matrix
+
+
+def test_single_block_maps_local_edges_to_global_indices():
+    block = ShardBlock(index=0, core=(3, 1, 4))
+    local = _local(3, {(0, 1): 2.0, (1, 2): -0.5})  # 3->1, 1->4 globally
+    stitched = Stitcher().stitch([(block, local)], n_nodes=5)
+    assert stitched.weights[3, 1] == 2.0
+    assert stitched.weights[1, 4] == -0.5
+    assert stitched.report.n_edges == 2
+    assert stitched.report.n_blocks == 1
+    assert stitched.report.n_duplicate_edges == 0
+    assert stitched.report.n_direction_conflicts == 0
+    assert stitched.report.n_cycle_edges_removed == 0
+    assert stitched.report.removed_weight == 0.0
+
+
+def test_duplicate_halo_edge_counted_and_heavier_estimate_wins():
+    # Edge 1 -> 2 is learned by both blocks: once from the core side (weight
+    # 0.5) and once from the halo side (weight 0.9).
+    block_a = ShardBlock(index=0, core=(0, 1), halo=(2,))
+    block_b = ShardBlock(index=1, core=(2,), halo=(1,))
+    local_a = _local(3, {(1, 2): 0.5})  # 1 -> 2
+    local_b = _local(2, {(1, 0): 0.9})  # nodes (2, 1): local 1->0 is global 1->2
+    stitched = Stitcher().stitch([(block_a, local_a), (block_b, local_b)], n_nodes=3)
+    assert stitched.report.n_duplicate_edges == 1
+    assert stitched.weights[1, 2] == 0.9
+    assert stitched.report.n_edges == 1
+
+
+def test_duplicate_with_equal_magnitude_keeps_first_blocks_estimate():
+    block_a = ShardBlock(index=0, core=(0,), halo=(1,))
+    block_b = ShardBlock(index=1, core=(1,), halo=(0,))
+    local_a = _local(2, {(0, 1): 0.7})
+    local_b = _local(2, {(1, 0): -0.7})  # nodes (1, 0): local 1->0 is global 0->1
+    stitched = Stitcher().stitch([(block_a, local_a), (block_b, local_b)], n_nodes=2)
+    assert stitched.report.n_duplicate_edges == 1
+    assert stitched.weights[0, 1] == 0.7
+
+
+def test_direction_conflict_resolved_by_weight():
+    block_a = ShardBlock(index=0, core=(0,), halo=(1,))
+    block_b = ShardBlock(index=1, core=(1,), halo=(0,))
+    local_a = _local(2, {(0, 1): 1.0})  # 0 -> 1, lighter
+    local_b = _local(2, {(0, 1): -2.0})  # nodes (1, 0): global 1 -> 0, heavier
+    stitched = Stitcher().stitch([(block_a, local_a), (block_b, local_b)], n_nodes=2)
+    assert stitched.report.n_direction_conflicts == 1
+    assert stitched.weights[0, 1] == 0.0
+    assert stitched.weights[1, 0] == -2.0
+    # Direction conflicts are not duplicates (opposite directed edges) and the
+    # loser does not count into removed_weight (reserved for cycle breaking).
+    assert stitched.report.n_duplicate_edges == 0
+    assert stitched.report.removed_weight == 0.0
+    assert stitched.report.n_edges == 1
+
+
+def test_direction_conflict_tie_keeps_lower_index_direction():
+    block_a = ShardBlock(index=0, core=(0,), halo=(1,))
+    block_b = ShardBlock(index=1, core=(1,), halo=(0,))
+    local_a = _local(2, {(0, 1): 1.5})
+    local_b = _local(2, {(0, 1): 1.5})
+    stitched = Stitcher().stitch([(block_a, local_a), (block_b, local_b)], n_nodes=2)
+    assert stitched.report.n_direction_conflicts == 1
+    assert stitched.weights[0, 1] == 1.5
+    assert stitched.weights[1, 0] == 0.0
+
+
+def test_cross_block_cycle_broken_at_minimum_weight_edge():
+    # Three single-node blocks each contribute one edge of the cycle
+    # 0 -> 1 -> 2 -> 0 with weights 1.0, 0.5, 2.0; the stitcher must remove
+    # exactly the lightest edge (1 -> 2, weight 0.5).
+    blocks = [
+        (ShardBlock(index=0, core=(0,), halo=(1,)), _local(2, {(0, 1): 1.0})),
+        (ShardBlock(index=1, core=(1,), halo=(2,)), _local(2, {(0, 1): 0.5})),
+        (ShardBlock(index=2, core=(2,), halo=(0,)), _local(2, {(0, 1): 2.0})),
+    ]
+    stitched = Stitcher().stitch(blocks, n_nodes=3)
+    assert is_dag(stitched.weights)
+    assert stitched.report.n_cycle_edges_removed == 1
+    assert stitched.report.removed_weight == pytest.approx(0.5)
+    assert stitched.weights[1, 2] == 0.0
+    assert stitched.weights[0, 1] == 1.0
+    assert stitched.weights[2, 0] == 2.0
+    assert stitched.report.n_edges == 2
+
+
+def test_two_cycles_accumulate_removed_weight():
+    # Two independent 2-cycles; each loses its lighter edge.
+    blocks = [
+        (ShardBlock(index=0, core=(0, 1)), _local(2, {(0, 1): 1.0, (1, 0): 0.0})),
+        (ShardBlock(index=1, core=(2, 3)), _local(2, {(0, 1): 3.0, (1, 0): 0.0})),
+    ]
+    # Build the cycles via a second pair of blocks learning the reverse edges.
+    blocks += [
+        (ShardBlock(index=2, core=(1,), halo=(0,)), _local(2, {(0, 1): -0.25})),
+        (ShardBlock(index=3, core=(3,), halo=(2,)), _local(2, {(0, 1): -0.75})),
+    ]
+    stitched = Stitcher().stitch(blocks, n_nodes=4)
+    assert is_dag(stitched.weights)
+    # Opposite directions learned by different blocks are direction conflicts,
+    # resolved before cycle breaking ever runs.
+    assert stitched.report.n_direction_conflicts == 2
+    assert stitched.report.n_cycle_edges_removed == 0
+    assert stitched.weights[0, 1] == 1.0
+    assert stitched.weights[2, 3] == 3.0
+
+
+def test_within_block_cycle_is_broken_by_the_stitcher():
+    # A single block may hand over a cyclic graph (e.g. an unconverged solve);
+    # the stitcher still guarantees a DAG.
+    block = ShardBlock(index=0, core=(0, 1, 2))
+    local = _local(3, {(0, 1): 1.0, (1, 2): 0.4, (2, 0): 0.9})
+    stitched = Stitcher().stitch([(block, local)], n_nodes=3)
+    assert is_dag(stitched.weights)
+    assert stitched.report.n_cycle_edges_removed == 1
+    assert stitched.report.removed_weight == pytest.approx(0.4)
+
+
+def test_halo_halo_edges_are_dropped_by_default():
+    block = ShardBlock(index=0, core=(0,), halo=(1, 2))
+    local = _local(3, {(0, 1): 1.0, (1, 2): 5.0})  # core->halo kept, halo->halo dropped
+    stitched = Stitcher().stitch([(block, local)], n_nodes=3)
+    assert stitched.weights[0, 1] == 1.0
+    assert stitched.weights[1, 2] == 0.0
+    assert stitched.report.n_edges == 1
+
+    diagnostic = Stitcher(drop_halo_halo_edges=False).stitch([(block, local)], 3)
+    assert diagnostic.weights[1, 2] == 5.0
+    assert diagnostic.report.n_edges == 2
+
+
+def test_report_dict_matches_bench_shard_stitch_schema():
+    """`as_dict` must carry exactly the keys of BENCH_shard.json's stitch block."""
+    blocks = [
+        (ShardBlock(index=0, core=(0, 1), halo=(2,)), _local(3, {(0, 1): 1.0, (1, 2): 0.5})),
+        (ShardBlock(index=1, core=(2,), halo=(1,)), _local(2, {(1, 0): 0.9})),
+    ]
+    report = Stitcher().stitch(blocks, n_nodes=3).report
+    assert set(report.as_dict()) == {
+        "n_blocks",
+        "n_cycle_edges_removed",
+        "n_direction_conflicts",
+        "n_duplicate_edges",
+        "n_edges",
+        "removed_weight",
+    }
+    payload = report.as_dict()
+    assert payload["n_blocks"] == 2
+    assert payload["n_duplicate_edges"] == 1
+    assert isinstance(payload["removed_weight"], float)
+
+
+def test_empty_input_produces_empty_dag():
+    stitched = Stitcher().stitch([], n_nodes=4)
+    assert stitched.weights.shape == (4, 4)
+    assert np.count_nonzero(stitched.weights) == 0
+    assert is_dag(stitched.weights)
+    assert stitched.report == StitchReport(n_blocks=0)
+
+
+def test_shape_and_range_validation():
+    block = ShardBlock(index=0, core=(0, 1))
+    with pytest.raises(ValidationError):
+        Stitcher().stitch([(block, np.zeros((3, 3)))], n_nodes=2)
+    with pytest.raises(ValidationError):
+        Stitcher().stitch([(block, np.zeros((2, 2)))], n_nodes=1)
+    with pytest.raises(ValidationError):
+        Stitcher().stitch([], n_nodes=0)
+
+
+def test_self_loops_in_block_results_are_ignored():
+    block = ShardBlock(index=0, core=(0, 1))
+    local = _local(2, {(0, 0): 9.0, (0, 1): 1.0})
+    stitched = Stitcher().stitch([(block, local)], n_nodes=2)
+    assert stitched.weights[0, 0] == 0.0
+    assert stitched.report.n_edges == 1
+
+
+def test_plan_rejects_blocks_with_mismatched_indices():
+    from repro.shard.planner import ShardPlan
+
+    with pytest.raises(ValidationError):
+        ShardPlan(
+            n_nodes=4,
+            blocks=[
+                ShardBlock(index=1, core=(0, 1)),
+                ShardBlock(index=0, core=(2, 3)),
+            ],
+        )
