@@ -4,7 +4,9 @@ Bayesian Networks: Algorithms and Applications" (LEAST, ICDE 2021).
 The package is organised in layers:
 
 * :mod:`repro.core` — the LEAST algorithm (dense and sparse), the spectral
-  acyclicity bound it is built on, and the NOTEARS baseline;
+  acyclicity bound it is built on, and the NOTEARS baseline, unified behind
+  the :class:`~repro.core.SolverBackend` protocol and the
+  :func:`~repro.core.make_solver` factory;
 * :mod:`repro.graph`, :mod:`repro.sem`, :mod:`repro.metrics` — the substrates:
   random DAG generation, linear-SEM data simulation, and structure-recovery
   metrics;
@@ -51,11 +53,15 @@ from repro.core import (
     LEASTResult,
     NOTEARS,
     NOTEARSConfig,
+    SolveResult,
+    SolverBackend,
     SparseLEAST,
     SparseLEASTConfig,
     SpectralAcyclicityBound,
     grid_search_threshold,
+    make_solver,
     notears_constraint,
+    solver_names,
     spectral_bound,
     threshold_to_dag,
     threshold_weights,
@@ -84,6 +90,10 @@ __all__ = [
     "SparseLEASTConfig",
     "NOTEARS",
     "NOTEARSConfig",
+    "SolverBackend",
+    "SolveResult",
+    "make_solver",
+    "solver_names",
     "SpectralAcyclicityBound",
     "spectral_bound",
     "notears_constraint",

@@ -1,6 +1,18 @@
 """Core structure-learning algorithms: LEAST, the NOTEARS baseline, and shared pieces."""
 
 from repro.core.acyclicity import SpectralAcyclicityBound, spectral_bound, spectral_bound_gradient
+from repro.core.backend import (
+    BackendSpec,
+    LEASTBackend,
+    NOTEARSBackend,
+    SolveResult,
+    SolverBackend,
+    SparseLEASTBackend,
+    make_solver,
+    register_backend,
+    solver_names,
+    unregister_backend,
+)
 from repro.core.least import LEAST, LEASTConfig, LEASTResult
 from repro.core.least_sparse import SparseLEAST, SparseLEASTConfig, correlation_support
 from repro.core.losses import LeastSquaresLoss
@@ -20,6 +32,16 @@ from repro.core.optimizers import AdamOptimizer, SGDOptimizer, SparseAdamOptimiz
 from repro.core.thresholding import threshold_to_dag, threshold_weights
 
 __all__ = [
+    "SolverBackend",
+    "SolveResult",
+    "BackendSpec",
+    "LEASTBackend",
+    "SparseLEASTBackend",
+    "NOTEARSBackend",
+    "make_solver",
+    "solver_names",
+    "register_backend",
+    "unregister_backend",
     "SpectralAcyclicityBound",
     "spectral_bound",
     "spectral_bound_gradient",

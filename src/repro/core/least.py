@@ -228,6 +228,7 @@ class LEAST:
         data,
         seed: RandomState = None,
         init_weights: np.ndarray | None = None,
+        on_outer_iteration=None,
     ) -> LEASTResult:
         """Learn a weighted DAG from the sample matrix ``data`` (n × d).
 
@@ -238,6 +239,11 @@ class LEAST:
             initialization and ``config.init_weights``; it must be ``d × d``.
             Used by :mod:`repro.serve` to seed a re-learn with the previous
             window's solution.
+        on_outer_iteration:
+            Optional ``callback(outer_iteration)`` invoked after every outer
+            iteration — the hook point :class:`repro.core.backend.SolverBackend`
+            uses for cooperative deadline checks; raising from it aborts the
+            solve.
         """
         data = ensure_2d(data, "data")
         rng = as_generator(seed)
@@ -282,6 +288,8 @@ class LEAST:
             log.append(**record)
             if config.keep_history:
                 history.append(weights.copy())
+            if on_outer_iteration is not None:
+                on_outer_iteration(outer_iteration)
 
             if termination_value <= config.tolerance:
                 converged = True

@@ -173,6 +173,16 @@ class SparseLEASTConfig:
     min_init_edges:
         Floor on the number of non-zeros in the random support so tiny graphs
         never start empty.
+    support:
+        How the initial candidate support is built when no explicit
+        ``initial_support``/``init_weights`` is given: ``"random"`` draws the
+        paper's ζ-density random support, ``"correlation"`` screens each
+        node's ``support_max_parents`` most correlated partners via
+        :func:`correlation_support` (the choice the sharded serving path
+        makes per block, where the transient ``d_block²`` correlation matrix
+        is small).
+    support_max_parents:
+        Candidate parents per node for the ``"correlation"`` support.
     """
 
     k: int = 5
@@ -191,6 +201,8 @@ class SparseLEASTConfig:
     eta_start: float = 0.0
     inner_convergence_tol: float = 1e-6
     min_init_edges: int = 8
+    support: str = "random"
+    support_max_parents: int = 10
 
     def __post_init__(self) -> None:
         if self.k < 0:
@@ -207,6 +219,14 @@ class SparseLEASTConfig:
         check_positive(self.rho_growth, "rho_growth")
         check_positive(self.rho_max, "rho_max")
         check_non_negative(self.eta_start, "eta_start")
+        if self.support not in ("random", "correlation"):
+            raise ValidationError(
+                f"support must be 'random' or 'correlation', got {self.support!r}"
+            )
+        if self.support_max_parents < 1:
+            raise ValidationError(
+                f"support_max_parents must be >= 1, got {self.support_max_parents}"
+            )
 
 
 @dataclass
@@ -236,6 +256,7 @@ class SparseLEAST:
         seed: RandomState = None,
         initial_support: sp.spmatrix | None = None,
         init_weights: np.ndarray | sp.spmatrix | None = None,
+        on_outer_iteration=None,
     ) -> SparseLEASTResult:
         """Learn a sparse weighted DAG from the ``n × d`` sample matrix.
 
@@ -244,14 +265,19 @@ class SparseLEAST:
         initial_support:
             Optional sparse matrix whose non-zero pattern (and values) seed the
             candidate edge set — e.g. the output of
-            :func:`correlation_support`.  When omitted a random support of
-            density ``init_density`` is drawn, which matches the paper's
-            LEAST-SP initialization.
+            :func:`correlation_support`.  When omitted the support comes from
+            ``config.support``: a random support of density ``init_density``
+            (the paper's LEAST-SP initialization) or a per-node
+            correlation screen.
         init_weights:
             Warm-start matrix (dense or sparse) from a previous solve, used by
             :mod:`repro.serve` for incremental re-learning.  Dense input is
             sparsified (zeros and the diagonal are dropped).  Mutually
             exclusive with ``initial_support``.
+        on_outer_iteration:
+            Optional ``callback(outer_iteration)`` invoked after every outer
+            iteration (the :class:`repro.core.backend.SolverBackend` deadline
+            hook point); raising from it aborts the solve.
         """
         data = ensure_2d(data, "data")
         rng = as_generator(seed)
@@ -272,6 +298,10 @@ class SparseLEAST:
                 raise ValidationError(
                     f"initial_support must have shape ({d}, {d}), got {weights.shape}"
                 )
+        elif config.support == "correlation":
+            weights = correlation_support(
+                data, max_parents=config.support_max_parents, rng=rng
+            )
         else:
             weights = random_sparse_glorot(d, config.init_density, rng, config.min_init_edges)
         log = RunLog()
@@ -297,6 +327,8 @@ class SparseLEAST:
                 inner_iterations=float(inner_steps),
                 wall_clock=self._current_elapsed(timer),
             )
+            if on_outer_iteration is not None:
+                on_outer_iteration(outer_iteration)
             if constraint <= config.tolerance:
                 converged = True
                 break

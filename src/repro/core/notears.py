@@ -80,8 +80,16 @@ class NOTEARS:
         self.config = config or NOTEARSConfig()
         self._loss = LeastSquaresLoss(l1_penalty=0.0)  # L1 handled separately
 
-    def fit(self, data, seed: RandomState = None) -> LEASTResult:
-        """Learn a weighted DAG from the ``n × d`` sample matrix ``data``."""
+    def fit(
+        self, data, seed: RandomState = None, on_outer_iteration=None
+    ) -> LEASTResult:
+        """Learn a weighted DAG from the ``n × d`` sample matrix ``data``.
+
+        ``on_outer_iteration`` is an optional ``callback(outer_iteration)``
+        invoked after every outer iteration (the
+        :class:`repro.core.backend.SolverBackend` deadline hook point);
+        raising from it aborts the solve.
+        """
         data = ensure_2d(data, "data")
         rng = as_generator(seed)
         config = self.config
@@ -122,6 +130,8 @@ class NOTEARS:
                 eta=eta,
                 n_edges=float(np.count_nonzero(weights)),
             )
+            if on_outer_iteration is not None:
+                on_outer_iteration(outer_iteration)
             if constraint <= config.tolerance:
                 converged = True
                 break

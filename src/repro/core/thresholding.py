@@ -57,8 +57,14 @@ def threshold_to_dag(weights, initial_threshold: float = 0.0, max_threshold: flo
     if is_dag(current):
         return current, float(initial_threshold)
 
-    dense = np.abs(to_dense(current))
-    candidates = np.unique(dense[dense > 0])
+    if sp.issparse(current):
+        # Candidate thresholds straight off the stored values — the sparse
+        # serving path must never materialize a dense d × d here.
+        magnitudes = np.abs(current.tocsr().data)
+        candidates = np.unique(magnitudes[magnitudes > 0])
+    else:
+        dense = np.abs(to_dense(current))
+        candidates = np.unique(dense[dense > 0])
     for candidate in candidates:
         # Removing every entry <= candidate: use a strictly-larger threshold.
         threshold = float(np.nextafter(candidate, np.inf))

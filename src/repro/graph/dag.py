@@ -21,6 +21,7 @@ __all__ = [
     "is_dag",
     "topological_sort",
     "find_cycle",
+    "find_cycle_in_adjacency",
     "ancestors",
     "descendants",
     "parents",
@@ -118,7 +119,19 @@ def find_cycle(matrix) -> list[int] | None:
     consecutive pair is an edge of the graph.
     """
     matrix = check_square_matrix(matrix)
-    adjacency = _adjacency_lists(matrix)
+    return find_cycle_in_adjacency(_adjacency_lists(matrix))
+
+
+def find_cycle_in_adjacency(
+    adjacency: Sequence[Sequence[int]],
+) -> list[int] | None:
+    """:func:`find_cycle` on prebuilt children adjacency lists.
+
+    Useful when the caller already holds the graph in edge form (the shard
+    stitcher merges edge maps without ever materializing a matrix); the DFS
+    visits starts in index order and children in list order, so passing
+    sorted lists reproduces :func:`find_cycle`'s traversal exactly.
+    """
     d = len(adjacency)
     color = [0] * d  # 0 = unvisited, 1 = on stack, 2 = done
     parent: dict[int, int] = {}

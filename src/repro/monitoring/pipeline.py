@@ -94,6 +94,17 @@ class MonitoringPipeline:
     shard_n_workers:
         Concurrent block workers for sharded windows (forwarded to the
         scheduler).
+    solver:
+        Registered backend name driving the per-window solves (forwarded to
+        the scheduler; default dense ``"least"``).
+    sparse_vocabulary_threshold:
+        When set, a window whose encoded vocabulary reaches this many nodes
+        escalates from dense LEAST to CSR-end-to-end LEAST-SP (forwarded to
+        the scheduler) — the knob that keeps very large monitoring
+        vocabularies solvable without a dense ``d × d`` matrix, mirroring
+        ``shard_vocabulary_threshold``.  Downstream stays sparse too:
+        thresholding and path extraction both operate on the CSR weights
+        directly.  ``None`` (default) never escalates.
     """
 
     def __init__(
@@ -110,6 +121,8 @@ class MonitoringPipeline:
         window_deadline: float | None = None,
         shard_vocabulary_threshold: int | None = None,
         shard_n_workers: int = 1,
+        solver: str = "least",
+        sparse_vocabulary_threshold: int | None = None,
     ):
         check_positive(window_seconds, "window_seconds")
         check_positive(edge_threshold, "edge_threshold")
@@ -133,6 +146,8 @@ class MonitoringPipeline:
             shard_vocabulary_threshold=shard_vocabulary_threshold,
             shard_n_workers=shard_n_workers,
             shard_edge_threshold=edge_threshold,
+            solver=solver,
+            sparse_vocabulary_threshold=sparse_vocabulary_threshold,
         )
         self.analyzer = RootCauseAnalyzer()
         self.reports: list[MonitoringReport] = []

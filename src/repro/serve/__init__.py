@@ -44,13 +44,20 @@ from repro.serve.cache import (
     job_fingerprint,
 )
 from repro.serve.job import (
-    SOLVER_NAMES,
     JobResult,
     LearningJob,
     execute_job,
     register_solver,
+    solver_names,
     unregister_solver,
 )
+
+
+def __getattr__(name: str):
+    """Serve ``SOLVER_NAMES`` live from the backend registry (never stale)."""
+    if name == "SOLVER_NAMES":
+        return solver_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.serve.runner import BatchReport, BatchRunner
 from repro.serve.scheduler import RelearnScheduler, WindowStats
 from repro.serve.streaming import (
@@ -69,6 +76,7 @@ from repro.serve.warm_start import (
 
 __all__ = [
     "SOLVER_NAMES",
+    "solver_names",
     "LearningJob",
     "JobResult",
     "execute_job",

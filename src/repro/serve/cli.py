@@ -56,7 +56,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.serve.cache import DiskCache
-from repro.serve.job import JobResult, LearningJob
+from repro.serve.job import JobResult, LearningJob, solver_names
 from repro.serve.streaming import PREEMPT_POLICIES, StreamingRunner
 
 __all__ = [
@@ -70,10 +70,18 @@ __all__ = [
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the ``repro-serve`` argument parser."""
+    """Build the ``repro-serve`` argument parser.
+
+    The description lists the solvers from the *live* backend registry, so
+    ``repro-serve --help`` reflects :func:`repro.serve.job.register_solver`
+    calls made before parsing instead of an import-time snapshot.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-serve",
-        description="Run a batch of structure-learning jobs from a JSON manifest.",
+        description=(
+            "Run a batch of structure-learning jobs from a JSON manifest. "
+            f"Registered solvers: {', '.join(solver_names())}."
+        ),
     )
     parser.add_argument("manifest", help="path to the job manifest (JSON), or - for stdin")
     parser.add_argument(
@@ -197,7 +205,13 @@ def build_shard_parser() -> argparse.ArgumentParser:
         help="cap on halo nodes per block (strongest correlations kept)",
     )
     parser.add_argument(
-        "--solver", default="least", help="registered solver used for every block"
+        "--solver",
+        default="least",
+        help=(
+            "registered solver used for every block; validated against the "
+            f"live registry (currently: {', '.join(solver_names())}). "
+            "least_sparse keeps blocks CSR end to end"
+        ),
     )
     parser.add_argument(
         "--config",
@@ -238,7 +252,11 @@ def build_shard_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--save-weights",
         default=None,
-        help="also write the stitched weight matrix here (.npy)",
+        help=(
+            "also write the stitched weight matrix here (.npy; a sparse "
+            "solver's CSR result is written with scipy.sparse.save_npz as "
+            ".npz instead — never densified)"
+        ),
     )
     parser.add_argument(
         "--output", default=None, help="write the JSON report here (default: stdout)"
@@ -277,6 +295,11 @@ def shard_main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     try:
+        if args.solver not in solver_names():
+            raise ValidationError(
+                f"unknown solver {args.solver!r}; "
+                f"available: {', '.join(solver_names())}"
+            )
         data = load_sample_matrix(args.data)
         config = json.loads(args.config) if args.config else {}
         if not isinstance(config, dict):
@@ -314,7 +337,22 @@ def shard_main(argv: Sequence[str] | None = None) -> int:
     else:
         print(serialized)
     if args.save_weights:
-        np.save(args.save_weights, result.weights)
+        import scipy.sparse as sp
+
+        if sp.issparse(result.weights):
+            target = Path(args.save_weights)
+            if target.suffix != ".npz":
+                # save_npz would append the suffix silently; make the actual
+                # output path explicit so downstream tooling can find it.
+                target = Path(str(target) + ".npz")
+                print(
+                    f"sparse stitched weights written to {target} "
+                    "(CSR results are saved as .npz, never densified)",
+                    file=sys.stderr,
+                )
+            sp.save_npz(target, result.weights.tocsr())
+        else:
+            np.save(args.save_weights, result.weights)
 
     if not args.quiet:
         summary = plan.summary()

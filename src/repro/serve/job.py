@@ -2,14 +2,21 @@
 
 A :class:`LearningJob` is everything needed to reproduce one solver run: where
 the data comes from (a registered dataset name or an inline sample matrix),
-which solver to use (``least``, ``least_sparse``, or ``notears``), the solver
+which solver to use (any name in :func:`solver_names` — ``least``,
+``least_sparse``, ``notears``, plus anything registered since), the solver
 configuration, and the seeds.  Jobs are plain data — picklable for the process
 pool, JSON-able for CLI manifests — which is what lets the
 :class:`~repro.serve.runner.BatchRunner` fan them out, retry them, and cache
 them by content.
 
-:class:`JobResult` is the uniform answer record across all three solvers:
-weights plus timing, iteration counts, convergence, and provenance
+Solvers are resolved through the unified backend registry of
+:mod:`repro.core.backend`: :meth:`LearningJob.build_backend` returns a
+configured :class:`~repro.core.backend.SolverBackend` and
+:func:`execute_job` drives it, so every solver — dense or CSR-sparse —
+presents the same ``fit`` face to the engine.
+
+:class:`JobResult` is the uniform answer record across all solvers: weights
+(dense or CSR) plus timing, iteration counts, convergence, and provenance
 (fingerprint, attempts, cache hit).
 """
 
@@ -21,15 +28,22 @@ from typing import Any
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core.least import LEAST, LEASTConfig
-from repro.core.least_sparse import SparseLEAST, SparseLEASTConfig
-from repro.core.notears import NOTEARS, NOTEARSConfig
+from repro.core.backend import (
+    BackendSpec,
+    LegacyBackend,
+    get_spec,
+    make_solver,
+    register_backend,
+    unregister_backend,
+)
+from repro.core.backend import solver_names as solver_names
 from repro.exceptions import ValidationError
 from repro.utils.timer import Timer
 from repro.utils.validation import ensure_2d
 
 __all__ = [
     "SOLVER_NAMES",
+    "solver_names",
     "LearningJob",
     "JobResult",
     "execute_job",
@@ -37,36 +51,53 @@ __all__ = [
     "unregister_solver",
 ]
 
-#: Solver name -> (solver class, config class).
-_SOLVERS: dict[str, tuple[type, type]] = {
-    "least": (LEAST, LEASTConfig),
-    "least_sparse": (SparseLEAST, SparseLEASTConfig),
-    "notears": (NOTEARS, NOTEARSConfig),
-}
 
-#: The built-in solvers; custom ones can be added with :func:`register_solver`.
-SOLVER_NAMES: tuple[str, ...] = tuple(sorted(_SOLVERS))
+def __getattr__(name: str):
+    """Keep ``SOLVER_NAMES`` as a *live* module attribute.
+
+    The old module constant was frozen at import time and went stale after
+    :func:`register_solver`/:func:`unregister_solver`; computing it on access
+    keeps existing callers correct.  New code should call
+    :func:`solver_names`.
+    """
+    if name == "SOLVER_NAMES":
+        return solver_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def register_solver(
-    name: str, solver_class: type, config_class: type, overwrite: bool = False
+    name: str,
+    solver_class: type,
+    config_class: type,
+    overwrite: bool = False,
+    sparse: bool = False,
 ) -> None:
     """Register a custom solver for use in jobs.
 
     ``solver_class(config)`` must expose ``fit(data, seed=..., ...)`` returning
     an object with at least ``weights``, ``constraint_value``, ``converged``
     and ``n_outer_iterations`` attributes (the :class:`LEASTResult` contract).
+    The pair is wrapped in a :class:`~repro.core.backend.LegacyBackend` and
+    entered into the live registry of :mod:`repro.core.backend` — code that
+    implements the :class:`~repro.core.backend.SolverBackend` protocol
+    directly should use :func:`repro.core.backend.register_backend` instead.
+    ``sparse=True`` marks solvers whose result weights are CSR.
     """
-    if name in _SOLVERS and not overwrite:
-        raise ValidationError(
-            f"solver {name!r} is already registered; pass overwrite=True to replace it"
-        )
-    _SOLVERS[name] = (solver_class, config_class)
+    register_backend(
+        BackendSpec(
+            name=name,
+            backend_class=LegacyBackend,
+            config_class=config_class,
+            solver_class=solver_class,
+            sparse=sparse,
+        ),
+        overwrite=overwrite,
+    )
 
 
 def unregister_solver(name: str) -> None:
     """Remove a registered solver (built-ins included — use with care)."""
-    _SOLVERS.pop(name, None)
+    unregister_backend(name)
 
 
 @dataclass
@@ -76,7 +107,7 @@ class LearningJob:
     Attributes
     ----------
     solver:
-        One of :data:`SOLVER_NAMES`.
+        One of :func:`solver_names` (the live backend registry).
     dataset:
         Name of a dataset registered in :mod:`repro.datasets.registry`.
         Exactly one of ``dataset`` and ``data`` must be provided.
@@ -110,10 +141,7 @@ class LearningJob:
     job_id: str | None = None
 
     def __post_init__(self) -> None:
-        if self.solver not in _SOLVERS:
-            raise ValidationError(
-                f"unknown solver {self.solver!r}; available: {sorted(_SOLVERS)}"
-            )
+        spec = get_spec(self.solver)  # raises for unknown names
         if (self.dataset is None) == (self.data is None):
             raise ValidationError(
                 "exactly one of dataset (a registry name) and data (an inline "
@@ -121,8 +149,10 @@ class LearningJob:
             )
         if self.data is not None:
             self.data = ensure_2d(self.data, "data")
-        if self.init_weights is not None and self.solver == "notears":
-            raise ValidationError("the notears solver does not support init_weights")
+        if self.init_weights is not None and not spec.supports_init_weights:
+            raise ValidationError(
+                f"the {self.solver} solver does not support init_weights"
+            )
         self.config = dict(self.config)
         self.dataset_options = dict(self.dataset_options)
 
@@ -140,18 +170,21 @@ class LearningJob:
 
     def build_config(self):
         """Instantiate the solver's config dataclass from :attr:`config`."""
-        _, config_class = _SOLVERS[self.solver]
         try:
-            return config_class(**self.config)
+            return get_spec(self.solver).config_class(**self.config)
         except TypeError as exc:
             raise ValidationError(
                 f"invalid config for solver {self.solver!r}: {exc}"
             ) from exc
 
+    def build_backend(self):
+        """Build the configured :class:`~repro.core.backend.SolverBackend`."""
+        return make_solver(self.solver, config=self.build_config())
+
     def build_solver(self):
-        """Instantiate the configured solver."""
-        solver_class, _ = _SOLVERS[self.solver]
-        return solver_class(self.build_config())
+        """Instantiate the configured backend (alias of :meth:`build_backend`,
+        kept for callers of the pre-backend API)."""
+        return self.build_backend()
 
     def describe(self) -> str:
         """Short human-readable label used in logs and reports."""
@@ -317,13 +350,10 @@ def execute_job(
     """
     if data is None:
         data = job.resolve_data()
-    solver = job.build_solver()
+    backend = job.build_backend()
     timer = Timer()
     with timer:
-        if job.init_weights is not None:
-            result = solver.fit(data, seed=job.seed, init_weights=job.init_weights)
-        else:
-            result = solver.fit(data, seed=job.seed)
+        result = backend.fit(data, init_weights=job.init_weights, rng=job.seed)
     return JobResult(
         job_id=job.job_id or job.describe(),
         solver=job.solver,
@@ -332,7 +362,7 @@ def execute_job(
         constraint_value=float(result.constraint_value),
         converged=bool(result.converged),
         n_outer_iterations=int(result.n_outer_iterations),
-        n_inner_iterations=int(getattr(result, "n_inner_iterations", 0)),
+        n_inner_iterations=int(result.n_inner_iterations),
         elapsed_seconds=timer.elapsed,
         fingerprint=fingerprint,
     )

@@ -6,8 +6,16 @@ weights together with the window's node vocabulary, and seeds the next solve
 with the re-aligned, damped previous solution via
 :mod:`repro.serve.warm_start`.  The
 :class:`~repro.monitoring.pipeline.MonitoringPipeline` delegates its per-window
-learning to this class instead of cold-starting LEAST every 30 simulated
+learning to this class instead of cold-starting a solver every 30 simulated
 minutes.
+
+Solvers are resolved through :func:`repro.core.backend.make_solver`, so any
+registered backend can drive the loop.  Two escalation knobs mirror each
+other: ``shard_vocabulary_threshold`` switches a big window to
+block-partitioned solving, and ``sparse_vocabulary_threshold`` switches the
+default dense LEAST to CSR-end-to-end LEAST-SP — above it no dense ``d × d``
+matrix is materialized by the solve, the warm-start alignment, or (when both
+knobs fire) the stitched sharded result.
 
 Per-window iteration counts and timings are recorded in
 :attr:`RelearnScheduler.history` so the cold-vs-warm comparison of the serving
@@ -16,12 +24,15 @@ benchmark (``benchmarks/bench_serve_throughput.py``) can read them directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, is_dataclass, replace
 from typing import Any, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
-from repro.core.least import LEAST, LEASTConfig, LEASTResult
+from repro.core.backend import SolveResult, config_overrides, get_spec, make_solver
+from repro.core.least import LEASTConfig
+from repro.core.least_sparse import SparseLEASTConfig
 from repro.exceptions import ValidationError
 from repro.serve.streaming import PreemptedError, call_with_deadline
 from repro.serve.warm_start import WarmStartState, prepare_init
@@ -64,6 +75,9 @@ class WindowStats:
     n_blocks_unsolved:
         Blocks of a sharded window that failed or were preempted — the
         stitched graph has gaps at their owned nodes.
+    solver:
+        Registered backend name that solved this window — records when the
+        dense → sparse auto-escalation fired.
     """
 
     window_index: int
@@ -78,6 +92,7 @@ class WindowStats:
     sharded: bool = False
     n_blocks: int = 0
     n_blocks_unsolved: int = 0
+    solver: str = "least"
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-able view of the window telemetry."""
@@ -94,6 +109,7 @@ class WindowStats:
             "sharded": self.sharded,
             "n_blocks": self.n_blocks,
             "n_blocks_unsolved": self.n_blocks_unsolved,
+            "solver": self.solver,
         }
 
 
@@ -103,7 +119,31 @@ class RelearnScheduler:
     Parameters
     ----------
     least_config:
-        Solver configuration shared by every window.
+        Configuration of the dense ``"least"`` backend (used whenever a
+        window solves dense).
+    solver:
+        Registered backend name driving the windows (default ``"least"``).
+        Any name in :func:`repro.serve.job.solver_names` works; warm starts
+        are converted to the backend's native representation (CSR for sparse
+        backends) before seeding.
+    sparse_config:
+        Configuration of the ``"least_sparse"`` backend, used whenever a
+        window solves sparse — because ``solver="least_sparse"`` was chosen
+        outright or because ``sparse_vocabulary_threshold`` escalated the
+        window.  Defaults to :class:`~repro.core.least_sparse.SparseLEASTConfig`
+        defaults — except on sharded windows, where blocks then use the
+        per-block correlation support (pass an explicit ``sparse_config``
+        to pin ``support`` yourself).
+    sparse_vocabulary_threshold:
+        When set (and ``solver`` is the default dense ``"least"``), a window
+        whose vocabulary has at least this many nodes is solved with
+        ``"least_sparse"`` instead — the dense → sparse auto-escalation that
+        mirrors ``shard_vocabulary_threshold``.  Above the threshold no
+        dense ``d × d`` matrix is materialized anywhere in the window's
+        path: the solve is CSR end to end, the carried state stays CSR, and
+        warm starts are aligned sparsely.  Windows back under the threshold
+        de-escalate to dense and warm-start from the densified carried
+        solution.  ``None`` (default) never escalates.
     warm_start:
         When False the scheduler cold-starts every window (useful as the
         baseline in benchmarks; the paper's deployment always warm-starts).
@@ -179,6 +219,9 @@ class RelearnScheduler:
         shard_planner=None,
         shard_n_workers: int = 1,
         shard_edge_threshold: float = 0.05,
+        solver: str = "least",
+        sparse_config: SparseLEASTConfig | None = None,
+        sparse_vocabulary_threshold: int | None = None,
     ) -> None:
         check_unit_interval(damping, "damping")
         check_non_negative(init_threshold, "init_threshold")
@@ -195,6 +238,15 @@ class RelearnScheduler:
                 "shard_vocabulary_threshold must be >= 1, got "
                 f"{shard_vocabulary_threshold}"
             )
+        if sparse_vocabulary_threshold is not None and sparse_vocabulary_threshold < 1:
+            raise ValidationError(
+                "sparse_vocabulary_threshold must be >= 1, got "
+                f"{sparse_vocabulary_threshold}"
+            )
+        get_spec(solver)  # validate against the live registry up front
+        self.solver = solver
+        self.sparse_config = sparse_config
+        self.sparse_vocabulary_threshold = sparse_vocabulary_threshold
         self.least_config = least_config or LEASTConfig()
         self.warm_start = warm_start
         self.damping = damping
@@ -217,7 +269,7 @@ class RelearnScheduler:
 
     def step(
         self, data: np.ndarray, node_names: Sequence[str], seed: RandomState = None
-    ) -> LEASTResult:
+    ) -> SolveResult:
         """Solve one window and update the carried warm-start state.
 
         Parameters
@@ -232,19 +284,27 @@ class RelearnScheduler:
 
         Returns
         -------
-        LEASTResult
-            The window's solve result.  With a ``window_deadline`` set, a
-            preempted window returns a degraded result (its init — or zeros —
-            with ``converged=False``) instead of raising.
+        SolveResult
+            The window's solve result — dense or CSR weights depending on
+            the window's effective backend.  With a ``window_deadline`` set,
+            a preempted window returns a degraded result (its init — or
+            zeros — with ``converged=False``) instead of raising.
         """
         names = list(node_names)
+        solver_name = self._effective_solver(len(names))
+        spec = get_spec(solver_name)
         sharded = (
             self.shard_vocabulary_threshold is not None
             and len(names) >= self.shard_vocabulary_threshold
         )
         init = None
         shared = 0
-        if not sharded and self.warm_start and self.state is not None:
+        if (
+            not sharded
+            and self.warm_start
+            and self.state is not None
+            and spec.supports_init_weights  # e.g. notears cannot warm-start
+        ):
             shared = len(set(self.state.node_names) & set(names))
             init = prepare_init(
                 self.state,
@@ -252,20 +312,31 @@ class RelearnScheduler:
                 damping=self.damping,
                 threshold=self.init_threshold,
                 min_shared=self.min_shared_nodes,
+                representation="sparse" if spec.sparse else "dense",
             )
 
-        config = self.least_config
+        config = self._config_for(solver_name)
         if init is not None:
-            if self.warm_inner_scale < 1.0:
-                config = replace(
+            # Guard attribute reads: custom backends may not expose the
+            # inner-iteration cap or the rho schedule at all.
+            if self.warm_inner_scale < 1.0 and hasattr(config, "max_inner_iterations"):
+                config = self._maybe_replace(
                     config,
                     max_inner_iterations=max(
                         int(config.max_inner_iterations * self.warm_inner_scale), 1
                     ),
                 )
-            if self.resume_penalty and self._previous_rho is not None:
-                config = replace(
-                    config, rho_start=min(self._previous_rho, config.rho_max)
+            if (
+                self.resume_penalty
+                and self._previous_rho is not None
+                and hasattr(config, "rho_start")
+            ):
+                config = self._maybe_replace(
+                    config,
+                    rho_start=min(
+                        self._previous_rho,
+                        getattr(config, "rho_max", self._previous_rho),
+                    ),
                 )
         timer = Timer()
         preempted = False
@@ -274,28 +345,23 @@ class RelearnScheduler:
         if sharded:
             with timer:
                 result, preempted, n_blocks, n_blocks_unsolved = self._step_sharded(
-                    data, names, seed
+                    data, names, seed, solver_name
                 )
         else:
-            solver = LEAST(config)
+            backend = make_solver(solver_name, config=config)
             with timer:
                 try:
                     result = call_with_deadline(
-                        solver.fit,
+                        backend.fit,
                         data,
                         deadline=self.window_deadline,
-                        seed=seed,
                         init_weights=init,
+                        rng=seed,
                     )
                 except PreemptedError:
                     preempted = True
-                    fallback = init if init is not None else np.zeros((len(names),) * 2)
-                    result = LEASTResult(
-                        weights=np.asarray(fallback, dtype=float).copy(),
-                        constraint_value=float("inf"),
-                        converged=False,
-                        n_outer_iterations=0,
-                        n_inner_iterations=0,
+                    result = self._degraded_result(
+                        solver_name, len(names), spec.sparse, init=init
                     )
 
         if not preempted:
@@ -306,7 +372,11 @@ class RelearnScheduler:
             )
             # A stitched window has no augmented-Lagrangian trace to resume.
             self._previous_rho = (
-                None if sharded else float(result.log.last("rho", config.rho_start))
+                None
+                if sharded
+                else float(
+                    result.log.last("rho", getattr(config, "rho_start", 0.0))
+                )
             )
         self.history.append(
             WindowStats(
@@ -322,13 +392,84 @@ class RelearnScheduler:
                 sharded=sharded,
                 n_blocks=n_blocks,
                 n_blocks_unsolved=n_blocks_unsolved,
+                solver=solver_name,
             )
         )
         return result
 
+    # -- solver selection --------------------------------------------------------
+
+    def _effective_solver(self, n_nodes: int) -> str:
+        """The backend name for a window, after dense → sparse escalation."""
+        if (
+            self.sparse_vocabulary_threshold is not None
+            and self.solver == "least"
+            and n_nodes >= self.sparse_vocabulary_threshold
+        ):
+            return "least_sparse"
+        return self.solver
+
+    def _config_for(self, solver_name: str):
+        """The configured dataclass driving ``solver_name`` windows."""
+        if solver_name == "least_sparse":
+            return self.sparse_config or SparseLEASTConfig()
+        if solver_name == "least":
+            return self.least_config
+        try:
+            return get_spec(solver_name).config_class()
+        except TypeError as exc:
+            raise ValidationError(
+                f"the config of solver {solver_name!r} cannot be built without "
+                f"arguments ({exc}); the scheduler only drives custom solvers "
+                "whose config class has an argless constructor"
+            ) from exc
+
+    @staticmethod
+    def _maybe_replace(config, **updates):
+        """``dataclasses.replace`` restricted to fields the config declares.
+
+        Custom backends may not expose ``max_inner_iterations`` or the
+        ``rho`` schedule (callers also guard the attribute *reads* used to
+        compute ``updates``); non-dataclass configs pass through untouched.
+        """
+        if not is_dataclass(config):
+            return config
+        names = {f.name for f in fields(config)}
+        applicable = {k: v for k, v in updates.items() if k in names}
+        return replace(config, **applicable) if applicable else config
+
+    @staticmethod
+    def _degraded_result(
+        solver_name: str, n_nodes: int, sparse: bool, init=None
+    ) -> SolveResult:
+        """The placeholder result of a lost window (its init, or zeros).
+
+        A sparse window's placeholder is an empty CSR matrix — degrading a
+        100k-node window must not be the one code path that allocates
+        ``d × d``.
+        """
+        if init is not None:
+            weights = (
+                init.copy()
+                if sp.issparse(init)
+                else np.asarray(init, dtype=float).copy()
+            )
+        elif sparse:
+            weights = sp.csr_matrix((n_nodes, n_nodes))
+        else:
+            weights = np.zeros((n_nodes, n_nodes))
+        return SolveResult(
+            solver=solver_name,
+            weights=weights,
+            constraint_value=float("inf"),
+            converged=False,
+            n_outer_iterations=0,
+            n_inner_iterations=0,
+        )
+
     def _step_sharded(
-        self, data: np.ndarray, names: list[str], seed: RandomState
-    ) -> tuple[LEASTResult, bool, int, int]:
+        self, data: np.ndarray, names: list[str], seed: RandomState, solver_name: str
+    ) -> tuple[SolveResult, bool, int, int]:
         """Solve one window block-partitioned via :mod:`repro.shard`.
 
         Returns ``(result, window_preempted, n_blocks, n_blocks_unsolved)``.
@@ -339,20 +480,22 @@ class RelearnScheduler:
         each block's hard deadline is the window budget divided by the number
         of serial block waves.  A generator ``seed`` is reduced to one drawn
         integer so sharded windows stay reproducible for a fixed generator
-        state.
+        state.  Blocks run on the window's effective backend
+        (``solver_name``); sparse blocks stitch into a CSR result.
         """
-        import dataclasses
-
         from repro.shard.executor import ShardExecutor
         from repro.shard.planner import ShardPlanner
 
+        spec = get_spec(solver_name)
         planner = self.shard_planner or ShardPlanner()
         plan = planner.plan(data)
-        config_dict = {
-            field.name: getattr(self.least_config, field.name)
-            for field in dataclasses.fields(self.least_config)
-            if field.name != "init_weights"
-        }
+        base_config = self._config_for(solver_name)
+        config_dict = config_overrides(base_config) if is_dataclass(base_config) else {}
+        if solver_name == "least_sparse" and self.sparse_config is None:
+            # The dumped defaults would pin support="random" and defeat the
+            # executor's per-block correlation-screen default; only an
+            # explicit sparse_config overrides that choice.
+            config_dict["support"] = "correlation"
         block_deadline = None
         if self.window_deadline is not None:
             # Blocks run in ceil(n_blocks / workers) serial waves; giving each
@@ -360,7 +503,7 @@ class RelearnScheduler:
             waves = -(-plan.n_blocks // max(self.shard_n_workers, 1))
             block_deadline = self.window_deadline / max(waves, 1)
         executor = ShardExecutor(
-            solver="least",
+            solver=solver_name,
             config=config_dict,
             n_workers=self.shard_n_workers,
             timeout=block_deadline,
@@ -381,16 +524,11 @@ class RelearnScheduler:
         if shard_result.n_blocks_ok == 0:
             # Nothing survived: degrade exactly like a preempted monolithic
             # window (zeros, untouched carried state).
-            result = LEASTResult(
-                weights=np.zeros((len(names),) * 2),
-                constraint_value=float("inf"),
-                converged=False,
-                n_outer_iterations=0,
-                n_inner_iterations=0,
-            )
+            result = self._degraded_result(solver_name, len(names), spec.sparse)
             return result, True, plan.n_blocks, n_unsolved
         ok_results = [r for r in shard_result.block_results if r.status == "ok"]
-        result = LEASTResult(
+        result = SolveResult(
+            solver=solver_name,
             weights=shard_result.weights,
             constraint_value=0.0,
             converged=shard_result.complete and all(r.converged for r in ok_results),

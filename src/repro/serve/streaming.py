@@ -56,7 +56,7 @@ from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
-import repro.serve.job as job_module
+import repro.core.backend as backend_module
 from repro.exceptions import ValidationError
 from repro.serve.cache import ResultCache, job_fingerprint
 from repro.serve.job import JobResult, LearningJob, execute_job
@@ -173,12 +173,13 @@ def _job_worker(
 ) -> None:
     """Worker entry point: execute one job and send its result over ``conn``.
 
-    The solver registry snapshot replicates parent-side
-    :func:`~repro.serve.job.register_solver` calls for ``spawn``/``forkserver``
-    workers (``fork`` workers inherit it anyway).
+    The backend-registry snapshot replicates parent-side
+    :func:`~repro.serve.job.register_solver` /
+    :func:`repro.core.backend.register_backend` calls for
+    ``spawn``/``forkserver`` workers (``fork`` workers inherit it anyway).
     """
     _arm_suicide_timer(deadline)
-    job_module._SOLVERS.update(solver_registry)
+    backend_module.restore_registry(solver_registry)
     result = _execute_with_retry(job, data, fingerprint, max_retries, base_attempts)
     try:
         conn.send(result)
@@ -632,7 +633,7 @@ class StreamingRunner:
                 item.fingerprint,
                 self.max_retries,
                 item.base_attempts,
-                dict(job_module._SOLVERS),
+                backend_module.registry_snapshot(),
             ),
             daemon=True,
         )

@@ -17,6 +17,15 @@ Two wrinkles make this more than "pass the old W back in":
 
 :func:`prepare_init` composes the two and is what the
 :class:`~repro.serve.scheduler.RelearnScheduler` calls between windows.
+
+Representation is preserved end to end: a CSR previous solution is aligned
+and damped **without ever materializing a dense ``d × d`` matrix**, so a
+100k-node LEAST-SP window can warm-start the next one in ``O(nnz)`` memory.
+Because the *next* window's solver may use the other representation (the
+scheduler auto-escalates dense → sparse as vocabularies grow, and shrinking
+vocabularies de-escalate), :func:`prepare_init` takes a ``representation``
+argument that converts the finished init in either direction — CSR↔dense —
+as its final step.
 """
 
 from __future__ import annotations
@@ -32,6 +41,9 @@ from repro.utils.validation import check_non_negative, check_unit_interval
 
 __all__ = ["WarmStartState", "align_weights", "damp_weights", "prepare_init"]
 
+#: Allowed values of the ``representation`` argument of :func:`prepare_init`.
+REPRESENTATIONS: tuple[str, ...] = ("keep", "dense", "sparse")
+
 
 def _as_dense(weights: np.ndarray | sp.spmatrix) -> np.ndarray:
     if sp.issparse(weights):
@@ -43,33 +55,59 @@ def align_weights(
     weights: np.ndarray | sp.spmatrix,
     source_names: Sequence[str],
     target_names: Sequence[str],
-) -> np.ndarray:
+) -> np.ndarray | sp.csr_matrix:
     """Re-index ``weights`` from one node vocabulary onto another.
 
     Entries between nodes present in both vocabularies are copied; rows and
     columns of nodes that only exist in the target start at zero (they will be
     populated by the solver).  Edges of vanished nodes are dropped.
+
+    Storage is preserved: dense in, dense out; sparse in, CSR out — the
+    sparse path re-indexes the COO coordinates directly and never builds a
+    dense ``d × d`` intermediate.
     """
-    dense = _as_dense(weights)
     d_source = len(source_names)
-    if dense.shape != (d_source, d_source):
-        raise ValidationError(
-            f"weights shape {dense.shape} does not match the "
-            f"{d_source} source node names"
-        )
     if len(set(source_names)) != d_source:
         raise ValidationError("source_names contains duplicates")
     target_index = {name: position for position, name in enumerate(target_names)}
     if len(target_index) != len(target_names):
         raise ValidationError("target_names contains duplicates")
+    if not sp.issparse(weights):
+        weights = np.asarray(weights, dtype=float)  # accept array-likes
+    if weights.shape != (d_source, d_source):
+        raise ValidationError(
+            f"weights shape {weights.shape} does not match the "
+            f"{d_source} source node names"
+        )
+    d_target = len(target_names)
 
+    if sp.issparse(weights):
+        # Old position -> new position (or -1 for vanished nodes), applied to
+        # the COO coordinates: O(nnz) time and memory.
+        mapping = np.full(d_source, -1, dtype=np.int64)
+        for position, name in enumerate(source_names):
+            new_position = target_index.get(name)
+            if new_position is not None:
+                mapping[position] = new_position
+        coo = weights.tocoo()
+        rows = mapping[coo.row]
+        cols = mapping[coo.col]
+        keep = (rows >= 0) & (cols >= 0)
+        aligned = sp.csr_matrix(
+            (coo.data[keep].astype(float), (rows[keep], cols[keep])),
+            shape=(d_target, d_target),
+        )
+        aligned.sum_duplicates()
+        return aligned
+
+    dense = _as_dense(weights)
     shared_source = [
         position
         for position, name in enumerate(source_names)
         if name in target_index
     ]
     shared_target = [target_index[source_names[position]] for position in shared_source]
-    aligned = np.zeros((len(target_names), len(target_names)))
+    aligned = np.zeros((d_target, d_target))
     if shared_source:
         aligned[np.ix_(shared_target, shared_target)] = dense[
             np.ix_(shared_source, shared_source)
@@ -81,15 +119,24 @@ def damp_weights(
     weights: np.ndarray | sp.spmatrix,
     damping: float = 1.0,
     threshold: float = 0.0,
-) -> np.ndarray:
+) -> np.ndarray | sp.csr_matrix:
     """Scale a warm-start matrix toward zero and drop negligible entries.
 
     ``damping`` multiplies every entry (1.0 keeps the solution as-is, 0.0
     degenerates to a cold zero start); ``threshold`` then zeroes entries whose
     magnitude fell below it, keeping the init as sparse as the solver expects.
+    Storage is preserved (sparse input is damped on its data vector only).
     """
     check_unit_interval(damping, "damping")
     check_non_negative(threshold, "threshold")
+    if sp.issparse(weights):
+        damped = weights.tocsr().astype(float).copy()
+        damped.data *= damping
+        if threshold > 0:
+            damped.data[np.abs(damped.data) < threshold] = 0.0
+        damped.setdiag(0.0)
+        damped.eliminate_zeros()
+        return damped
     damped = _as_dense(weights) * damping
     if threshold > 0:
         damped[np.abs(damped) < threshold] = 0.0
@@ -116,17 +163,40 @@ def prepare_init(
     damping: float = 0.9,
     threshold: float = 0.0,
     min_shared: int = 1,
-) -> np.ndarray | None:
+    representation: str = "keep",
+) -> np.ndarray | sp.csr_matrix | None:
     """Build the warm-start matrix for the next window, or None for cold start.
 
     Returns None when there is no previous state or when fewer than
     ``min_shared`` nodes survive the vocabulary change (a drastically different
     window is better served by a fresh random init).
+
+    Parameters
+    ----------
+    representation:
+        ``"keep"`` returns the init in the carried state's storage,
+        ``"dense"`` / ``"sparse"`` convert as a final step — this is how a
+        CSR stitched window seeds a dense re-learn and a dense window seeds a
+        LEAST-SP re-learn.  The conversion to dense is the *only* place this
+        function materializes ``d × d``, and it happens exactly when the
+        consuming solver is dense (which materializes that matrix anyway).
     """
+    if representation not in REPRESENTATIONS:
+        raise ValidationError(
+            f"representation must be one of {REPRESENTATIONS}, "
+            f"got {representation!r}"
+        )
     if state is None:
         return None
     shared = len(set(state.node_names) & set(target_names))
     if shared < max(min_shared, 1):
         return None
     aligned = align_weights(state.weights, state.node_names, target_names)
-    return damp_weights(aligned, damping=damping, threshold=threshold)
+    damped = damp_weights(aligned, damping=damping, threshold=threshold)
+    if representation == "dense" and sp.issparse(damped):
+        return np.asarray(damped.todense(), dtype=float)
+    if representation == "sparse" and not sp.issparse(damped):
+        result = sp.csr_matrix(damped)
+        result.eliminate_zeros()
+        return result
+    return damped

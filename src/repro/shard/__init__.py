@@ -6,15 +6,20 @@ top of :mod:`repro.serve`:
 
 * :mod:`repro.shard.planner` — :class:`ShardPlanner`: threshold the
   correlation skeleton of the data and partition the nodes into blocks of
-  bounded size with one-hop halos for cross-boundary context;
+  bounded size with one-hop halos for cross-boundary context; beyond
+  ``dense_skeleton_limit`` columns the skeleton is built chunked into CSR
+  (:func:`sparse_correlation_skeleton`), never materializing ``d × d``;
 * :mod:`repro.shard.executor` — :class:`ShardExecutor`: materialize each
   block as an inline-data :class:`~repro.serve.job.LearningJob` and drive
   them through the streaming, preemptible engine (parallel workers, hard
-  per-block deadlines, fail/requeue policy, caching);
+  per-block deadlines, fail/requeue policy, caching); any registered
+  backend drives the blocks — with ``solver="least_sparse"`` each block
+  defaults to its per-block correlation support and results stay CSR;
 * :mod:`repro.shard.stitcher` — :class:`Stitcher`: merge the surviving block
   sub-graphs into one global graph, deduplicating halo edges, resolving
   direction conflicts by weight, and greedily removing minimum-weight cycle
-  edges so the output is **always a DAG**.
+  edges so the output is **always a DAG**.  The merge is edge-sparse
+  (``O(total edges)`` memory); sparse blocks stitch into a CSR result.
 
 ``benchmarks/bench_shard.py`` regenerates ``BENCH_shard.json`` from this
 package (sharded vs monolithic on a 520-node, 8-component problem), and the
@@ -43,6 +48,7 @@ from repro.shard.planner import (
     ShardPlan,
     ShardPlanner,
     correlation_skeleton,
+    sparse_correlation_skeleton,
 )
 from repro.shard.stitcher import StitchedGraph, Stitcher, StitchReport
 
@@ -51,6 +57,7 @@ __all__ = [
     "ShardPlan",
     "ShardPlanner",
     "correlation_skeleton",
+    "sparse_correlation_skeleton",
     "Stitcher",
     "StitchReport",
     "StitchedGraph",

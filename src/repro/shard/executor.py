@@ -23,10 +23,11 @@ from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
+import scipy.sparse as sp
 
+from repro.core.backend import get_spec
 from repro.core.thresholding import threshold_weights
 from repro.exceptions import ValidationError
-from repro.graph.adjacency import to_dense
 from repro.serve.cache import ResultCache
 from repro.serve.job import JobResult, LearningJob
 from repro.serve.streaming import StreamingRunner
@@ -45,7 +46,9 @@ class ShardResult:
     ----------
     weights:
         The stitched global ``d × d`` weight matrix — always a DAG, built
-        from the blocks that completed.
+        from the blocks that completed.  CSR when the blocks were solved by
+        a sparse backend (the sharded path never densifies sparse results),
+        dense ndarray otherwise.
     plan:
         The executed :class:`~repro.shard.planner.ShardPlan`.
     stitched:
@@ -64,7 +67,7 @@ class ShardResult:
         (``n_killed`` / ``n_suicide_exits`` / ``n_requeued``).
     """
 
-    weights: np.ndarray
+    weights: np.ndarray | sp.csr_matrix
     plan: ShardPlan
     stitched: StitchedGraph
     block_results: list[JobResult] = field(default_factory=list)
@@ -131,9 +134,13 @@ class ShardExecutor:
     Parameters
     ----------
     solver:
-        Registered solver name used for every block job (``least``,
-        ``least_sparse``, ``notears``, or anything added through
-        :func:`~repro.serve.job.register_solver`).
+        Registered solver name used for every block job — any name in
+        :func:`repro.serve.job.solver_names`.  With ``"least_sparse"`` the
+        whole path stays CSR: each block job defaults to the per-block
+        correlation support (``support="correlation"`` is injected into the
+        block config unless the caller set one), block results are
+        thresholded in sparse form, and the stitched graph is returned as
+        CSR — no step materializes a dense ``d × d`` matrix.
     config:
         JSON-able keyword arguments for the solver's config class, shared by
         all blocks.
@@ -175,6 +182,12 @@ class ShardExecutor:
         check_non_negative(edge_threshold, "edge_threshold")
         self.solver = solver
         self.config = dict(config or {})
+        get_spec(solver)  # validates the name against the live registry
+        if solver == "least_sparse":
+            # Blocks are small (≤ max_block_size + halo), so the correlation
+            # screen is cheap there and recovers real edges far better than a
+            # random support — callers can still override via config.
+            self.config.setdefault("support", "correlation")
         self.n_workers = n_workers
         self.timeout = timeout
         self.preempt_policy = preempt_policy
@@ -234,12 +247,17 @@ class ShardExecutor:
         )
         started = time.perf_counter()
         by_block: dict[int, JobResult] = {}
-        survivors: list[tuple[ShardBlock, np.ndarray]] = []
+        survivors: list[tuple[ShardBlock, np.ndarray | sp.spmatrix]] = []
         for result in runner.stream(jobs):
             index = int(result.job_id.split("-")[-1])
             by_block[index] = result
             if result.status == "ok" and result.weights is not None:
-                local = to_dense(result.weights)
+                # Keep each block's native representation: CSR block results
+                # are thresholded on their data vector and handed to the
+                # stitcher still sparse.
+                local = result.weights
+                if not sp.issparse(local):
+                    local = np.asarray(local, dtype=float)
                 if self.edge_threshold > 0.0:
                     local = threshold_weights(local, self.edge_threshold)
                 survivors.append((plan.blocks[index], local))

@@ -25,11 +25,18 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.exceptions import ValidationError
-from repro.utils.validation import check_non_negative, ensure_2d
+from repro.utils.validation import check_non_negative, check_positive, ensure_2d
 
-__all__ = ["ShardBlock", "ShardPlan", "ShardPlanner", "correlation_skeleton"]
+__all__ = [
+    "ShardBlock",
+    "ShardPlan",
+    "ShardPlanner",
+    "correlation_skeleton",
+    "sparse_correlation_skeleton",
+]
 
 
 def _correlation_strengths(data: np.ndarray) -> np.ndarray:
@@ -71,6 +78,63 @@ def correlation_skeleton(data: np.ndarray, threshold: float) -> np.ndarray:
     if data.shape[0] < 2:
         return np.zeros((d, d), dtype=bool)
     return _skeleton_from_strengths(_correlation_strengths(data), threshold)
+
+
+def sparse_correlation_skeleton(
+    data: np.ndarray, threshold: float, chunk_columns: int = 512
+) -> sp.csr_matrix:
+    """Thresholded absolute-correlation skeleton built without a dense ``d × d``.
+
+    The chunked counterpart of :func:`correlation_skeleton` for very wide
+    problems: correlations are computed ``chunk_columns`` rows at a time and
+    each chunk is thresholded into CSR immediately, so peak memory is
+    ``O(chunk_columns · d)`` instead of ``O(d²)``.  Stored values are the
+    surviving ``|corr|`` strengths (usable for halo ranking); the stored
+    pattern is the skeleton.
+
+    Unlike the dense variant, pairs whose correlation is *exactly* zero never
+    enter the skeleton even when ``threshold == 0`` — with a positive
+    threshold (the only setting that makes sense at this scale) the two
+    variants agree.
+
+    Parameters
+    ----------
+    data:
+        ``n × d`` sample matrix.
+    threshold:
+        Pairs with ``|corr| >= threshold`` become skeleton edges.
+    chunk_columns:
+        Rows of the correlation matrix computed per chunk.
+
+    Returns
+    -------
+    scipy.sparse.csr_matrix
+        Symmetric ``d × d`` CSR matrix of surviving correlation strengths
+        with an empty diagonal.
+    """
+    data = ensure_2d(data, "data")
+    check_non_negative(threshold, "threshold")
+    check_positive(chunk_columns, "chunk_columns")
+    d = data.shape[1]
+    if data.shape[0] < 2:
+        return sp.csr_matrix((d, d))
+    as_float = np.asarray(data, dtype=float)
+    centered = as_float - as_float.mean(axis=0, keepdims=True)
+    norms = np.linalg.norm(centered, axis=0)
+    norms[norms == 0] = np.inf  # zero-variance columns become isolated nodes
+    z = centered / norms
+
+    chunks: list[sp.csr_matrix] = []
+    for start in range(0, d, int(chunk_columns)):
+        stop = min(start + int(chunk_columns), d)
+        corr = np.abs(z[:, start:stop].T @ z)  # (chunk, d) — the only big buffer
+        np.nan_to_num(corr, copy=False, nan=0.0, posinf=0.0, neginf=0.0)
+        corr[np.arange(stop - start), np.arange(start, stop)] = 0.0
+        corr[corr < max(threshold, np.finfo(float).tiny)] = 0.0
+        chunks.append(sp.csr_matrix(corr))
+    skeleton = sp.vstack(chunks, format="csr")
+    # Symmetrize against float asymmetries so BFS components are well defined.
+    return skeleton.maximum(skeleton.T).tocsr()
 
 
 @dataclass(frozen=True)
@@ -188,10 +252,29 @@ class ShardPlan:
         }
 
 
-def _connected_components(skeleton: np.ndarray) -> list[list[int]]:
+def _neighbor_lists(skeleton) -> list[list[int]]:
+    """Adjacency lists of a dense-bool or sparse skeleton.
+
+    Delegates to the shared dense/sparse converter in :mod:`repro.graph.dag`
+    so one implementation serves both the DAG utilities and the planner.
+    """
+    from repro.graph.dag import _adjacency_lists
+
+    return _adjacency_lists(skeleton)
+
+
+def _core_affinity(affinity, node: int, core_idx: np.ndarray) -> float:
+    """Strongest affinity between ``node`` and any core node (dense or sparse)."""
+    if core_idx.size == 0:
+        return 0.0
+    if sp.issparse(affinity):
+        return float(affinity[node, core_idx].max())
+    return float(np.max(np.asarray(affinity)[node, core_idx]))
+
+
+def _connected_components(neighbors: Sequence[Sequence[int]]) -> list[list[int]]:
     """BFS connected components of the skeleton, each in BFS visit order."""
-    d = skeleton.shape[0]
-    neighbors = [list(np.flatnonzero(skeleton[i])) for i in range(d)]
+    d = len(neighbors)
     seen = np.zeros(d, dtype=bool)
     components: list[list[int]] = []
     for start in range(d):
@@ -251,6 +334,13 @@ class ShardPlanner:
         Optional cap on the halo size of each block; when the one-hop
         neighborhood is larger, the neighbors with the strongest correlation
         to the core are kept.  ``None`` keeps every halo candidate.
+    dense_skeleton_limit:
+        Problems wider than this many columns are planned through
+        :func:`sparse_correlation_skeleton` (chunked, ``O(chunk · d)`` peak
+        memory) instead of a dense ``d × d`` correlation matrix — the switch
+        that keeps planning viable on the 100k-node regime.
+    skeleton_chunk_columns:
+        Chunk height of the sparse skeleton computation.
     """
 
     def __init__(
@@ -260,6 +350,8 @@ class ShardPlanner:
         min_block_size: int = 1,
         halo_depth: int = 1,
         max_halo_size: int | None = None,
+        dense_skeleton_limit: int = 2048,
+        skeleton_chunk_columns: int = 512,
     ) -> None:
         check_non_negative(skeleton_threshold, "skeleton_threshold")
         if max_block_size < 1:
@@ -281,11 +373,15 @@ class ShardPlanner:
             raise ValidationError(
                 f"max_halo_size must be >= 0, got {max_halo_size}"
             )
+        check_positive(dense_skeleton_limit, "dense_skeleton_limit")
+        check_positive(skeleton_chunk_columns, "skeleton_chunk_columns")
         self.skeleton_threshold = float(skeleton_threshold)
         self.max_block_size = int(max_block_size)
         self.min_block_size = int(min_block_size)
         self.halo_depth = int(halo_depth)
         self.max_halo_size = max_halo_size
+        self.dense_skeleton_limit = int(dense_skeleton_limit)
+        self.skeleton_chunk_columns = int(skeleton_chunk_columns)
 
     # -- public API ------------------------------------------------------------
 
@@ -295,46 +391,70 @@ class ShardPlanner:
         The pairwise correlations are computed once: the thresholded skeleton
         and the halo-ranking strengths are both derived from the same matrix
         (and the strengths are only kept when :attr:`max_halo_size` needs
-        them for ranking).
+        them for ranking).  Beyond :attr:`dense_skeleton_limit` columns the
+        skeleton is built chunked into CSR — no dense ``d × d`` matrix is
+        ever materialized on that path.
         """
         data = ensure_2d(data, "data")
+        d = data.shape[1]
         if data.shape[0] < 2:
-            d = data.shape[1]
+            # Empty skeleton — sized sparsely past the limit so a degenerate
+            # window at 100k nodes does not allocate a dense d × d fallback.
+            if d > self.dense_skeleton_limit:
+                return self.plan_from_skeleton(sp.csr_matrix((d, d)))
             return self.plan_from_skeleton(np.zeros((d, d), dtype=bool))
+        if d > self.dense_skeleton_limit:
+            skeleton = sparse_correlation_skeleton(
+                data, self.skeleton_threshold, self.skeleton_chunk_columns
+            )
+            strengths = skeleton if self.max_halo_size is not None else None
+            return self.plan_from_skeleton(skeleton, strengths=strengths)
         strengths = _correlation_strengths(data)
         skeleton = _skeleton_from_strengths(strengths, self.skeleton_threshold)
         if self.max_halo_size is None:
             strengths = None  # never consulted: skip carrying the d×d matrix
         return self.plan_from_skeleton(skeleton, strengths=strengths)
 
-    def plan_from_skeleton(
-        self, skeleton: np.ndarray, strengths: np.ndarray | None = None
-    ) -> ShardPlan:
-        """Build a plan from a precomputed boolean skeleton matrix.
+    def plan_from_skeleton(self, skeleton, strengths=None) -> ShardPlan:
+        """Build a plan from a precomputed skeleton matrix.
 
         Parameters
         ----------
         skeleton:
-            Symmetric boolean ``d × d`` adjacency of the undirected skeleton.
+            Symmetric ``d × d`` adjacency of the undirected skeleton — a
+            dense boolean ndarray or a scipy sparse matrix whose stored
+            non-zeros are the skeleton edges.
         strengths:
-            Optional ``d × d`` non-negative affinity matrix used to rank halo
-            candidates when :attr:`max_halo_size` trims them; defaults to the
-            skeleton itself (every neighbor equally strong).
+            Optional ``d × d`` non-negative affinity matrix (dense or
+            sparse) used to rank halo candidates when :attr:`max_halo_size`
+            trims them; defaults to the skeleton itself (every neighbor
+            equally strong).
         """
-        skeleton = np.asarray(skeleton, dtype=bool)
-        if skeleton.ndim != 2 or skeleton.shape[0] != skeleton.shape[1]:
-            raise ValidationError("skeleton must be a square matrix")
+        if sp.issparse(skeleton):
+            skeleton = skeleton.tocsr()
+            if skeleton.shape[0] != skeleton.shape[1]:
+                raise ValidationError("skeleton must be a square matrix")
+            skeleton.eliminate_zeros()
+            n_skeleton_edges = int(sp.triu(skeleton, k=1).nnz)
+        else:
+            skeleton = np.asarray(skeleton, dtype=bool)
+            if skeleton.ndim != 2 or skeleton.shape[0] != skeleton.shape[1]:
+                raise ValidationError("skeleton must be a square matrix")
+            n_skeleton_edges = int(np.count_nonzero(np.triu(skeleton, k=1)))
         d = skeleton.shape[0]
         if d == 0:
             raise ValidationError("cannot plan over zero nodes")
-        n_skeleton_edges = int(np.count_nonzero(np.triu(skeleton, k=1)))
 
-        cores = self._cores(skeleton)
+        neighbors = _neighbor_lists(skeleton)
+        cores = self._cores(neighbors)
         blocks = [
             ShardBlock(
                 index=index,
                 core=tuple(int(node) for node in core),
-                halo=tuple(int(node) for node in self._halo(skeleton, strengths, core)),
+                halo=tuple(
+                    int(node)
+                    for node in self._halo(neighbors, skeleton, strengths, core)
+                ),
             )
             for index, core in enumerate(cores)
         ]
@@ -347,10 +467,10 @@ class ShardPlanner:
 
     # -- internals --------------------------------------------------------------
 
-    def _cores(self, skeleton: np.ndarray) -> list[list[int]]:
+    def _cores(self, neighbors: Sequence[Sequence[int]]) -> list[list[int]]:
         """Partition the nodes into cores: split large components, pack small."""
         chunks: list[list[int]] = []
-        for component in _connected_components(skeleton):
+        for component in _connected_components(neighbors):
             if len(component) <= self.max_block_size:
                 chunks.append(component)
             else:
@@ -380,8 +500,9 @@ class ShardPlanner:
 
     def _halo(
         self,
-        skeleton: np.ndarray,
-        strengths: np.ndarray | None,
+        neighbors: Sequence[Sequence[int]],
+        skeleton,
+        strengths,
         core: Sequence[int],
     ) -> list[int]:
         """Skeleton neighborhood of ``core`` up to ``halo_depth`` hops."""
@@ -393,21 +514,21 @@ class ShardPlanner:
         frontier = set(core)
         halo: set[int] = set()
         for _ in range(self.halo_depth):
-            neighbors: set[int] = set()
+            reached: set[int] = set()
             for node in frontier:
-                neighbors.update(np.flatnonzero(skeleton[node]).tolist())
-            frontier = neighbors - core_set - halo
+                reached.update(neighbors[node])
+            frontier = reached - core_set - halo
             if not frontier:
                 break
             halo |= frontier
         candidates = sorted(halo)
         if self.max_halo_size is None or len(candidates) <= self.max_halo_size:
             return candidates
-        affinity = strengths if strengths is not None else skeleton.astype(float)
+        affinity = strengths if strengths is not None else skeleton
         core_idx = np.asarray(sorted(core_set))
         scored = sorted(
             candidates,
-            key=lambda node: float(np.max(affinity[node, core_idx])),
+            key=lambda node: _core_affinity(affinity, node, core_idx),
             reverse=True,
         )
         return sorted(scored[: self.max_halo_size])

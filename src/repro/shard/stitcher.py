@@ -22,6 +22,14 @@ Edges between two *halo* nodes of the same block are discarded before
 merging: both endpoints are owned by other blocks, which learn that
 neighborhood with full context.
 
+The merge is **edge-sparse end to end**: block sub-graphs are consumed as
+coordinate lists and accumulated in an edge map, so stitching never
+materializes a dense ``n_nodes × n_nodes`` intermediate — the memory cost is
+``O(total edges)``, which is what lets LEAST-SP block results at 100k-node
+scale flow through unharmed.  The *output* representation follows the
+inputs: if any surviving block produced sparse weights the stitched graph is
+returned as CSR, otherwise as a dense ndarray (the historical behavior).
+
 The output is always a DAG, whatever the inputs — the invariant the
 property-based suite (``tests/test_shard_property.py``) hammers on.
 """
@@ -29,14 +37,13 @@ property-based suite (``tests/test_shard_property.py``) hammers on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import ValidationError
-from repro.graph.adjacency import to_dense
-from repro.graph.dag import find_cycle
+from repro.graph.dag import find_cycle_in_adjacency
 from repro.shard.planner import ShardBlock
 
 __all__ = ["StitchReport", "StitchedGraph", "Stitcher"]
@@ -89,13 +96,30 @@ class StitchedGraph:
     Attributes
     ----------
     weights:
-        ``d × d`` weighted adjacency matrix; always a DAG.
+        ``d × d`` weighted adjacency matrix; always a DAG.  CSR when any
+        merged block was sparse, dense ndarray otherwise.
     report:
         The :class:`StitchReport` of the pass that produced it.
     """
 
-    weights: np.ndarray
+    weights: np.ndarray | sp.csr_matrix
     report: StitchReport
+
+
+def _block_edges(
+    local: np.ndarray | sp.spmatrix,
+) -> Iterator[tuple[int, int, float]]:
+    """Yield ``(local row, local col, weight)`` for every non-zero edge."""
+    if sp.issparse(local):
+        coo = local.tocoo()
+        for a, b, weight in zip(coo.row, coo.col, coo.data):
+            if weight != 0.0:
+                yield int(a), int(b), float(weight)
+    else:
+        array = np.asarray(local, dtype=float)
+        rows, cols = np.nonzero(array)
+        for a, b in zip(rows, cols):
+            yield int(a), int(b), float(array[a, b])
 
 
 class Stitcher:
@@ -123,26 +147,29 @@ class Stitcher:
         ----------
         block_graphs:
             One entry per *surviving* block: the block and the weight matrix
-            its solve produced, indexed by the block's local node order
-            (:attr:`~repro.shard.planner.ShardBlock.nodes`).  Blocks whose
-            jobs failed or were preempted are simply absent.
+            its solve produced (dense or CSR), indexed by the block's local
+            node order (:attr:`~repro.shard.planner.ShardBlock.nodes`).
+            Blocks whose jobs failed or were preempted are simply absent.
         n_nodes:
             Number of nodes of the global graph.
 
         Returns
         -------
         StitchedGraph
-            The merged ``n_nodes × n_nodes`` weight matrix (always a DAG) and
-            the conflict accounting that produced it.
+            The merged ``n_nodes × n_nodes`` weight matrix (always a DAG;
+            CSR when any input block was sparse) and the conflict accounting
+            that produced it.
         """
         if n_nodes < 1:
             raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
         report = StitchReport(n_blocks=len(block_graphs))
-        merged = np.zeros((n_nodes, n_nodes))
+        edges: dict[tuple[int, int], float] = {}
+        any_sparse = False
 
         for block, local in block_graphs:
             nodes = np.asarray(block.nodes, dtype=int)
-            local = to_dense(local)
+            if not sp.issparse(local):
+                local = np.asarray(local, dtype=float)  # accept array-likes
             if local.shape != (len(nodes), len(nodes)):
                 raise ValidationError(
                     f"block {block.index} weights have shape {local.shape}, "
@@ -153,9 +180,10 @@ class Stitcher:
                     f"block {block.index} references nodes outside "
                     f"range(0, {n_nodes})"
                 )
+            if sp.issparse(local):
+                any_sparse = True
             core = set(block.core)
-            rows, cols = np.nonzero(local)
-            for a, b in zip(rows, cols):
+            for a, b, weight in _block_edges(local):
                 i, j = int(nodes[a]), int(nodes[b])
                 if i == j:
                     continue
@@ -165,49 +193,91 @@ class Stitcher:
                     and j not in core
                 ):
                     continue
-                weight = float(local[a, b])
-                existing = merged[i, j]
-                if existing != 0.0:
+                existing = edges.get((i, j))
+                if existing is not None:
                     report.n_duplicate_edges += 1
                     if abs(weight) > abs(existing):
-                        merged[i, j] = weight
+                        edges[i, j] = weight
                 else:
-                    merged[i, j] = weight
+                    edges[i, j] = weight
 
-        self._resolve_direction_conflicts(merged, report)
-        self._break_cycles(merged, report)
-        report.n_edges = int(np.count_nonzero(merged))
-        return StitchedGraph(weights=merged, report=report)
+        self._resolve_direction_conflicts(edges, report)
+        self._break_cycles(edges, n_nodes, report)
+        report.n_edges = len(edges)
+        return StitchedGraph(
+            weights=self._materialize(edges, n_nodes, sparse=any_sparse),
+            report=report,
+        )
 
     # -- internals --------------------------------------------------------------
 
     @staticmethod
-    def _resolve_direction_conflicts(
-        merged: np.ndarray, report: StitchReport
-    ) -> None:
-        """Keep the heavier direction of every i<->j pair (in place)."""
-        forward = np.transpose(np.nonzero(np.triu(merged, k=1)))
-        for i, j in forward:
-            if merged[j, i] == 0.0:
-                continue
-            report.n_direction_conflicts += 1
-            if abs(merged[i, j]) >= abs(merged[j, i]):
-                merged[j, i] = 0.0
-            else:
-                merged[i, j] = 0.0
+    def _materialize(
+        edges: dict[tuple[int, int], float], n_nodes: int, sparse: bool
+    ) -> np.ndarray | sp.csr_matrix:
+        """Turn the final edge map into the output matrix (CSR or dense)."""
+        if sparse:
+            if not edges:
+                return sp.csr_matrix((n_nodes, n_nodes))
+            rows, cols = zip(*edges)
+            return sp.csr_matrix(
+                (list(edges.values()), (rows, cols)), shape=(n_nodes, n_nodes)
+            )
+        merged = np.zeros((n_nodes, n_nodes))
+        for (i, j), weight in edges.items():
+            merged[i, j] = weight
+        return merged
 
     @staticmethod
-    def _break_cycles(merged: np.ndarray, report: StitchReport) -> None:
+    def _resolve_direction_conflicts(
+        edges: dict[tuple[int, int], float], report: StitchReport
+    ) -> None:
+        """Keep the heavier direction of every i<->j pair (in place)."""
+        for i, j in sorted(key for key in edges if key[0] < key[1]):
+            reverse = edges.get((j, i))
+            if reverse is None:
+                continue
+            report.n_direction_conflicts += 1
+            if abs(edges[i, j]) >= abs(reverse):
+                del edges[j, i]
+            else:
+                del edges[i, j]
+
+    @staticmethod
+    def _find_cycle(
+        edges: dict[tuple[int, int], float], n_nodes: int
+    ) -> list[int] | None:
+        """One directed cycle of the edge map, or None when acyclic.
+
+        Builds sorted adjacency lists and delegates to
+        :func:`repro.graph.dag.find_cycle_in_adjacency`, so the traversal
+        (and therefore which cycle is broken first) matches the dense
+        stitcher's historical behavior exactly.
+        """
+        adjacency: list[list[int]] = [[] for _ in range(n_nodes)]
+        for i, j in edges:
+            adjacency[i].append(j)
+        for children in adjacency:
+            children.sort()
+        return find_cycle_in_adjacency(adjacency)
+
+    @classmethod
+    def _break_cycles(
+        cls,
+        edges: dict[tuple[int, int], float],
+        n_nodes: int,
+        report: StitchReport,
+    ) -> None:
         """Remove the lightest edge of each remaining cycle until acyclic."""
-        while (cycle := find_cycle(merged)) is not None:
+        while (cycle := cls._find_cycle(edges, n_nodes)) is not None:
             lightest: tuple[int, int] | None = None
             lightest_weight = np.inf
             for u, v in zip(cycle, cycle[1:]):
-                weight = abs(merged[u, v])
+                weight = abs(edges[u, v])
                 if weight < lightest_weight:
                     lightest_weight = weight
                     lightest = (u, v)
             assert lightest is not None  # a cycle always has edges
-            merged[lightest] = 0.0
+            del edges[lightest]
             report.n_cycle_edges_removed += 1
             report.removed_weight += float(lightest_weight)

@@ -1,10 +1,11 @@
-"""Documentation contract: the public serve + shard + core.least* APIs are documented.
+"""Documentation contract: the public serve + shard + core solver APIs are documented.
 
 The CI docs job runs this module (alongside the markdown link check) so the
 documentation site in ``docs/`` cannot silently rot: every public module,
 class, function, method, and property of the serving layer, the sharding
-subsystem, and the LEAST solver family must carry a docstring, and the solver
-config dataclasses must describe every field they expose.
+subsystem, the unified solver backend layer, and the LEAST solver family
+must carry a docstring, and the solver config dataclasses must describe
+every field they expose.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ import inspect
 
 import pytest
 
+import repro.core.backend as backend
 import repro.core.least as least
 import repro.core.least_sparse as least_sparse
 import repro.serve as serve
@@ -42,6 +44,7 @@ MODULES = [
     shard_executor,
     shard_planner,
     shard_stitcher,
+    backend,
     least,
     least_sparse,
 ]

@@ -121,6 +121,29 @@ class TestMonitoringWorkflow:
         total_reports = sum(r.n_anomalies for r in reports)
         assert total_reports <= 2  # no incidents were injected
 
+    def test_pipeline_runs_windows_on_the_sparse_backend(self):
+        """MonitoringPipeline drives least_sparse windows (auto-escalated)."""
+        import scipy.sparse as sp
+
+        simulator = BookingSimulator(seed=32)
+        pipeline = MonitoringPipeline(
+            simulator,
+            window_seconds=1800.0,
+            least_config=LEASTConfig(
+                max_outer_iterations=2,
+                max_inner_iterations=40,
+                l1_penalty=0.02,
+                tolerance=1e-3,
+            ),
+            sparse_vocabulary_threshold=1,  # every window escalates to CSR
+        )
+        reports = pipeline.run(3, seed=33)
+        assert len(reports) == 3
+        stats = pipeline.window_stats
+        assert stats and all(s.solver == "least_sparse" for s in stats)
+        assert sp.issparse(pipeline.scheduler.state.weights)
+        assert stats[1].warm_started  # CSR state seeded the next CSR window
+
 
 class TestRecommendationWorkflow:
     def test_movielens_pipeline_learns_planted_relations(self):

@@ -187,3 +187,67 @@ class TestShardSubcommand:
         data_path = self._write_data(tmp_path, d=4, n=50)
         assert main(["shard", data_path, "--solver", "leest"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_shard_sparse_solver_writes_npz_weights(self, tmp_path, capsys):
+        import numpy as np
+        import scipy.sparse as sp
+
+        data_path = self._write_data(tmp_path, d=8, n=80)
+        weights_path = tmp_path / "weights.npz"
+        code = main(
+            [
+                "shard",
+                data_path,
+                "--solver",
+                "least_sparse",
+                "--max-block-size",
+                "4",
+                "--edge-threshold",
+                "0.2",
+                "--config",
+                '{"max_outer_iterations": 2, "max_inner_iterations": 30}',
+                "--quiet",
+                "--save-weights",
+                str(weights_path),
+            ]
+        )
+        assert code == 0
+        weights = sp.load_npz(weights_path)
+        assert sp.issparse(weights)
+        assert weights.shape == (8, 8)
+        report = json.loads(capsys.readouterr().out)
+        assert report["plan"]["n_nodes"] == 8
+
+    def test_shard_unknown_solver_fails_before_reading_data(self, tmp_path, capsys):
+        """--solver is validated against the live registry up front."""
+        missing = tmp_path / "never-read.npy"  # does not exist
+        assert main(["shard", str(missing), "--solver", "leest"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown solver" in err and "least_sparse" in err
+
+    def test_shard_sparse_save_weights_appends_npz_and_says_so(self, tmp_path, capsys):
+        import scipy.sparse as sp
+
+        data_path = self._write_data(tmp_path, d=6, n=60)
+        asked = tmp_path / "weights.npy"  # wrong extension for a CSR result
+        code = main(
+            [
+                "shard",
+                data_path,
+                "--solver",
+                "least_sparse",
+                "--max-block-size",
+                "3",
+                "--config",
+                '{"max_outer_iterations": 2, "max_inner_iterations": 20}',
+                "--quiet",
+                "--output",
+                str(tmp_path / "report.json"),
+                "--save-weights",
+                str(asked),
+            ]
+        )
+        assert code == 0
+        actual = tmp_path / "weights.npy.npz"
+        assert actual.exists() and not asked.exists()
+        assert str(actual) in capsys.readouterr().err

@@ -270,3 +270,231 @@ class TestPipelineWarmStart:
         summary = pipeline.solver_summary()
         assert summary["n_windows"] == 2.0
         assert summary["n_warm_windows"] == 1.0
+
+
+class TestRepresentationRoundTrips:
+    """CSR↔dense warm-start alignment under vocabulary growth/shrinkage."""
+
+    def _weighted(self, d: int, seed: int = 0) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(size=(d, d)) * (rng.random((d, d)) < 0.2)
+        np.fill_diagonal(weights, 0.0)
+        return weights
+
+    def test_sparse_alignment_matches_dense_alignment(self):
+        dense = self._weighted(6)
+        source = [f"n{i}" for i in range(6)]
+        target = ["n4", "n1", "new0", "n2", "new1"]  # shrink + grow + permute
+        aligned_dense = align_weights(dense, source, target)
+        aligned_sparse = align_weights(sp.csr_matrix(dense), source, target)
+        assert sp.issparse(aligned_sparse)
+        np.testing.assert_allclose(aligned_sparse.toarray(), aligned_dense)
+
+    def test_damp_weights_sparse_matches_dense(self):
+        dense = self._weighted(5, seed=1)
+        damped_dense = damp_weights(dense, damping=0.5, threshold=0.2)
+        damped_sparse = damp_weights(sp.csr_matrix(dense), damping=0.5, threshold=0.2)
+        assert sp.issparse(damped_sparse)
+        np.testing.assert_allclose(damped_sparse.toarray(), damped_dense)
+
+    def test_dense_state_to_sparse_init_under_growth(self):
+        dense = self._weighted(4, seed=2)
+        state = WarmStartState(weights=dense, node_names=["a", "b", "c", "d"])
+        target = ["b", "a", "c", "d", "e", "f"]  # two new nodes appear
+        init = prepare_init(state, target, damping=1.0, representation="sparse")
+        assert sp.issparse(init) and init.shape == (6, 6)
+        reference = prepare_init(state, target, damping=1.0, representation="dense")
+        np.testing.assert_allclose(init.toarray(), reference)
+
+    def test_sparse_state_to_dense_init_under_shrinkage(self):
+        dense = self._weighted(6, seed=3)
+        state = WarmStartState(
+            weights=sp.csr_matrix(dense), node_names=[f"n{i}" for i in range(6)]
+        )
+        target = ["n5", "n0", "n3"]  # half the vocabulary vanishes
+        init = prepare_init(state, target, damping=0.9, representation="dense")
+        assert isinstance(init, np.ndarray) and init.shape == (3, 3)
+        # Entries survive at their re-indexed positions, damped.
+        assert init[1, 2] == pytest.approx(dense[0, 3] * 0.9)
+
+    def test_round_trip_preserves_values(self):
+        """dense → CSR → dense across two vocabulary changes is lossless."""
+        dense = self._weighted(5, seed=4)
+        names = [f"n{i}" for i in range(5)]
+        state = WarmStartState(weights=dense, node_names=names)
+        grown = names + ["extra0", "extra1"]
+        as_sparse = prepare_init(state, grown, damping=1.0, representation="sparse")
+        back = prepare_init(
+            WarmStartState(weights=as_sparse, node_names=grown),
+            names,
+            damping=1.0,
+            representation="dense",
+        )
+        np.testing.assert_allclose(back, dense)
+
+    def test_invalid_representation_rejected(self):
+        state = WarmStartState(weights=np.zeros((2, 2)), node_names=["a", "b"])
+        with pytest.raises(ValidationError):
+            prepare_init(state, ["a", "b"], representation="csr")
+
+
+class TestSchedulerSparseEscalation:
+    """The scheduler's solver knob, auto-escalation, and stitched-seed path."""
+
+    def _window(self, seed: int, d: int = 24, n: int = 150):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n, d))
+        for i in range(1, d):
+            data[:, i] += 0.5 * data[:, i - 1]
+        return data, [f"x{i}" for i in range(d)]
+
+    def _scheduler(self, **kwargs):
+        from repro.core.least_sparse import SparseLEASTConfig
+
+        return RelearnScheduler(
+            LEASTConfig(max_outer_iterations=2, max_inner_iterations=30),
+            sparse_config=SparseLEASTConfig(
+                max_outer_iterations=2,
+                max_inner_iterations=30,
+                support="correlation",
+                support_max_parents=4,
+            ),
+            **kwargs,
+        )
+
+    def test_escalates_above_threshold_and_deescalates_below(self):
+        scheduler = self._scheduler(sparse_vocabulary_threshold=20)
+        data, names = self._window(0)
+        big = scheduler.step(data, names, seed=0)
+        assert scheduler.history[-1].solver == "least_sparse"
+        assert sp.issparse(big.weights)
+        small = scheduler.step(data[:, :8], names[:8], seed=0)
+        stats = scheduler.history[-1]
+        assert stats.solver == "least"
+        assert stats.warm_started  # CSR state seeded the dense re-learn
+        assert isinstance(small.weights, np.ndarray)
+
+    def test_dense_state_seeds_sparse_window(self):
+        scheduler = self._scheduler(sparse_vocabulary_threshold=20)
+        data, names = self._window(1)
+        scheduler.step(data[:, :8], names[:8], seed=0)  # dense first
+        assert scheduler.history[-1].solver == "least"
+        result = scheduler.step(data, names, seed=0)  # grows past threshold
+        stats = scheduler.history[-1]
+        assert stats.solver == "least_sparse"
+        assert stats.warm_started
+        assert sp.issparse(result.weights)
+
+    def test_sharded_sparse_window_stitch_seeds_warm_start(self):
+        """shard + sparse escalation: the CSR stitched result seeds the next
+        (dense, monolithic) window's warm start."""
+        scheduler = self._scheduler(
+            sparse_vocabulary_threshold=20,
+            shard_vocabulary_threshold=20,
+            shard_edge_threshold=0.05,
+        )
+        data, names = self._window(2)
+        stitched = scheduler.step(data, names, seed=0)
+        stats = scheduler.history[-1]
+        assert stats.sharded and stats.solver == "least_sparse"
+        assert sp.issparse(stitched.weights)
+        assert sp.issparse(scheduler.state.weights)
+
+        follow_up = scheduler.step(data[:, :8], names[:8], seed=0)
+        stats = scheduler.history[-1]
+        assert not stats.sharded and stats.solver == "least"
+        assert stats.warm_started
+        assert isinstance(follow_up.weights, np.ndarray)
+
+    def test_solver_knob_accepts_sparse_outright(self):
+        scheduler = self._scheduler(solver="least_sparse")
+        data, names = self._window(3, d=10)
+        result = scheduler.step(data, names, seed=0)
+        assert scheduler.history[-1].solver == "least_sparse"
+        assert sp.issparse(result.weights)
+        assert sp.issparse(scheduler.state.weights)
+
+    def test_unknown_solver_rejected_up_front(self):
+        with pytest.raises(ValidationError):
+            RelearnScheduler(solver="leest")
+
+    def test_window_stats_record_solver_in_dict(self):
+        scheduler = self._scheduler(sparse_vocabulary_threshold=20)
+        data, names = self._window(4)
+        scheduler.step(data, names, seed=0)
+        assert scheduler.history[-1].as_dict()["solver"] == "least_sparse"
+
+
+class TestSchedulerBackendEdgeCases:
+    """Regression tests: non-warm-startable and custom backends in the loop."""
+
+    def _window(self, seed: int, d: int = 6, n: int = 80):
+        rng = np.random.default_rng(seed)
+        return rng.normal(size=(n, d)), [f"x{i}" for i in range(d)]
+
+    def test_notears_windows_never_receive_init_weights(self):
+        scheduler = RelearnScheduler(solver="notears")
+        data, names = self._window(0)
+        scheduler.step(data, names, seed=0)
+        result = scheduler.step(data, names, seed=0)  # used to crash
+        assert result.solver == "notears"
+        assert all(not s.warm_started for s in scheduler.history)
+
+    def test_custom_backend_without_inner_iteration_field_warm_starts(self):
+        """warm_inner_scale must not read fields a custom config lacks."""
+        from dataclasses import dataclass
+
+        from repro.core.least import LEASTResult
+        from repro.serve.job import register_solver, unregister_solver
+
+        @dataclass(frozen=True)
+        class _BareConfig:
+            pass
+
+        class _BareSolver:
+            def __init__(self, config):
+                self.config = config
+
+            def fit(self, data, seed=None, init_weights=None):
+                d = data.shape[1]
+                return LEASTResult(
+                    weights=np.eye(d) * 0.0,
+                    constraint_value=0.0,
+                    converged=True,
+                    n_outer_iterations=1,
+                )
+
+        register_solver("bare", _BareSolver, _BareConfig, overwrite=True)
+        try:
+            scheduler = RelearnScheduler(solver="bare", resume_penalty=True)
+            data, names = self._window(1)
+            scheduler.step(data, names, seed=0)
+            result = scheduler.step(data, names, seed=0)  # used to crash
+            assert scheduler.history[-1].warm_started
+            assert result.converged
+        finally:
+            unregister_solver("bare")
+
+    def test_sharded_sparse_default_uses_correlation_support(self, monkeypatch):
+        """The dumped sparse defaults must not pin support="random"."""
+        from repro.shard.executor import ShardExecutor
+
+        captured = {}
+        original = ShardExecutor.run
+
+        def _capture(self, data, plan, seed=0):
+            captured["support"] = self.config.get("support")
+            return original(self, data, plan, seed=seed)
+
+        monkeypatch.setattr(ShardExecutor, "run", _capture)
+        scheduler = RelearnScheduler(
+            sparse_vocabulary_threshold=6,
+            shard_vocabulary_threshold=6,
+        )
+        data, names = self._window(2, d=8)
+        scheduler.step(data, names, seed=0)
+        assert captured["support"] == "correlation"
+
+    def test_align_weights_accepts_array_like(self):
+        aligned = align_weights([[0.0, 1.0], [0.0, 0.0]], ["a", "b"], ["b", "a"])
+        assert aligned[1, 0] == 1.0

@@ -144,3 +144,36 @@ class TestGridSearchEpsilonTau:
 
     def test_default_epsilon_grid_matches_paper(self):
         assert DEFAULT_EPSILON_GRID == (1e-1, 1e-2, 1e-3, 1e-4)
+
+
+def test_threshold_to_dag_breaks_cycles_without_densifying_sparse_input():
+    """The cycle-escalation path must stay sparse for CSR inputs."""
+    import scipy.sparse as sp
+
+    cyclic = sp.csr_matrix(
+        ([0.5, 0.9, 0.7], ([0, 1, 2], [1, 0, 0])), shape=(3, 3)
+    )
+    import tracemalloc
+
+    from repro.core.thresholding import threshold_to_dag
+    from repro.graph.dag import is_dag
+
+    pruned, threshold = threshold_to_dag(cyclic)
+    assert sp.issparse(pruned)
+    assert is_dag(pruned)
+    assert threshold > 0.5  # the lighter cycle edge was removed
+
+    # At scale the escalation path must not allocate d × d: a 3000-node CSR
+    # with one cycle stays under a budget far below 72 MB dense.
+    d = 3000
+    big = sp.csr_matrix(
+        ([0.5, 0.9, 0.7], ([0, 1, 2], [1, 0, 0])), shape=(d, d)
+    )
+    tracemalloc.start()
+    try:
+        pruned, _ = threshold_to_dag(big)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert sp.issparse(pruned) and is_dag(pruned)
+    assert peak < 8 * 1024 * 1024
