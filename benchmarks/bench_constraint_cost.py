@@ -9,12 +9,11 @@ each constraint on sparse DAG-structured matrices of growing size.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 import scipy.sparse as sp
 
 from benchmarks.helpers import print_table
+from repro.utils.timer import Timer
 from repro.core.acyclicity import spectral_bound_with_gradient
 from repro.core.notears_constraint import (
     notears_constraint_with_gradient,
@@ -26,12 +25,11 @@ SIZES = [50, 100, 200, 400]
 
 
 def _time_call(function, *args, repeats: int = 3) -> float:
-    best = float("inf")
+    timer = Timer()
     for _ in range(repeats):
-        start = time.perf_counter()
-        function(*args)
-        best = min(best, time.perf_counter() - start)
-    return best
+        with timer:
+            function(*args)
+    return min(timer.laps)
 
 
 @pytest.fixture(scope="module")

@@ -10,8 +10,6 @@ grows with d.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 import pytest
 import scipy.sparse as sp
@@ -20,6 +18,7 @@ from benchmarks.helpers import print_table
 from benchmarks.helpers import make_problem, run_least, run_notears
 from repro.core.acyclicity import spectral_bound_with_gradient
 from repro.core.notears_constraint import notears_constraint_with_gradient
+from repro.utils.timer import Timer
 
 SIZES = [50, 100]
 
@@ -61,15 +60,17 @@ def test_constraint_speedup_grows_with_d(benchmark):
         weights = truth + np.random.default_rng(0).normal(0, 0.01, truth.shape) * (truth != 0)
         sparse_weights = sp.csr_matrix(weights)
 
-        start = time.perf_counter()
+        least_timer = Timer()
         for _ in range(5):
-            spectral_bound_with_gradient(sparse_weights)
-        least_time = (time.perf_counter() - start) / 5
+            with least_timer:
+                spectral_bound_with_gradient(sparse_weights)
+        least_time = least_timer.mean_lap
 
-        start = time.perf_counter()
+        notears_timer = Timer()
         for _ in range(5):
-            notears_constraint_with_gradient(weights)
-        notears_time = (time.perf_counter() - start) / 5
+            with notears_timer:
+                notears_constraint_with_gradient(weights)
+        notears_time = notears_timer.mean_lap
         ratios.append(notears_time / max(least_time, 1e-12))
 
     print_table(

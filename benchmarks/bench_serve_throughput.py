@@ -13,7 +13,13 @@ root:
   (``time_to_first_result`` section);
 * hard preemption: a manifest with one hanging job under a deadline — the
   hanging worker is SIGKILLed, every normal result still streams out
-  (``preemption`` section).
+  (``preemption`` section);
+* a fully traced run (``repro.obs``): the parent+worker span trees are merged
+  and reduced to a span-derived wall-clock breakdown — worker_spawn vs. solve
+  vs. queue_wait seconds — pinning the ROADMAP's "startup dominates
+  throughput" hypothesis to a measured number (``wall_clock_breakdown``
+  section; the raw trace and metrics land in ``trace.ndjson`` /
+  ``metrics.json`` next to the repo root for CI artifact upload).
 
 See ``docs/benchmarks.md`` for the exact ``BENCH_serve.json`` schema.
 Run with ``pytest benchmarks/bench_serve_throughput.py -s``.
@@ -33,8 +39,12 @@ import pytest
 from benchmarks.helpers import print_table
 from repro.core.least import LEASTConfig
 from repro.monitoring import BookingSimulator, Incident, MonitoringPipeline
+from repro.obs import NDJSONFileSink, Tracer, read_trace, validate_trace, wall_clock_breakdown
 from repro.serve import BatchRunner, InMemoryCache, LearningJob, StreamingRunner
 from repro.serve.job import register_solver, unregister_solver
+from repro.shard.executor import ShardExecutor
+from repro.shard.planner import ShardPlanner
+from repro.utils.timer import Timer
 
 N_JOBS = 16
 N_WORKERS = 4
@@ -157,12 +167,12 @@ def test_cache_hits_skip_solver_execution(benchmark):
 def test_streaming_time_to_first_result(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
     runner = StreamingRunner(n_workers=N_WORKERS)
-    started = time.perf_counter()
+    timer = Timer().start()
     arrivals = []
     for result in runner.stream(_manifest()):
         assert result.status == "ok"
-        arrivals.append(time.perf_counter() - started)
-    total = time.perf_counter() - started
+        arrivals.append(timer.peek())
+    total = timer.stop()
 
     first = arrivals[0]
     RESULTS["time_to_first_result"] = {
@@ -209,13 +219,13 @@ def test_preemption_kills_hanging_job_and_streams_survivors(benchmark):
             for seed in range(6)
         ]
         runner = StreamingRunner(n_workers=2, timeout=deadline)
-        started = time.perf_counter()
+        timer = Timer().start()
         arrivals: dict[str, float] = {}
         statuses: dict[str, str] = {}
         for result in runner.stream([hanging] + normal):
-            arrivals[result.job_id] = time.perf_counter() - started
+            arrivals[result.job_id] = timer.peek()
             statuses[result.job_id] = result.status
-        total = time.perf_counter() - started
+        total = timer.stop()
     finally:
         unregister_solver("bench-hang")
 
@@ -254,6 +264,80 @@ def test_preemption_kills_hanging_job_and_streams_survivors(benchmark):
     for pid in runner.telemetry.killed_pids:
         with pytest.raises(ProcessLookupError):
             os.kill(pid, 0)
+
+
+def test_traced_wall_clock_breakdown(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # keep this test active under --benchmark-only
+    repo_root = Path(__file__).resolve().parents[1]
+    trace_path = repo_root / "trace.ndjson"
+    metrics_path = repo_root / "metrics.json"
+    tracer = Tracer(sink=NDJSONFileSink(trace_path))
+
+    # A full streaming run on real workers (so worker_spawn spans exist) ...
+    runner = StreamingRunner(n_workers=N_WORKERS, timeout=60.0, tracer=tracer)
+    statuses = [result.status for result in runner.stream(_manifest())]
+    assert statuses == ["ok"] * N_JOBS
+
+    # ... plus a small sharded solve through the same tracer, so a single
+    # trace covers every layer: serve, shard, and the solver loop.
+    rng = np.random.default_rng(0)
+    data = rng.standard_normal((120, 24))
+    planner = ShardPlanner(max_block_size=8)
+    executor = ShardExecutor(config=dict(JOB_CONFIG), tracer=tracer)
+    plan = planner.plan(data, tracer=tracer)
+    shard_result = executor.run(data, plan, seed=0)
+    assert shard_result.n_blocks_ok == plan.n_blocks
+
+    tracer.close()
+    metrics_path.write_text(
+        json.dumps(tracer.metrics.as_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    spans = read_trace(trace_path)
+    summary = validate_trace(spans)
+    breakdown = wall_clock_breakdown(spans)
+
+    # Every job decomposes cleanly: no span may point at a missing parent.
+    assert summary["n_orphans"] == 0, summary["orphans"]
+    # At least one span per layer: serve, shard, solver.
+    for layer, name in [
+        ("serve", "job"),
+        ("serve", "queue_wait"),
+        ("serve", "worker_spawn"),
+        ("shard", "shard_plan"),
+        ("shard", "stitch"),
+        ("solver", "solve"),
+        ("solver", "outer_iter"),
+    ]:
+        assert name in summary["names"], f"no {name!r} span ({layer} layer)"
+
+    RESULTS["wall_clock_breakdown"] = {
+        "n_jobs": N_JOBS + plan.n_blocks,
+        "n_spans": summary["n_spans"],
+        "n_orphans": summary["n_orphans"],
+        "worker_spawn_seconds": breakdown.get("worker_spawn", 0.0),
+        "solve_seconds": breakdown.get("solve", 0.0),
+        "queue_wait_seconds": breakdown.get("queue_wait", 0.0),
+        "data_materialize_seconds": breakdown.get("data_materialize", 0.0),
+        "cache_store_seconds": breakdown.get("cache_store", 0.0),
+        "stitch_seconds": breakdown.get("stitch", 0.0),
+        "trace_file": trace_path.name,
+        "metrics_file": metrics_path.name,
+    }
+    print_table(
+        "repro.obs: span-derived wall clock — where do traced jobs spend time?",
+        ["span", "total seconds"],
+        [
+            [name, f"{breakdown.get(name, 0.0):.2f}s"]
+            for name in (
+                "worker_spawn",
+                "data_materialize",
+                "solve",
+                "queue_wait",
+                "cache_store",
+                "stitch",
+            )
+        ],
+    )
 
 
 def test_warm_start_cuts_relearn_iterations(benchmark):

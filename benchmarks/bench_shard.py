@@ -29,7 +29,6 @@ from __future__ import annotations
 import json
 import os
 import sys
-import time
 from pathlib import Path
 
 _REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -48,6 +47,7 @@ from repro.graph.generation import random_dag
 from repro.metrics.structural import evaluate_structure
 from repro.sem.linear_sem import simulate_linear_sem
 from repro.shard import ShardExecutor, ShardPlanner
+from repro.utils.timer import Timer
 
 N_NODES = 520
 N_TRUE_BLOCKS = 8
@@ -83,9 +83,9 @@ def build_problem() -> tuple[np.ndarray, np.ndarray]:
 
 def run_monolithic(truth: np.ndarray, data: np.ndarray) -> dict:
     """One dense LEAST solve over the full problem, scored against the truth."""
-    started = time.perf_counter()
-    result = LEAST(LEASTConfig(**SOLVER_CONFIG)).fit(data, seed=0)
-    seconds = time.perf_counter() - started
+    with Timer() as timer:
+        result = LEAST(LEASTConfig(**SOLVER_CONFIG)).fit(data, seed=0)
+    seconds = timer.elapsed
     pruned = threshold_weights(result.weights, EDGE_THRESHOLD)
     metrics = evaluate_structure(pruned, truth)
     return {
@@ -105,10 +105,10 @@ def run_sharded(truth: np.ndarray, data: np.ndarray) -> dict:
         n_workers=N_WORKERS,
         edge_threshold=EDGE_THRESHOLD,
     )
-    started = time.perf_counter()
-    plan = planner.plan(data)
-    result = executor.run(data, plan, seed=0)
-    seconds = time.perf_counter() - started
+    with Timer() as timer:
+        plan = planner.plan(data)
+        result = executor.run(data, plan, seed=0)
+    seconds = timer.elapsed
     metrics = evaluate_structure(result.weights, truth)
     assert result.complete, "every block job must complete in this scenario"
     return {

@@ -28,7 +28,6 @@ import json
 import os
 import resource
 import sys
-import time
 from pathlib import Path
 
 _REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -45,6 +44,7 @@ from repro.graph.dag import is_dag
 from repro.graph.generation import random_dag
 from repro.sem.linear_sem import simulate_linear_sem
 from repro.shard import ShardExecutor, ShardPlanner
+from repro.utils.timer import Timer
 
 N_NODES = 5120
 N_COMPONENTS = 40  # 128 nodes each
@@ -127,9 +127,9 @@ def main() -> dict:
     truth, data = build_problem()
 
     planner = ShardPlanner(**PLANNER_OPTIONS)
-    plan_started = time.perf_counter()
-    plan = planner.plan(data)
-    plan_seconds = time.perf_counter() - plan_started
+    with Timer() as plan_timer:
+        plan = planner.plan(data)
+    plan_seconds = plan_timer.elapsed
 
     executor = ShardExecutor(
         solver="least_sparse",

@@ -29,7 +29,11 @@ The package is organised in layers:
   (:class:`~repro.shard.ShardPlanner`), per-block streamed execution
   (:class:`~repro.shard.ShardExecutor`), and DAG-guaranteed stitching
   (:class:`~repro.shard.Stitcher`), also exposed as the
-  ``repro-serve shard`` CLI subcommand.
+  ``repro-serve shard`` CLI subcommand;
+* :mod:`repro.obs` — unified observability across all of the above: tracing
+  spans (:class:`~repro.obs.Tracer`), a metrics registry
+  (:class:`~repro.obs.MetricsRegistry`), and NDJSON event export, surfaced
+  on the CLI as ``--trace-out`` / ``--metrics-out``.
 
 Quickstart
 ----------
@@ -67,6 +71,7 @@ from repro.core import (
     threshold_weights,
 )
 from repro.graph import is_dag, random_dag
+from repro.obs import MetricsRegistry, Tracer
 from repro.metrics import auc_roc, evaluate_structure, pearson_correlation
 from repro.sem import simulate_linear_sem
 from repro.serve import (
@@ -117,5 +122,7 @@ __all__ = [
     "ShardExecutor",
     "Stitcher",
     "solve_sharded",
+    "Tracer",
+    "MetricsRegistry",
     "__version__",
 ]

@@ -367,11 +367,7 @@ class SparseLEAST:
     @staticmethod
     def _current_elapsed(timer: Timer) -> float:
         """Wall-clock seconds since the run started (timer still running)."""
-        import time
-
-        if timer.running and timer._started_at is not None:
-            return timer.elapsed + (time.perf_counter() - timer._started_at)
-        return timer.elapsed
+        return timer.peek()
 
     def _inner(
         self,

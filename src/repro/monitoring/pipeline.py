@@ -105,6 +105,10 @@ class MonitoringPipeline:
         ``shard_vocabulary_threshold``.  Downstream stays sparse too:
         thresholding and path extraction both operate on the CSR weights
         directly.  ``None`` (default) never escalates.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` forwarded to the re-learn
+        scheduler — every processed window then contributes a ``window``
+        span (and warm/cold counters) to the trace.
     """
 
     def __init__(
@@ -123,6 +127,7 @@ class MonitoringPipeline:
         shard_n_workers: int = 1,
         solver: str = "least",
         sparse_vocabulary_threshold: int | None = None,
+        tracer=None,
     ):
         check_positive(window_seconds, "window_seconds")
         check_positive(edge_threshold, "edge_threshold")
@@ -148,6 +153,7 @@ class MonitoringPipeline:
             shard_edge_threshold=edge_threshold,
             solver=solver,
             sparse_vocabulary_threshold=sparse_vocabulary_threshold,
+            tracer=tracer,
         )
         self.analyzer = RootCauseAnalyzer()
         self.reports: list[MonitoringReport] = []

@@ -1,0 +1,73 @@
+"""Unified observability: tracing spans, metrics, and NDJSON event export.
+
+``repro.obs`` is the one home for runtime telemetry across the serving
+engine, the shard pipeline, and the solver loop.  It replaces five
+previously disconnected islands (``StreamTelemetry``, ``WindowStats``,
+``cache.stats()``, ``RunLog``, ad-hoc ``perf_counter`` calls) with:
+
+* :class:`Span` / :class:`Tracer` — nested, timed regions with parent links,
+  exported as NDJSON events (:class:`NDJSONFileSink`) or kept in memory
+  (:class:`InMemorySink`);
+* :class:`MetricsRegistry` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments with a JSON dump and a Prometheus text
+  exposition;
+* cross-process collection — workers spool spans to NDJSON files that the
+  parent folds into one trace via :func:`merge_spool`, adopting the spans of
+  workers that died before flushing so merged traces never contain orphans.
+
+See ``docs/observability.md`` for the span model and the event schema.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.sinks import (
+    EventSink,
+    InMemorySink,
+    NDJSONFileSink,
+    json_default,
+    read_ndjson,
+)
+from repro.obs.tracing import (
+    OuterIterationSpans,
+    Span,
+    Tracer,
+    activate,
+    activated,
+    current_tracer,
+    deactivate,
+    merge_spool,
+    new_span_id,
+    read_trace,
+    validate_trace,
+    wall_clock_breakdown,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "EventSink",
+    "InMemorySink",
+    "NDJSONFileSink",
+    "read_ndjson",
+    "json_default",
+    "Span",
+    "Tracer",
+    "OuterIterationSpans",
+    "activate",
+    "deactivate",
+    "activated",
+    "current_tracer",
+    "merge_spool",
+    "read_trace",
+    "validate_trace",
+    "wall_clock_breakdown",
+    "new_span_id",
+]

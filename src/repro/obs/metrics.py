@@ -1,0 +1,292 @@
+"""Process-local metrics: counters, gauges, histograms in one registry.
+
+The serving, sharding, and re-learn layers each kept their own ad-hoc
+counters (``StreamTelemetry``, ``WindowStats``, ``cache.stats()``); this
+module is the shared registry they fold into, so one ``metrics.json`` (or one
+Prometheus text exposition) describes a whole run.
+
+Design notes:
+
+* instruments are identified by ``(name, labels)`` — asking the registry for
+  the same pair twice returns the *same* instrument, so call sites never need
+  to keep handles around;
+* a metric name is bound to one instrument kind; re-using ``jobs_total`` as
+  both a counter and a gauge is a
+  :class:`~repro.exceptions.ValidationError`, not a silent overwrite;
+* histograms use fixed cumulative buckets (Prometheus ``le`` semantics) so
+  exporting them costs O(buckets), not O(observations).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import ValidationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default histogram bucket upper bounds, in seconds — spanning the sub-ms
+#: cache hits through multi-minute sharded solves this repo measures.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+def _label_key(labels: Mapping[str, Any]) -> tuple[tuple[str, str], ...]:
+    """Canonical, hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count (jobs finished, workers killed, ...).
+
+    Attributes
+    ----------
+    name, labels:
+        Identity of the instrument within its registry.
+    value:
+        Current count.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        self.value += float(amount)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able view of the counter."""
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (live workers, queue depth, ...).
+
+    Attributes
+    ----------
+    name, labels:
+        Identity of the instrument within its registry.
+    value:
+        Last value set.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        self.value += float(amount)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able view of the gauge."""
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """Cumulative-bucket distribution (Prometheus ``le`` semantics).
+
+    Attributes
+    ----------
+    name, labels:
+        Identity of the instrument within its registry.
+    bounds:
+        Sorted bucket upper bounds; an implicit ``+Inf`` bucket catches the
+        rest.
+    count, sum:
+        Number and total of all observations.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, str],
+        buckets: Iterable[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        if buckets is None:
+            buckets = DEFAULT_BUCKETS
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValidationError(f"histogram {name} needs at least one bucket bound")
+        self._bucket_counts = [0] * (len(self.bounds) + 1)  # trailing +Inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._bucket_counts[index] += 1
+                return
+        self._bucket_counts[-1] += 1
+
+    def cumulative_buckets(self) -> dict[str, int]:
+        """``{upper_bound: cumulative count}`` including the ``+Inf`` bucket."""
+        cumulative: dict[str, int] = {}
+        running = 0
+        for bound, count in zip(self.bounds, self._bucket_counts):
+            running += count
+            cumulative[repr(bound)] = running
+        cumulative["+Inf"] = running + self._bucket_counts[-1]
+        return cumulative
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 with no observations)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able view of the histogram."""
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "buckets": self.cumulative_buckets(),
+        }
+
+
+class MetricsRegistry:
+    """One process-local home for every instrument of a run.
+
+    Asking for the same ``(name, labels)`` pair twice returns the same
+    instrument; asking for an existing name with a different *kind* raises.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("jobs_total", status="ok").inc()
+    >>> registry.counter("jobs_total", status="ok").value
+    1.0
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, tuple], Any] = {}
+        self._kinds: dict[str, str] = {}
+
+    def _get(self, factory, kind: str, name: str, labels: Mapping[str, Any], **extra):
+        bound_kind = self._kinds.get(name)
+        if bound_kind is not None and bound_kind != kind:
+            raise ValidationError(
+                f"metric {name!r} is already registered as a {bound_kind}, "
+                f"cannot re-register as a {kind}"
+            )
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(name, {str(k): str(v) for k, v in labels.items()}, **extra)
+            self._instruments[key] = instrument
+            self._kinds[name] = kind
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create the :class:`Counter` for ``(name, labels)``."""
+        return self._get(Counter, "counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create the :class:`Gauge` for ``(name, labels)``."""
+        return self._get(Gauge, "gauge", name, labels)
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] | None = None, **labels: Any
+    ) -> Histogram:
+        """Get or create the :class:`Histogram` for ``(name, labels)``.
+
+        ``buckets`` only matters on first creation; later calls return the
+        existing instrument unchanged.
+        """
+        return self._get(Histogram, "histogram", name, labels, buckets=buckets)
+
+    def instruments(self) -> list[Any]:
+        """Every registered instrument, sorted by (name, labels)."""
+        return [self._instruments[key] for key in sorted(self._instruments)]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able dump grouped by instrument kind (``metrics.json``)."""
+        grouped: dict[str, list] = {"counters": [], "gauges": [], "histograms": []}
+        for instrument in self.instruments():
+            grouped[instrument.kind + "s"].append(instrument.as_dict())
+        return grouped
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every instrument.
+
+        Counters and gauges become one sample each; histograms expand into
+        cumulative ``_bucket`` samples plus ``_sum`` and ``_count``.
+        """
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for instrument in self.instruments():
+            if instrument.name not in seen_types:
+                lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+                seen_types.add(instrument.name)
+            if isinstance(instrument, Histogram):
+                for bound, count in instrument.cumulative_buckets().items():
+                    labels = {**instrument.labels, "le": bound}
+                    lines.append(
+                        f"{instrument.name}_bucket{_format_labels(labels)} {count}"
+                    )
+                lines.append(
+                    f"{instrument.name}_sum{_format_labels(instrument.labels)} "
+                    f"{_format_value(instrument.sum)}"
+                )
+                lines.append(
+                    f"{instrument.name}_count{_format_labels(instrument.labels)} "
+                    f"{instrument.count}"
+                )
+            else:
+                lines.append(
+                    f"{instrument.name}{_format_labels(instrument.labels)} "
+                    f"{_format_value(instrument.value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    """``{k="v",...}`` in sorted key order, or ``""`` with no labels."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value (integers without the trailing ``.0``)."""
+    if math.isfinite(value) and float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

@@ -1,0 +1,150 @@
+"""Pluggable event sinks: where trace events go once a span completes.
+
+The tracing core (:mod:`repro.obs.tracing`) is deliberately storage-agnostic:
+a :class:`~repro.obs.tracing.Tracer` hands every finished span to an
+:class:`EventSink`, and the sink decides what durability means.  Two sinks
+cover the repo's needs:
+
+* :class:`NDJSONFileSink` — one JSON object per line, flushed after every
+  event.  This is the production format (the CLI's ``--trace-out``, the
+  per-worker spool files of the streaming engine) because a SIGKILLed worker
+  loses at most the one line it was writing;
+* :class:`InMemorySink` — an in-process list, the default for tests and for
+  runs that only want the metrics registry.
+
+:func:`read_ndjson` is the matching reader: it tolerates the truncated final
+line a killed writer leaves behind, which is what makes trace *merging* safe
+(see :func:`repro.obs.tracing.merge_spool`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["EventSink", "InMemorySink", "NDJSONFileSink", "read_ndjson", "json_default"]
+
+
+def json_default(value: Any) -> Any:
+    """JSON fallback encoder for the numpy scalars telemetry tends to carry."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+@runtime_checkable
+class EventSink(Protocol):
+    """What the tracer needs from an event destination."""
+
+    def emit(self, event: dict[str, Any]) -> None:
+        """Record one JSON-able event (a finished span, a log record, ...)."""
+        ...  # pragma: no cover - protocol signature only
+
+    def close(self) -> None:
+        """Flush and release the sink; further :meth:`emit` calls are errors."""
+        ...  # pragma: no cover - protocol signature only
+
+
+class InMemorySink:
+    """Sink that keeps every event in a list — the default for tests.
+
+    Attributes
+    ----------
+    events:
+        The emitted events, in emission order.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+        self.closed = False
+
+    def emit(self, event: dict[str, Any]) -> None:
+        """Append ``event`` to :attr:`events`."""
+        if self.closed:
+            raise RuntimeError("sink is closed")
+        self.events.append(dict(event))
+
+    def close(self) -> None:
+        """Mark the sink closed (idempotent); events stay readable."""
+        self.closed = True
+
+    def spans(self) -> list[dict[str, Any]]:
+        """The subset of :attr:`events` that are span events."""
+        return [event for event in self.events if event.get("event") == "span"]
+
+
+class NDJSONFileSink:
+    """Sink that appends one JSON line per event to a file, flushing each.
+
+    Flushing per event is the crash-tolerance contract: a worker process
+    SIGKILLed at its deadline leaves a spool whose every complete line is a
+    valid event — only an in-flight line can be lost, and
+    :func:`read_ndjson` skips it.
+
+    Parameters
+    ----------
+    path:
+        File to write; parent directories are created, an existing file is
+        truncated.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self.n_events = 0
+
+    def emit(self, event: dict[str, Any]) -> None:
+        """Write ``event`` as one JSON line and flush it to disk."""
+        if self._handle is None:
+            raise RuntimeError(f"sink for {self.path} is closed")
+        self._handle.write(json.dumps(event, default=json_default) + "\n")
+        self._handle.flush()
+        self.n_events += 1
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_ndjson(path: str | Path, skip_malformed: bool = True) -> list[dict[str, Any]]:
+    """Read an NDJSON event file back into a list of dicts.
+
+    Parameters
+    ----------
+    path:
+        The file to read.  A missing file reads as an empty list — a worker
+        killed before its sink opened simply contributed no events.
+    skip_malformed:
+        When True (default) undecodable lines — typically the truncated final
+        line of a killed writer — are skipped instead of raising.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    events: list[dict[str, Any]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                if skip_malformed:
+                    continue
+                raise
+            if isinstance(event, dict):
+                events.append(event)
+    return events

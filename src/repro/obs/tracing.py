@@ -1,0 +1,442 @@
+"""Tracing spans with parent links, cross-process merge, and trace analysis.
+
+A :class:`Span` is one named, timed region of a run — a job's lifecycle, a
+worker's lifetime, one solver outer iteration.  Spans carry monotonic start
+times and durations (``time.monotonic()`` is comparable across processes on
+the same machine boot, which is what makes parent/worker merging exact), a
+wall-clock anchor for humans, free-form attributes, and a ``parent_id`` link
+that turns a flat NDJSON file back into a tree.
+
+The :class:`Tracer` is the factory and emitter: ``tracer.span(name)`` opens a
+span whose parent is the ambient current span (a :mod:`contextvars` variable,
+so ``with``-nested spans link up automatically), and every finished span is
+handed to the tracer's :class:`~repro.obs.sinks.EventSink` as one event.
+
+Cross-process collection works through *spool files*: a worker process writes
+its spans to a private NDJSON file (flushed per line), and the parent calls
+:func:`merge_spool` once the worker is done — or dead.  Spans whose parent
+never flushed (the worker was SIGKILLed mid-solve) are *adopted* by the
+parent-side job span instead of dangling, so a merged trace never contains
+orphans.
+
+:func:`read_trace`, :func:`validate_trace`, and :func:`wall_clock_breakdown`
+are the analysis faces used by the benchmarks and the CI smoke checks.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+import uuid
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import EventSink, InMemorySink, read_ndjson
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "OuterIterationSpans",
+    "activate",
+    "deactivate",
+    "activated",
+    "current_tracer",
+    "merge_spool",
+    "read_trace",
+    "validate_trace",
+    "wall_clock_breakdown",
+    "new_span_id",
+]
+
+#: Ambient current span — the default parent of newly started spans.
+_CURRENT_SPAN: ContextVar["Span | None"] = ContextVar("repro_obs_current_span", default=None)
+
+#: Process-wide active tracer (see :func:`activate` / :func:`current_tracer`).
+_ACTIVE_TRACER: ContextVar["Tracer | None"] = ContextVar("repro_obs_active_tracer", default=None)
+
+_UNSET = object()
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span/trace identifier."""
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One named, timed region of a run.
+
+    Spans are created started (via :meth:`Tracer.span`) and emitted to the
+    tracer's sink when ended.  Use them either as context managers — which
+    also makes them the ambient parent of spans opened inside — or hold them
+    open across an asynchronous lifetime and call :meth:`end` explicitly (the
+    streaming runner does this for per-job spans that stay open while the
+    job's worker runs).
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "status",
+        "start",
+        "wall",
+        "duration",
+        "_tracer",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: str | None,
+        tracer: "Tracer | None" = None,
+        attributes: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.status = "ok"
+        self.start = time.monotonic()
+        self.wall = time.time()
+        self.duration: float | None = None
+        self._tracer = tracer
+        self._token = None
+
+    @property
+    def ended(self) -> bool:
+        """True once :meth:`end` ran (the span was emitted to the sink)."""
+        return self.duration is not None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one attribute (JSON-able value) to the span."""
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes: Any) -> None:
+        """Attach several attributes at once."""
+        self.attributes.update(attributes)
+
+    def end(self, status: str | None = None) -> None:
+        """Close the span (idempotent) and emit it to the tracer's sink."""
+        if self.ended:
+            return
+        self.duration = time.monotonic() - self.start
+        if status is not None:
+            self.status = status
+        if self._tracer is not None:
+            self._tracer._emit(self)
+
+    def to_event(self) -> dict[str, Any]:
+        """The span as one JSON-able NDJSON event."""
+        return {
+            "event": "span",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "wall": self.wall,
+            "duration": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT_SPAN.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.set_attribute("error", f"{exc_type.__name__}: {exc}")
+            self.end(status="error")
+        else:
+            self.end()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id})"
+
+
+class Tracer:
+    """Factory and emitter for :class:`Span` objects plus a metrics registry.
+
+    Parameters
+    ----------
+    sink:
+        Destination of finished spans (default: a fresh
+        :class:`~repro.obs.sinks.InMemorySink`).
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` the instrumented
+        layers fold their counters into (a fresh one by default).
+    trace_id:
+        Identifier stamped on every span; workers reuse the parent's so a
+        merged trace is one logical timeline.
+
+    Examples
+    --------
+    >>> tracer = Tracer()
+    >>> with tracer.span("outer") as outer:
+    ...     with tracer.span("inner") as inner:
+    ...         pass
+    >>> inner.parent_id == outer.span_id
+    True
+    """
+
+    def __init__(
+        self,
+        sink: EventSink | None = None,
+        metrics: MetricsRegistry | None = None,
+        trace_id: str | None = None,
+    ) -> None:
+        self.sink = sink if sink is not None else InMemorySink()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace_id = trace_id or new_span_id()
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def span(self, name: str, parent: "Span | str | None" = _UNSET, **attributes: Any) -> Span:
+        """Start (and return) a new span.
+
+        ``parent`` defaults to the ambient current span; pass an explicit
+        :class:`Span`, a span id string, or ``None`` (a root span) to
+        override.  The span is emitted when ended — via ``with`` or an
+        explicit :meth:`Span.end`.
+        """
+        if parent is _UNSET:
+            ambient = _CURRENT_SPAN.get()
+            parent_id = ambient.span_id if ambient is not None else None
+        elif isinstance(parent, Span):
+            parent_id = parent.span_id
+        else:
+            parent_id = parent
+        return Span(name, self.trace_id, parent_id, tracer=self, attributes=attributes)
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        parent: "Span | str | None" = None,
+        wall: float | None = None,
+        status: str = "ok",
+        **attributes: Any,
+    ) -> dict[str, Any]:
+        """Emit an already-measured span (synthesized timings).
+
+        Used where the region was timed outside a context manager: queue
+        waits, worker spawn gaps reconstructed at merge time, per-outer-
+        iteration slices.  Returns the emitted event.
+        """
+        span = Span.__new__(Span)
+        span.name = name
+        span.trace_id = self.trace_id
+        span.span_id = new_span_id()
+        span.parent_id = parent.span_id if isinstance(parent, Span) else parent
+        span.attributes = dict(attributes)
+        span.status = status
+        span.start = float(start)
+        span.wall = time.time() if wall is None else float(wall)
+        span.duration = max(float(duration), 0.0)
+        span._tracer = None
+        span._token = None
+        event = span.to_event()
+        self.sink.emit(event)
+        return event
+
+    def _emit(self, span: Span) -> None:
+        """Hand one finished span to the sink."""
+        self.sink.emit(span.to_event())
+
+    def current_span(self) -> Span | None:
+        """The ambient current span (``None`` outside any ``with span:``)."""
+        return _CURRENT_SPAN.get()
+
+    @contextlib.contextmanager
+    def use_parent(self, span: Span | None) -> Iterator[None]:
+        """Make ``span`` the ambient parent for the duration of the block.
+
+        Unlike entering the span itself, this neither re-starts nor ends it —
+        it only redirects where newly opened spans attach.  The runner uses
+        it to parent inline solver spans under a long-lived job span.
+        """
+        token = _CURRENT_SPAN.set(span)
+        try:
+            yield
+        finally:
+            _CURRENT_SPAN.reset(token)
+
+    def close(self) -> None:
+        """Close the sink (idempotent)."""
+        self.sink.close()
+
+
+class OuterIterationSpans:
+    """Zero-arg solver hook that emits one ``outer_iter`` span per call.
+
+    The solver backends invoke their ``deadline_hooks`` once per outer
+    iteration; this hook turns those invocations into spans by slicing the
+    time between consecutive calls.  Attach it where the solve runs (the
+    worker process or the inline path) and each outer iteration of
+    LEAST/SparseLEAST/NOTEARS becomes a timed child of the ``solve`` span.
+    """
+
+    def __init__(self, tracer: Tracer, parent: Span | None = None) -> None:
+        self._tracer = tracer
+        self._parent = parent if parent is not None else tracer.current_span()
+        self._last = time.monotonic()
+        self._last_wall = time.time()
+        self.n_calls = 0
+
+    def __call__(self) -> None:
+        """Close the current outer-iteration slice as an ``outer_iter`` span."""
+        now = time.monotonic()
+        self._tracer.record_span(
+            "outer_iter",
+            start=self._last,
+            duration=now - self._last,
+            parent=self._parent,
+            wall=self._last_wall,
+            index=self.n_calls,
+        )
+        self._last = now
+        self._last_wall = time.time()
+        self.n_calls += 1
+
+
+# -- active tracer ------------------------------------------------------------
+
+
+def activate(tracer: Tracer) -> None:
+    """Make ``tracer`` the process-wide active tracer.
+
+    Instrumented code that cannot be handed a tracer explicitly (e.g.
+    :func:`repro.serve.job.execute_job` deep inside a worker) picks it up via
+    :func:`current_tracer`.
+    """
+    _ACTIVE_TRACER.set(tracer)
+
+
+def deactivate() -> None:
+    """Clear the active tracer."""
+    _ACTIVE_TRACER.set(None)
+
+
+def current_tracer() -> Tracer | None:
+    """The active tracer, or ``None`` when tracing is off."""
+    return _ACTIVE_TRACER.get()
+
+
+@contextlib.contextmanager
+def activated(tracer: Tracer) -> Iterator[Tracer]:
+    """Context manager form of :func:`activate` / :func:`deactivate`."""
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER.reset(token)
+
+
+# -- cross-process merge and analysis -----------------------------------------
+
+
+def merge_spool(
+    tracer: Tracer,
+    spool_path: str | Path,
+    adopt_parent: Span | str | None = None,
+) -> list[dict[str, Any]]:
+    """Fold a worker's spool file into the parent trace, adopting orphans.
+
+    Every complete span event of the spool is re-emitted into ``tracer``'s
+    sink.  Spans whose ``parent_id`` is neither in the spool nor the
+    designated ``adopt_parent`` — the children of spans the worker never got
+    to flush before dying — are re-parented onto ``adopt_parent`` and marked
+    with an ``adopted`` attribute, so a merged trace never contains orphans.
+
+    Parameters
+    ----------
+    tracer:
+        The parent-side tracer receiving the events.
+    spool_path:
+        The worker's NDJSON spool (missing file = no events, not an error).
+    adopt_parent:
+        The parent-side span (typically the job span) that worker-root spans
+        point at and that orphaned spans are adopted by.
+
+    Returns
+    -------
+    list of dict
+        The merged span events (after adoption rewrites).
+    """
+    adopt_id = adopt_parent.span_id if isinstance(adopt_parent, Span) else adopt_parent
+    events = [
+        event
+        for event in read_ndjson(spool_path)
+        if event.get("event") == "span" and event.get("span_id")
+    ]
+    known = {event["span_id"] for event in events}
+    if adopt_id is not None:
+        known.add(adopt_id)
+    for event in events:
+        parent_id = event.get("parent_id")
+        if parent_id is None or parent_id not in known:
+            event["parent_id"] = adopt_id
+            if parent_id is not None:
+                event.setdefault("attributes", {})["adopted"] = True
+        tracer.sink.emit(event)
+    return events
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Read the span events of an NDJSON trace file (other events skipped)."""
+    return [
+        event
+        for event in read_ndjson(path)
+        if event.get("event") == "span" and event.get("span_id")
+    ]
+
+
+def validate_trace(spans: list[dict[str, Any]]) -> dict[str, Any]:
+    """Structural health report of a span list.
+
+    Returns a dict with ``n_spans``, ``n_roots`` (spans with no parent),
+    ``n_orphans`` and ``orphans`` (span ids whose ``parent_id`` references a
+    span absent from the list), and ``names`` (distinct span names).  A
+    well-merged trace has ``n_orphans == 0``.
+    """
+    ids = {span["span_id"] for span in spans}
+    orphans = [
+        span["span_id"]
+        for span in spans
+        if span.get("parent_id") is not None and span["parent_id"] not in ids
+    ]
+    return {
+        "n_spans": len(spans),
+        "n_roots": sum(1 for span in spans if span.get("parent_id") is None),
+        "n_orphans": len(orphans),
+        "orphans": orphans,
+        "names": sorted({span.get("name", "") for span in spans}),
+    }
+
+
+def wall_clock_breakdown(spans: list[dict[str, Any]]) -> dict[str, float]:
+    """Total seconds spent per span name across a trace.
+
+    This is the number the serving benchmark pins: summing ``worker_spawn``
+    vs ``solve`` vs ``queue_wait`` durations turns "startup dominates" from a
+    hypothesis into a measurement.  Spans with no recorded duration (killed
+    before ending) contribute 0.
+    """
+    totals: dict[str, float] = {}
+    for span in spans:
+        name = span.get("name", "")
+        duration = span.get("duration")
+        totals[name] = totals.get(name, 0.0) + float(duration or 0.0)
+    return totals

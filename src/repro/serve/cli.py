@@ -32,6 +32,13 @@ job is reported ``"preempted"`` (``--preempt-policy requeue`` grants killed
 jobs a fresh attempt first).  Exit status is 0 when every job succeeded, 1
 when any failed, was preempted, or timed out, 2 for a malformed manifest.
 
+Observability (both faces): ``--trace-out trace.ndjson`` records the run's
+spans — per-job ``queue_wait → worker_spawn → data_materialize → solve →
+cache_store`` trees, merged across worker processes — and ``--metrics-out
+metrics.json`` dumps the metrics registry on exit (``--metrics-format
+prometheus`` switches to the text exposition).  See ``docs/observability.md``
+for the span model and schema.
+
 The ``shard`` subcommand instead solves **one large problem** by block
 partition: it loads a sample matrix (``.npy``, or ``.csv``/``.txt`` with
 comma-separated rows), plans blocks from the correlation skeleton
@@ -130,7 +137,71 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the human-readable summary"
     )
+    _add_obs_arguments(parser)
     return parser
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared observability flags (tracing + metrics export)."""
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help=(
+            "write the run's spans here as NDJSON (one event per line; "
+            "see docs/observability.md for the schema)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the run's metrics registry here on exit",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="format of --metrics-out: json dump or Prometheus text exposition",
+    )
+
+
+def _build_tracer(args: argparse.Namespace):
+    """The run's :class:`~repro.obs.Tracer`, or ``None`` with tracing off.
+
+    ``--trace-out`` spools spans to NDJSON as they finish; ``--metrics-out``
+    alone still needs a tracer (the instrumented layers fold counters into
+    its registry) but keeps the spans in memory.
+    """
+    if not (args.trace_out or args.metrics_out):
+        return None
+    from repro.obs import InMemorySink, NDJSONFileSink, Tracer
+
+    sink = NDJSONFileSink(args.trace_out) if args.trace_out else InMemorySink()
+    return Tracer(sink=sink)
+
+
+def _write_obs_outputs(tracer, args: argparse.Namespace) -> None:
+    """Close the tracer and write ``--metrics-out`` (no-op without a tracer)."""
+    if tracer is None:
+        return
+    tracer.close()
+    if args.metrics_out:
+        if args.metrics_format == "prometheus":
+            payload = tracer.metrics.to_prometheus()
+        else:
+            payload = (
+                json.dumps(tracer.metrics.as_dict(), indent=2, sort_keys=True) + "\n"
+            )
+        Path(args.metrics_out).write_text(payload)
+
+
+def _cache_summary_line(stats: dict) -> str:
+    """The human cache digest printed under the final summary."""
+    return (
+        f"cache: {stats.get('hits', 0):.0f} hits, "
+        f"{stats.get('misses', 0):.0f} misses "
+        f"(hit rate {stats.get('hit_rate', 0.0):.1%}), "
+        f"{stats.get('evictions', 0):.0f} evictions"
+    )
 
 
 def load_manifest(source: str) -> list[LearningJob]:
@@ -264,6 +335,7 @@ def build_shard_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the human-readable summary"
     )
+    _add_obs_arguments(parser)
     return parser
 
 
@@ -311,6 +383,7 @@ def shard_main(argv: Sequence[str] | None = None) -> int:
             halo_depth=args.halo_depth,
             max_halo_size=args.max_halo_size,
         )
+        tracer = _build_tracer(args)
         executor = ShardExecutor(
             solver=args.solver,
             config=config,
@@ -319,8 +392,9 @@ def shard_main(argv: Sequence[str] | None = None) -> int:
             preempt_policy=args.preempt_policy,
             max_retries=args.max_retries,
             edge_threshold=args.edge_threshold,
+            tracer=tracer,
         )
-        plan = planner.plan(data)
+        plan = planner.plan(data, tracer=tracer)
     except (ValidationError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -330,6 +404,8 @@ def shard_main(argv: Sequence[str] | None = None) -> int:
     except ValidationError as exc:  # e.g. an unknown --solver name
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        _write_obs_outputs(tracer, args)
 
     serialized = json.dumps(result.report(), indent=2, sort_keys=True)
     if args.output:
@@ -404,11 +480,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             timeout=args.timeout,
             max_retries=args.max_retries,
             preempt_policy=args.preempt_policy,
+            tracer=_build_tracer(args),
         )
     except (ValidationError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    report = runner.run(jobs, on_result=_emit_ndjson if args.stream else None)
+    try:
+        report = runner.run(jobs, on_result=_emit_ndjson if args.stream else None)
+    finally:
+        _write_obs_outputs(runner.tracer, args)
 
     if args.output or not args.stream:
         payload = {
@@ -433,6 +513,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"({summary['n_workers']} workers)",
             file=sys.stderr,
         )
+        if cache is not None:
+            print(_cache_summary_line(summary["cache_stats"]), file=sys.stderr)
 
     return 0 if report.n_failed + report.n_timeout == 0 else 1
 

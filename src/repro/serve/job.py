@@ -347,13 +347,38 @@ def execute_job(
     ``data`` short-circuits :meth:`LearningJob.resolve_data` when the caller
     (the runner) already materialized the sample matrix.  Solver and dataset
     exceptions propagate to the caller, which owns retry/timeout policy.
+
+    When a tracer is active (:func:`repro.obs.current_tracer`), the solve is
+    wrapped in a ``solve`` span and the backend's per-outer-iteration hooks
+    emit one ``outer_iter`` child span per iteration, so solver-internal time
+    decomposes in the merged trace.
     """
+    from repro.obs import OuterIterationSpans, current_tracer
+
     if data is None:
         data = job.resolve_data()
     backend = job.build_backend()
+    tracer = current_tracer()
     timer = Timer()
-    with timer:
-        result = backend.fit(data, init_weights=job.init_weights, rng=job.seed)
+    if tracer is None:
+        with timer:
+            result = backend.fit(data, init_weights=job.init_weights, rng=job.seed)
+    else:
+        with tracer.span(
+            "solve", job_id=job.job_id or job.describe(), solver=job.solver
+        ) as span:
+            hook = OuterIterationSpans(tracer, parent=span)
+            with timer:
+                result = backend.fit(
+                    data,
+                    init_weights=job.init_weights,
+                    deadline_hooks=[hook],
+                    rng=job.seed,
+                )
+            span.set_attributes(
+                n_outer_iterations=int(result.n_outer_iterations),
+                converged=bool(result.converged),
+            )
     return JobResult(
         job_id=job.job_id or job.describe(),
         solver=job.solver,

@@ -162,6 +162,10 @@ class BatchRunner:
         worker was killed at the deadline.
     preempt_retries:
         Fresh attempts granted under the ``"requeue"`` policy.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` forwarded to the engine — per-job
+        lifecycle spans plus preemption/cache counters (see
+        :class:`~repro.serve.streaming.StreamingRunner`).
     """
 
     def __init__(
@@ -172,6 +176,7 @@ class BatchRunner:
         max_retries: int = 0,
         preempt_policy: str = "fail",
         preempt_retries: int = 1,
+        tracer=None,
     ) -> None:
         self._engine = StreamingRunner(
             n_workers=n_workers,
@@ -180,7 +185,13 @@ class BatchRunner:
             max_retries=max_retries,
             preempt_policy=preempt_policy,
             preempt_retries=preempt_retries,
+            tracer=tracer,
         )
+
+    @property
+    def tracer(self):
+        """The attached :class:`~repro.obs.Tracer` (``None`` = tracing off)."""
+        return self._engine.tracer
 
     @property
     def n_workers(self) -> int:

@@ -24,6 +24,7 @@ benchmark (``benchmarks/bench_serve_throughput.py``) can read them directly.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, fields, is_dataclass, replace
 from typing import Any, Sequence
 
@@ -203,6 +204,12 @@ class RelearnScheduler:
         are near-dense, so stitching unthresholded blocks would be slow and
         its conflict telemetry meaningless; keep this at (or below) the
         threshold the consumer prunes with anyway.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  Each :meth:`step` then runs
+        inside a ``window`` span (attributes: window index, solver,
+        vocabulary size, warm/cold, sharded, preempted, converged), sharded
+        windows nest their plan/block/stitch spans underneath it, and
+        warm/cold/preemption counters land in ``tracer.metrics``.
     """
 
     def __init__(
@@ -222,6 +229,7 @@ class RelearnScheduler:
         solver: str = "least",
         sparse_config: SparseLEASTConfig | None = None,
         sparse_vocabulary_threshold: int | None = None,
+        tracer=None,
     ) -> None:
         check_unit_interval(damping, "damping")
         check_non_negative(init_threshold, "init_threshold")
@@ -260,6 +268,7 @@ class RelearnScheduler:
         self.shard_planner = shard_planner
         self.shard_n_workers = int(shard_n_workers)
         self.shard_edge_threshold = float(shard_edge_threshold)
+        self.tracer = tracer
         self.state: WarmStartState | None = None
         self.history: list[WindowStats] = []
         self.last_shard_result = None
@@ -342,27 +351,80 @@ class RelearnScheduler:
         preempted = False
         n_blocks = 0
         n_blocks_unsolved = 0
-        if sharded:
-            with timer:
-                result, preempted, n_blocks, n_blocks_unsolved = self._step_sharded(
-                    data, names, seed, solver_name
+        with contextlib.ExitStack() as stack:
+            window_span = None
+            if self.tracer is not None:
+                # The window span is the ambient parent while the solve runs,
+                # so a sharded window's plan/block/stitch spans nest under it.
+                window_span = stack.enter_context(
+                    self.tracer.span(
+                        "window",
+                        window_index=len(self.history),
+                        solver=solver_name,
+                        n_nodes=len(names),
+                    )
                 )
-        else:
-            backend = make_solver(solver_name, config=config)
-            with timer:
-                try:
-                    result = call_with_deadline(
-                        backend.fit,
-                        data,
-                        deadline=self.window_deadline,
-                        init_weights=init,
-                        rng=seed,
+            if sharded:
+                with timer:
+                    result, preempted, n_blocks, n_blocks_unsolved = (
+                        self._step_sharded(data, names, seed, solver_name)
                     )
-                except PreemptedError:
-                    preempted = True
-                    result = self._degraded_result(
-                        solver_name, len(names), spec.sparse, init=init
+            else:
+                backend = make_solver(solver_name, config=config)
+                fit_kwargs: dict = {}
+                solve_span = None
+                if self.tracer is not None:
+                    solve_span = stack.enter_context(
+                        self.tracer.span("solve", solver=solver_name)
                     )
+                    if self.window_deadline is None:
+                        # Inline solve only: with a deadline the fit runs in a
+                        # disposable worker and the hook's spans could not
+                        # reach this process's sink.
+                        from repro.obs import OuterIterationSpans
+
+                        fit_kwargs["deadline_hooks"] = [
+                            OuterIterationSpans(self.tracer, parent=solve_span)
+                        ]
+                with timer:
+                    try:
+                        result = call_with_deadline(
+                            backend.fit,
+                            data,
+                            deadline=self.window_deadline,
+                            init_weights=init,
+                            rng=seed,
+                            **fit_kwargs,
+                        )
+                    except PreemptedError:
+                        preempted = True
+                        result = self._degraded_result(
+                            solver_name, len(names), spec.sparse, init=init
+                        )
+                if solve_span is not None:
+                    solve_span.set_attributes(
+                        n_outer_iterations=int(result.n_outer_iterations),
+                        converged=bool(result.converged),
+                    )
+                    if preempted:
+                        solve_span.status = "preempted"
+            if window_span is not None:
+                window_span.set_attributes(
+                    warm_started=init is not None,
+                    sharded=sharded,
+                    preempted=preempted,
+                    converged=bool(result.converged),
+                )
+                if preempted:
+                    window_span.status = "preempted"
+        if self.tracer is not None:
+            self.tracer.metrics.counter(
+                "relearn_windows_total", mode="warm" if init is not None else "cold"
+            ).inc()
+            if preempted:
+                self.tracer.metrics.counter(
+                    "relearn_window_preemptions_total"
+                ).inc()
 
         if not preempted:
             # A preempted window leaves the carried state and ρ untouched so
@@ -488,7 +550,11 @@ class RelearnScheduler:
 
         spec = get_spec(solver_name)
         planner = self.shard_planner or ShardPlanner()
-        plan = planner.plan(data)
+        plan = (
+            planner.plan(data, tracer=self.tracer)
+            if self.tracer is not None
+            else planner.plan(data)
+        )
         base_config = self._config_for(solver_name)
         config_dict = config_overrides(base_config) if is_dataclass(base_config) else {}
         if solver_name == "least_sparse" and self.sparse_config is None:
@@ -508,6 +574,7 @@ class RelearnScheduler:
             n_workers=self.shard_n_workers,
             timeout=block_deadline,
             edge_threshold=self.shard_edge_threshold,
+            tracer=self.tracer,
         )
         if seed is None or isinstance(seed, (int, np.integer)):
             base_seed = None if seed is None else int(seed)

@@ -48,7 +48,9 @@ import copy
 import multiprocessing as mp
 import os
 import pickle
+import shutil
 import signal
+import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -58,6 +60,7 @@ import numpy as np
 
 import repro.core.backend as backend_module
 from repro.exceptions import ValidationError
+from repro.obs import NDJSONFileSink, Span, Tracer, activated, merge_spool
 from repro.serve.cache import ResultCache, job_fingerprint
 from repro.serve.job import JobResult, LearningJob, execute_job
 
@@ -161,6 +164,20 @@ def _execute_with_retry(
     )
 
 
+@dataclass
+class _TraceSpec:
+    """Tracing instructions shipped to a worker (picklable for spawn workers).
+
+    The worker opens an :class:`~repro.obs.NDJSONFileSink` on ``spool_path``
+    and parents its root ``worker`` span onto the parent-side job span, so
+    the merged trace (:func:`repro.obs.merge_spool`) reads as one tree.
+    """
+
+    spool_path: str
+    trace_id: str
+    parent_span_id: str | None
+
+
 def _job_worker(
     conn,
     deadline: float | None,
@@ -170,6 +187,7 @@ def _job_worker(
     max_retries: int,
     base_attempts: int,
     solver_registry: dict,
+    trace_spec: _TraceSpec | None = None,
 ) -> None:
     """Worker entry point: execute one job and send its result over ``conn``.
 
@@ -177,10 +195,31 @@ def _job_worker(
     :func:`~repro.serve.job.register_solver` /
     :func:`repro.core.backend.register_backend` calls for
     ``spawn``/``forkserver`` workers (``fork`` workers inherit it anyway).
+
+    With a ``trace_spec`` the worker spools its spans (a root ``worker`` span
+    wrapping the ``solve``/``outer_iter`` spans of :func:`execute_job`) to
+    NDJSON, flushed per line — a SIGKILL loses at most one in-flight line.
+    The spool is closed *before* the result is sent so the parent never
+    merges a half-written file for a job it already counted finished.
     """
     _arm_suicide_timer(deadline)
     backend_module.restore_registry(solver_registry)
-    result = _execute_with_retry(job, data, fingerprint, max_retries, base_attempts)
+    if trace_spec is None:
+        result = _execute_with_retry(job, data, fingerprint, max_retries, base_attempts)
+    else:
+        tracer = Tracer(
+            NDJSONFileSink(trace_spec.spool_path), trace_id=trace_spec.trace_id
+        )
+        try:
+            with activated(tracer):
+                with tracer.span(
+                    "worker", parent=trace_spec.parent_span_id, pid=os.getpid()
+                ):
+                    result = _execute_with_retry(
+                        job, data, fingerprint, max_retries, base_attempts
+                    )
+        finally:
+            tracer.close()
     try:
         conn.send(result)
     finally:
@@ -374,6 +413,8 @@ class _PendingItem:
     fingerprint: str | None = None
     base_attempts: int = 0
     preempt_attempts: int = 0
+    enqueued_at: float = 0.0
+    span: Span | None = None
 
 
 @dataclass
@@ -384,6 +425,8 @@ class _ActiveWorker:
     process: mp.process.BaseProcess
     conn: Any
     deadline_at: float | None
+    launch_at: float = 0.0
+    spool_path: str | None = None
 
 
 class StreamingRunner:
@@ -415,6 +458,14 @@ class StreamingRunner:
     preempt_retries:
         Fresh attempts granted to a preempted job under the ``"requeue"``
         policy.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  When set, every job gets a
+        lifecycle span tree (``queue_wait`` → ``worker_spawn`` →
+        ``data_materialize`` → ``solve``/``outer_iter`` → ``cache_store``),
+        worker-side spans are spooled to NDJSON and merged into the parent
+        trace (orphans adopted if the worker died mid-flush), and
+        preemption/requeue/cache counters are folded into
+        ``tracer.metrics``.
 
     Examples
     --------
@@ -435,6 +486,7 @@ class StreamingRunner:
         max_retries: int = 0,
         preempt_policy: str = "fail",
         preempt_retries: int = 1,
+        tracer: Tracer | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
@@ -457,8 +509,10 @@ class StreamingRunner:
         self.max_retries = int(max_retries)
         self.preempt_policy = preempt_policy
         self.preempt_retries = int(preempt_retries)
+        self.tracer = tracer
         self.telemetry = StreamTelemetry()
         self.solver_seconds_saved = 0.0
+        self._spool_dir: str | None = None
 
     # -- public API ------------------------------------------------------------
 
@@ -517,25 +571,49 @@ class StreamingRunner:
         self.solver_seconds_saved = 0.0
         started = time.monotonic()
         pending: deque[_PendingItem] = deque(
-            _PendingItem(index=index, job=job) for index, job in enumerate(jobs)
+            _PendingItem(index=index, job=job, enqueued_at=started)
+            for index, job in enumerate(jobs)
         )
         active: list[_ActiveWorker] = []
         inline = self.n_workers == 1 and self.timeout is None
+        self._spool_dir = (
+            tempfile.mkdtemp(prefix="repro-trace-")
+            if self.tracer is not None and not inline
+            else None
+        )
 
-        def _finish(index: int, result: JobResult) -> tuple[int, JobResult]:
+        def _finish(item: _PendingItem, result: JobResult) -> tuple[int, JobResult]:
             now = time.monotonic() - started
             if self.telemetry.time_to_first_result is None:
                 self.telemetry.time_to_first_result = now
             self.telemetry.total_seconds = now
             self.telemetry.n_yielded += 1
-            if (
+            store = (
                 self.cache is not None
                 and result.status == "ok"
                 and not result.cache_hit  # hits must not overwrite the entry
                 and result.fingerprint is not None
-            ):
+            )
+            if store and self.tracer is not None and item.span is not None:
+                with self.tracer.span("cache_store", parent=item.span):
+                    self.cache.put(result.fingerprint, result)
+            elif store:
                 self.cache.put(result.fingerprint, result)
-            return index, result
+            if self.tracer is not None:
+                self.tracer.metrics.counter(
+                    "serve_jobs_total", status=result.status
+                ).inc()
+                if item.span is not None:
+                    item.span.set_attributes(
+                        attempts=result.attempts, cache_hit=result.cache_hit
+                    )
+                    item.span.end(
+                        "ok" if result.status == "ok" else result.status
+                    )
+                    self.tracer.metrics.histogram("serve_job_seconds").observe(
+                        item.span.duration
+                    )
+            return item.index, result
 
         try:
             while pending or active:
@@ -543,12 +621,13 @@ class StreamingRunner:
                 # failures, cache hits, inline execution) yield right away.
                 while pending and len(active) < self.n_workers:
                     item = pending.popleft()
+                    self._start_job_trace(item)
                     immediate = self._prepare(item)
                     if immediate is not None:
-                        yield _finish(item.index, immediate)
+                        yield _finish(item, immediate)
                         continue
                     if inline:
-                        yield _finish(item.index, self._run_inline(item))
+                        yield _finish(item, self._run_inline(item))
                         continue
                     active.append(self._launch(item))
 
@@ -562,9 +641,10 @@ class StreamingRunner:
                     if outcome is None and requeue is None:
                         still_active.append(worker)
                     elif requeue is not None:
+                        requeue.enqueued_at = time.monotonic()
                         pending.append(requeue)
                     else:
-                        yield _finish(worker.item.index, outcome)
+                        yield _finish(worker.item, outcome)
                 active = still_active
         finally:
             for worker in active:  # only on generator abandonment / error
@@ -572,13 +652,81 @@ class StreamingRunner:
                 # of the kill telemetry.
                 _terminate(worker.process)
                 worker.conn.close()
+                self._merge_worker_trace(worker)
+            if self._spool_dir is not None:
+                shutil.rmtree(self._spool_dir, ignore_errors=True)
+                self._spool_dir = None
             self.telemetry.total_seconds = time.monotonic() - started
+
+    def _start_job_trace(self, item: _PendingItem) -> None:
+        """Open (or reuse, after a requeue) the job span and record the wait.
+
+        The job span is backdated to the enqueue time of the *first* attempt
+        so its duration covers the whole lifecycle; each attempt contributes
+        its own ``queue_wait`` child span and histogram sample.
+        """
+        if self.tracer is None:
+            return
+        now = time.monotonic()
+        if item.span is None:
+            item.span = self.tracer.span(
+                "job", job_id=item.job.job_id, solver=item.job.solver
+            )
+            item.span.start = item.enqueued_at
+        waited = max(now - item.enqueued_at, 0.0)
+        self.tracer.record_span(
+            "queue_wait",
+            start=item.enqueued_at,
+            duration=waited,
+            parent=item.span,
+            attempt=item.preempt_attempts,
+        )
+        self.tracer.metrics.histogram("serve_queue_wait_seconds").observe(waited)
+
+    def _merge_worker_trace(self, worker: _ActiveWorker) -> None:
+        """Fold a finished (or dead) worker's span spool into the parent trace.
+
+        Also synthesizes the ``worker_spawn`` span — the gap between the
+        parent's ``process.start()`` and the first monotonic timestamp the
+        worker recorded — which is the number the ROADMAP's "startup
+        dominates throughput" hypothesis needs pinned.  Workers killed before
+        flushing anything simply contribute no spans; partially flushed
+        spools have their parentless spans adopted by the job span.
+        """
+        if self.tracer is None or worker.spool_path is None:
+            return
+        item = worker.item
+        events = merge_spool(self.tracer, worker.spool_path, adopt_parent=item.span)
+        root = next(
+            (event for event in events if event.get("name") == "worker"), None
+        )
+        if root is not None and worker.launch_at:
+            self.tracer.record_span(
+                "worker_spawn",
+                start=worker.launch_at,
+                duration=float(root["start"]) - worker.launch_at,
+                parent=item.span,
+                pid=worker.process.pid,
+            )
+        try:
+            os.unlink(worker.spool_path)
+        except OSError:  # pragma: no cover - already gone
+            pass
+        worker.spool_path = None
 
     def _prepare(self, item: _PendingItem) -> JobResult | None:
         """Materialize data and consult the cache; a result short-circuits."""
         job = item.job
         if item.data is None:  # a requeued item keeps its materialized data
+            span = (
+                self.tracer.span("data_materialize", parent=item.span)
+                if self.tracer is not None
+                else None
+            )
             data, error, used_attempts = self._materialize(job)
+            if span is not None:
+                span.set_attribute("attempts", used_attempts)
+                span.end("ok" if data is not None else "error")
             if data is None:
                 return JobResult(
                     job_id=job.job_id,
@@ -594,6 +742,8 @@ class StreamingRunner:
                 cached = self.cache.get(item.fingerprint)
                 if cached is not None and cached.status == "ok":
                     self.solver_seconds_saved += cached.elapsed_seconds
+                    if self.tracer is not None:
+                        self.tracer.metrics.counter("serve_cache_hits_total").inc()
                     return cached.as_cache_hit(job_id=job.job_id)
         return None
 
@@ -609,9 +759,24 @@ class StreamingRunner:
 
     def _run_inline(self, item: _PendingItem) -> JobResult:
         """Execute one job in the parent process (serial, no-deadline path)."""
-        return _execute_with_retry(
-            item.job, item.data, item.fingerprint, self.max_retries, item.base_attempts
-        )
+        if self.tracer is None:
+            return _execute_with_retry(
+                item.job,
+                item.data,
+                item.fingerprint,
+                self.max_retries,
+                item.base_attempts,
+            )
+        # No subprocess means no spool: the solve spans of execute_job land
+        # directly in the parent sink, parented under the job span.
+        with activated(self.tracer), self.tracer.use_parent(item.span):
+            return _execute_with_retry(
+                item.job,
+                item.data,
+                item.fingerprint,
+                self.max_retries,
+                item.base_attempts,
+            )
 
     def _launch(self, item: _PendingItem) -> _ActiveWorker:
         """Start a dedicated worker process for one job."""
@@ -623,6 +788,18 @@ class StreamingRunner:
             # don't ship a second copy inside the job spec.
             job = copy.copy(job)
             job.data = None
+        trace_spec = None
+        spool_path: str | None = None
+        if self.tracer is not None and self._spool_dir is not None:
+            spool_path = os.path.join(
+                self._spool_dir,
+                f"job-{item.index:03d}-a{item.preempt_attempts}.ndjson",
+            )
+            trace_spec = _TraceSpec(
+                spool_path=spool_path,
+                trace_id=self.tracer.trace_id,
+                parent_span_id=item.span.span_id if item.span is not None else None,
+            )
         process = context.Process(
             target=_job_worker,
             args=(
@@ -634,16 +811,23 @@ class StreamingRunner:
                 self.max_retries,
                 item.base_attempts,
                 backend_module.registry_snapshot(),
+                trace_spec,
             ),
             daemon=True,
         )
+        launch_at = time.monotonic()
         process.start()
         child_conn.close()
         deadline_at = (
             time.monotonic() + self.timeout if self.timeout is not None else None
         )
         return _ActiveWorker(
-            item=item, process=process, conn=parent_conn, deadline_at=deadline_at
+            item=item,
+            process=process,
+            conn=parent_conn,
+            deadline_at=deadline_at,
+            launch_at=launch_at,
+            spool_path=spool_path,
         )
 
     def _wait(self, active: list[_ActiveWorker]) -> None:
@@ -681,6 +865,7 @@ class StreamingRunner:
                 return self._dead_worker_outcome(worker, mid_send=True)
             worker.process.join(timeout=5.0)
             worker.conn.close()
+            self._merge_worker_trace(worker)
             # Attempts killed on earlier requeued workers are invisible to
             # this worker; fold them in so success and final-preemption paths
             # account alike.
@@ -692,6 +877,7 @@ class StreamingRunner:
         if worker.deadline_at is not None and now >= worker.deadline_at:
             self._record_kill(worker)
             worker.conn.close()
+            self._merge_worker_trace(worker)
             return self._preempted_outcome(
                 item, f"job exceeded the {self.timeout:.3f}s deadline and was killed"
             )
@@ -702,6 +888,10 @@ class StreamingRunner:
         pid = worker.process.pid
         _terminate(worker.process)
         self.telemetry.n_killed += 1
+        if self.tracer is not None:
+            self.tracer.metrics.counter(
+                "serve_preemptions_total", kind="parent_kill"
+            ).inc()
         if pid is not None:
             self.telemetry.killed_pids.append(pid)
 
@@ -711,6 +901,7 @@ class StreamingRunner:
         """Classify a worker that died without delivering a result."""
         item = worker.item
         worker.conn.close()
+        self._merge_worker_trace(worker)
         exitcode = worker.process.exitcode
         # Parent deadline kills are recorded at the kill site, so only the
         # worker's own suicide timer reaches this classifier as a preemption;
@@ -718,6 +909,10 @@ class StreamingRunner:
         # — requeueing it would just repeat the damage.
         if self.timeout is not None and _suicide_exit(exitcode):
             self.telemetry.n_suicide_exits += 1
+            if self.tracer is not None:
+                self.tracer.metrics.counter(
+                    "serve_preemptions_total", kind="suicide"
+                ).inc()
             reason = (
                 f"worker killed itself at the {self.timeout:.3f}s deadline "
                 f"(exit code {exitcode})"
@@ -746,6 +941,8 @@ class StreamingRunner:
             and item.preempt_attempts <= self.preempt_retries
         ):
             self.telemetry.n_requeued += 1
+            if self.tracer is not None:
+                self.tracer.metrics.counter("serve_requeues_total").inc()
             return None, item
         return (
             JobResult(

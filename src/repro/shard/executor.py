@@ -18,7 +18,7 @@ instead of poisoning the whole solve.
 
 from __future__ import annotations
 
-import time
+import contextlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -33,6 +33,7 @@ from repro.serve.job import JobResult, LearningJob
 from repro.serve.streaming import StreamingRunner
 from repro.shard.planner import ShardBlock, ShardPlan, ShardPlanner
 from repro.shard.stitcher import StitchedGraph, Stitcher
+from repro.utils.timer import Timer
 from repro.utils.validation import check_non_negative, ensure_2d
 
 __all__ = ["ShardResult", "ShardExecutor", "solve_sharded"]
@@ -164,6 +165,11 @@ class ShardExecutor:
     stitcher:
         The :class:`~repro.shard.stitcher.Stitcher` to merge with (a default
         one is built when omitted).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  :meth:`run` then executes
+        inside a ``shard_solve`` span — block job spans (from the streaming
+        engine) and the ``stitch`` span nest under it — and per-status block
+        counters land in ``tracer.metrics``.
     """
 
     def __init__(
@@ -178,6 +184,7 @@ class ShardExecutor:
         cache: ResultCache | None = None,
         edge_threshold: float = 0.0,
         stitcher: Stitcher | None = None,
+        tracer=None,
     ) -> None:
         check_non_negative(edge_threshold, "edge_threshold")
         self.solver = solver
@@ -196,6 +203,7 @@ class ShardExecutor:
         self.cache = cache
         self.edge_threshold = edge_threshold
         self.stitcher = stitcher or Stitcher()
+        self.tracer = tracer
 
     # -- public API ------------------------------------------------------------
 
@@ -244,40 +252,68 @@ class ShardExecutor:
             max_retries=self.max_retries,
             preempt_policy=self.preempt_policy,
             preempt_retries=self.preempt_retries,
+            tracer=self.tracer,
         )
-        started = time.perf_counter()
-        by_block: dict[int, JobResult] = {}
-        survivors: list[tuple[ShardBlock, np.ndarray | sp.spmatrix]] = []
-        for result in runner.stream(jobs):
-            index = int(result.job_id.split("-")[-1])
-            by_block[index] = result
-            if result.status == "ok" and result.weights is not None:
-                # Keep each block's native representation: CSR block results
-                # are thresholded on their data vector and handed to the
-                # stitcher still sparse.
-                local = result.weights
-                if not sp.issparse(local):
-                    local = np.asarray(local, dtype=float)
-                if self.edge_threshold > 0.0:
-                    local = threshold_weights(local, self.edge_threshold)
-                survivors.append((plan.blocks[index], local))
+        timer = Timer()
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(timer)
+            shard_span = None
+            if self.tracer is not None:
+                # Entering the span makes it the ambient parent, so the block
+                # job spans of the streaming engine nest under it.
+                shard_span = stack.enter_context(
+                    self.tracer.span(
+                        "shard_solve",
+                        solver=self.solver,
+                        n_blocks=plan.n_blocks,
+                        n_nodes=plan.n_nodes,
+                    )
+                )
+            by_block: dict[int, JobResult] = {}
+            survivors: list[tuple[ShardBlock, np.ndarray | sp.spmatrix]] = []
+            for result in runner.stream(jobs):
+                index = int(result.job_id.split("-")[-1])
+                by_block[index] = result
+                if self.tracer is not None:
+                    self.tracer.metrics.counter(
+                        "shard_blocks_total", status=result.status
+                    ).inc()
+                if result.status == "ok" and result.weights is not None:
+                    # Keep each block's native representation: CSR block
+                    # results are thresholded on their data vector and handed
+                    # to the stitcher still sparse.
+                    local = result.weights
+                    if not sp.issparse(local):
+                        local = np.asarray(local, dtype=float)
+                    if self.edge_threshold > 0.0:
+                        local = threshold_weights(local, self.edge_threshold)
+                    survivors.append((plan.blocks[index], local))
 
-        survivors.sort(key=lambda pair: pair[0].index)
-        stitched = self.stitcher.stitch(survivors, plan.n_nodes)
-        block_results = [by_block[block.index] for block in plan.blocks]
-        missing = sorted(
-            node
-            for block in plan.blocks
-            if by_block[block.index].status != "ok"
-            for node in block.core
-        )
+            survivors.sort(key=lambda pair: pair[0].index)
+            stitched = self.stitcher.stitch(
+                survivors, plan.n_nodes, tracer=self.tracer
+            )
+            block_results = [by_block[block.index] for block in plan.blocks]
+            missing = sorted(
+                node
+                for block in plan.blocks
+                if by_block[block.index].status != "ok"
+                for node in block.core
+            )
+            if shard_span is not None:
+                shard_span.set_attributes(
+                    n_blocks_ok=sum(
+                        1 for r in block_results if r.status == "ok"
+                    ),
+                    n_missing_nodes=len(missing),
+                )
         return ShardResult(
             weights=stitched.weights,
             plan=plan,
             stitched=stitched,
             block_results=block_results,
             missing_nodes=missing,
-            total_seconds=time.perf_counter() - started,
+            total_seconds=timer.elapsed,
             preemption=runner.telemetry.preemption_summary(),
         )
 
@@ -310,5 +346,5 @@ def solve_sharded(
     """
     planner = planner or ShardPlanner()
     executor = executor or ShardExecutor()
-    plan = planner.plan(data)
+    plan = planner.plan(data, tracer=executor.tracer)
     return executor.run(data, plan, seed=seed)

@@ -385,7 +385,7 @@ class ShardPlanner:
 
     # -- public API ------------------------------------------------------------
 
-    def plan(self, data: np.ndarray) -> ShardPlan:
+    def plan(self, data: np.ndarray, *, tracer=None) -> ShardPlan:
         """Build a :class:`ShardPlan` for the ``n × d`` sample matrix.
 
         The pairwise correlations are computed once: the thresholded skeleton
@@ -394,7 +394,20 @@ class ShardPlanner:
         them for ranking).  Beyond :attr:`dense_skeleton_limit` columns the
         skeleton is built chunked into CSR — no dense ``d × d`` matrix is
         ever materialized on that path.
+
+        ``tracer`` (an optional :class:`~repro.obs.Tracer`) wraps the
+        planning pass in a ``shard_plan`` span recording the node and block
+        counts.
         """
+        if tracer is not None:
+            data = ensure_2d(data, "data")
+            with tracer.span("shard_plan", n_nodes=int(data.shape[1])) as span:
+                plan = self.plan(data)
+                span.set_attributes(
+                    n_blocks=plan.n_blocks,
+                    n_skeleton_edges=plan.n_skeleton_edges,
+                )
+                return plan
         data = ensure_2d(data, "data")
         d = data.shape[1]
         if data.shape[0] < 2:

@@ -140,6 +140,7 @@ class Stitcher:
         self,
         block_graphs: Sequence[tuple[ShardBlock, np.ndarray | sp.spmatrix]],
         n_nodes: int,
+        tracer=None,
     ) -> StitchedGraph:
         """Merge ``(block, local weights)`` pairs into a global DAG.
 
@@ -152,6 +153,11 @@ class Stitcher:
             Blocks whose jobs failed or were preempted are simply absent.
         n_nodes:
             Number of nodes of the global graph.
+        tracer:
+            Optional :class:`~repro.obs.Tracer` — wraps the merge in a
+            ``stitch`` span and folds the conflict counts into
+            ``shard_conflicts_total{kind=duplicate|direction|cycle}``
+            counters.
 
         Returns
         -------
@@ -160,6 +166,29 @@ class Stitcher:
             CSR when any input block was sparse) and the conflict accounting
             that produced it.
         """
+        if tracer is not None:
+            with tracer.span(
+                "stitch", n_blocks=len(block_graphs), n_nodes=int(n_nodes)
+            ) as span:
+                stitched = self.stitch(block_graphs, n_nodes)
+                report = stitched.report
+                span.set_attributes(
+                    n_edges=report.n_edges,
+                    n_duplicate_edges=report.n_duplicate_edges,
+                    n_direction_conflicts=report.n_direction_conflicts,
+                    n_cycle_edges_removed=report.n_cycle_edges_removed,
+                )
+                metrics = tracer.metrics
+                metrics.counter("shard_conflicts_total", kind="duplicate").inc(
+                    report.n_duplicate_edges
+                )
+                metrics.counter("shard_conflicts_total", kind="direction").inc(
+                    report.n_direction_conflicts
+                )
+                metrics.counter("shard_conflicts_total", kind="cycle").inc(
+                    report.n_cycle_edges_removed
+                )
+                return stitched
         if n_nodes < 1:
             raise ValidationError(f"n_nodes must be >= 1, got {n_nodes}")
         report = StitchReport(n_blocks=len(block_graphs))

@@ -4,11 +4,18 @@ Long-running optimizations (LEAST, NOTEARS) and the monitoring pipeline emit
 per-iteration records.  :class:`RunLog` collects these records in memory and
 can export them as plain dictionaries or column arrays for plotting and for
 the correlation analysis of Fig. 4 (row 3) in the paper.
+
+:meth:`RunLog.to_ndjson` / :meth:`RunLog.from_ndjson` round-trip the records
+through the same NDJSON event format the tracing layer uses
+(:mod:`repro.obs.sinks`), so solver per-iteration telemetry can sit next to
+span events in one file.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping
 
 import numpy as np
@@ -55,9 +62,45 @@ class RunLog:
 
     def to_dict(self) -> dict[str, list[Any]]:
         """Return a column-oriented view: ``{key: [value per record]}``."""
-        keys: list[str] = []
+        # A dict doubles as an insertion-ordered set here: the old list scan
+        # was O(records × distinct keys) per key lookup.
+        keys: dict[str, None] = {}
         for record in self.records:
-            for key in record:
-                if key not in keys:
-                    keys.append(key)
+            keys.update(dict.fromkeys(record))
         return {key: [record.get(key) for record in self.records] for key in keys}
+
+    def to_ndjson(self, path: str | Path) -> int:
+        """Write one ``log_record`` event per record as NDJSON; returns count.
+
+        The event shape (``{"event": "log_record", "index": i, "record":
+        {...}}``) matches the span events of :mod:`repro.obs`, so solver logs
+        and traces can share a file and a reader.  Numpy scalars are coerced
+        to plain JSON numbers.
+        """
+        from repro.obs.sinks import json_default
+
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for index, record in enumerate(self.records):
+                event = {"event": "log_record", "index": index, "record": record}
+                handle.write(json.dumps(event, default=json_default) + "\n")
+        return len(self.records)
+
+    @classmethod
+    def from_ndjson(cls, path: str | Path) -> "RunLog":
+        """Rebuild a :class:`RunLog` from an NDJSON file.
+
+        Only ``log_record`` events are consumed — span events and malformed
+        lines in a shared file are skipped, and a missing file reads as an
+        empty log (mirroring :func:`repro.obs.read_ndjson`).
+        """
+        from repro.obs.sinks import read_ndjson
+
+        log = cls()
+        for event in read_ndjson(path):
+            if event.get("event") == "log_record" and isinstance(
+                event.get("record"), dict
+            ):
+                log.records.append(dict(event["record"]))
+        return log

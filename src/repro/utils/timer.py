@@ -62,6 +62,18 @@ class Timer:
         """True while an interval is open."""
         return self._started_at is not None
 
+    def peek(self) -> float:
+        """Total elapsed seconds including the currently open interval.
+
+        Unlike :attr:`elapsed` (completed laps only), this reads the running
+        interval without stopping it — the clock path cooperative deadline
+        checks use mid-solve.
+        """
+        total = self.elapsed
+        if self._started_at is not None:
+            total += time.perf_counter() - self._started_at
+        return total
+
     @property
     def mean_lap(self) -> float:
         """Mean duration of completed intervals (0.0 when there are none)."""

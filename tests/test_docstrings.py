@@ -18,6 +18,10 @@ import pytest
 import repro.core.backend as backend
 import repro.core.least as least
 import repro.core.least_sparse as least_sparse
+import repro.obs as obs
+import repro.obs.metrics as obs_metrics
+import repro.obs.sinks as obs_sinks
+import repro.obs.tracing as obs_tracing
 import repro.serve as serve
 import repro.serve.cache as serve_cache
 import repro.serve.cli as serve_cli
@@ -47,6 +51,10 @@ MODULES = [
     backend,
     least,
     least_sparse,
+    obs,
+    obs_metrics,
+    obs_sinks,
+    obs_tracing,
 ]
 
 CONFIG_CLASSES = [least.LEASTConfig, least_sparse.SparseLEASTConfig]
@@ -121,7 +129,7 @@ def test_solver_configs_document_every_field(config_class):
     )
 
 
-@pytest.mark.parametrize("package", [serve, shard], ids=lambda m: m.__name__)
+@pytest.mark.parametrize("package", [serve, shard, obs], ids=lambda m: m.__name__)
 def test_package_reexports_are_documented(package):
     """Everything importable from the package is documented at the source."""
     missing = [

@@ -1,0 +1,344 @@
+"""Unit tests for repro.obs: sinks, metrics registry, and the tracing core."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    InMemorySink,
+    MetricsRegistry,
+    NDJSONFileSink,
+    OuterIterationSpans,
+    Span,
+    Tracer,
+    activated,
+    current_tracer,
+    merge_spool,
+    read_ndjson,
+    read_trace,
+    validate_trace,
+    wall_clock_breakdown,
+)
+
+
+class TestSinks:
+    def test_in_memory_sink_records_events(self):
+        sink = InMemorySink()
+        sink.emit({"event": "span", "span_id": "a"})
+        sink.emit({"event": "log_record", "index": 0})
+        assert len(sink.events) == 2
+        assert sink.spans() == [{"event": "span", "span_id": "a"}]
+
+    def test_in_memory_sink_close_is_idempotent_but_blocks_emit(self):
+        sink = InMemorySink()
+        sink.close()
+        sink.close()
+        with pytest.raises(RuntimeError):
+            sink.emit({"event": "span"})
+
+    def test_ndjson_sink_flushes_each_event(self, tmp_path):
+        path = tmp_path / "nested" / "trace.ndjson"
+        sink = NDJSONFileSink(path)
+        sink.emit({"event": "span", "span_id": "a"})
+        # Flushed before close: the line is already on disk.
+        assert path.read_text().count("\n") == 1
+        sink.emit({"event": "span", "span_id": "b"})
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            sink.emit({"event": "span", "span_id": "c"})
+        assert [e["span_id"] for e in read_ndjson(path)] == ["a", "b"]
+
+    def test_ndjson_sink_encodes_numpy_values(self, tmp_path):
+        path = tmp_path / "trace.ndjson"
+        sink = NDJSONFileSink(path)
+        sink.emit(
+            {
+                "event": "span",
+                "attributes": {
+                    "n": np.int64(3),
+                    "x": np.float64(0.5),
+                    "flag": np.bool_(True),
+                    "vec": np.arange(2),
+                },
+            }
+        )
+        sink.close()
+        attrs = read_ndjson(path)[0]["attributes"]
+        assert attrs == {"n": 3, "x": 0.5, "flag": True, "vec": [0, 1]}
+
+    def test_read_ndjson_missing_file_is_empty(self, tmp_path):
+        assert read_ndjson(tmp_path / "nope.ndjson") == []
+
+    def test_read_ndjson_skips_truncated_final_line(self, tmp_path):
+        path = tmp_path / "spool.ndjson"
+        path.write_text(
+            json.dumps({"event": "span", "span_id": "a"})
+            + "\n"
+            + '{"event": "span", "span_id": "b", "trunca'
+        )
+        events = read_ndjson(path)
+        assert [e["span_id"] for e in events] == ["a"]
+        with pytest.raises(json.JSONDecodeError):
+            read_ndjson(path, skip_malformed=False)
+
+
+class TestMetrics:
+    def test_counter_increments_and_rejects_decrease(self):
+        counter = Counter("jobs_total", {"status": "ok"})
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValidationError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("queue_depth", {})
+        gauge.set(4)
+        gauge.inc(-1.5)
+        assert gauge.value == 2.5
+
+    def test_histogram_cumulative_buckets(self):
+        hist = Histogram("seconds", {}, buckets=[0.1, 1.0, 10.0])
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(56.05)
+        assert hist.mean == pytest.approx(56.05 / 5)
+        assert hist.cumulative_buckets() == {"0.1": 1, "1.0": 3, "10.0": 4, "+Inf": 5}
+
+    def test_histogram_requires_buckets(self):
+        with pytest.raises(ValidationError):
+            Histogram("seconds", {}, buckets=[])
+
+    def test_default_buckets_cover_cache_hits_to_sharded_solves(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001 and DEFAULT_BUCKETS[-1] >= 300.0
+
+    def test_registry_returns_same_instrument_for_same_identity(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", status="ok").inc()
+        registry.counter("jobs_total", status="ok").inc()
+        registry.counter("jobs_total", status="failed").inc()
+        assert registry.counter("jobs_total", status="ok").value == 2.0
+        assert len(registry) == 2
+
+    def test_registry_rejects_kind_conflicts(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total")
+        with pytest.raises(ValidationError):
+            registry.gauge("jobs_total")
+
+    def test_as_dict_groups_by_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.gauge("b_depth").set(2)
+        registry.histogram("c_seconds").observe(0.2)
+        dump = registry.as_dict()
+        assert [c["name"] for c in dump["counters"]] == ["a_total"]
+        assert [g["name"] for g in dump["gauges"]] == ["b_depth"]
+        assert dump["histograms"][0]["count"] == 1
+        json.dumps(dump)  # must be JSON-able as written
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", status="ok").inc(3)
+        registry.histogram("wait_seconds", buckets=[1.0]).observe(0.5)
+        text = registry.to_prometheus()
+        assert "# TYPE jobs_total counter" in text
+        assert 'jobs_total{status="ok"} 3' in text
+        assert "# TYPE wait_seconds histogram" in text
+        assert 'wait_seconds_bucket{le="1.0"} 1' in text
+        assert 'wait_seconds_bucket{le="+Inf"} 1' in text
+        assert "wait_seconds_sum 0.5" in text
+        assert "wait_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("errs_total", message='a "quoted"\nline').inc()
+        text = registry.to_prometheus()
+        assert r"a \"quoted\"\nline" in text
+
+
+class TestTracing:
+    def test_nested_spans_link_to_ambient_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        names = [s["name"] for s in tracer.sink.spans()]
+        assert names == ["inner", "outer"]  # emitted in end order
+
+    def test_span_exception_sets_error_status(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom") as span:
+                raise RuntimeError("nope")
+        assert span.status == "error"
+        assert "RuntimeError" in span.attributes["error"]
+
+    def test_span_end_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.span("once")
+        span.end()
+        first = span.duration
+        span.end("error")
+        assert span.duration == first
+        assert span.status == "ok"
+        assert len(tracer.sink.spans()) == 1
+
+    def test_explicit_parent_overrides_ambient(self):
+        tracer = Tracer()
+        root = tracer.span("root")
+        with tracer.span("ambient"):
+            child = tracer.span("child", parent=root)
+            orphanless = tracer.span("detached", parent=None)
+        assert child.parent_id == root.span_id
+        assert orphanless.parent_id is None
+
+    def test_use_parent_redirects_without_restarting(self):
+        tracer = Tracer()
+        job = tracer.span("job")
+        start = job.start
+        with tracer.use_parent(job):
+            inner = tracer.span("inner")
+        assert inner.parent_id == job.span_id
+        assert job.start == start and not job.ended
+
+    def test_record_span_clamps_negative_duration(self):
+        tracer = Tracer()
+        event = tracer.record_span("synth", start=10.0, duration=-0.5)
+        assert event["duration"] == 0.0
+        assert tracer.sink.spans()[0]["name"] == "synth"
+
+    def test_activated_scopes_the_current_tracer(self):
+        assert current_tracer() is None
+        tracer = Tracer()
+        with activated(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_outer_iteration_spans_slice_time_between_calls(self):
+        tracer = Tracer()
+        with tracer.span("solve") as solve:
+            hook = OuterIterationSpans(tracer, parent=solve)
+            hook()
+            hook()
+        iters = [s for s in tracer.sink.spans() if s["name"] == "outer_iter"]
+        assert len(iters) == 2
+        assert hook.n_calls == 2
+        assert [s["attributes"]["index"] for s in iters] == [0, 1]
+        assert all(s["parent_id"] == solve.span_id for s in iters)
+        # Consecutive slices tile the timeline: each starts where the last ended.
+        assert iters[1]["start"] == pytest.approx(
+            iters[0]["start"] + iters[0]["duration"]
+        )
+
+
+class TestMergeAndAnalysis:
+    def _spool(self, tmp_path, events):
+        path = tmp_path / "spool.ndjson"
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        return path
+
+    def test_merge_spool_reparents_worker_roots(self, tmp_path):
+        parent = Tracer()
+        job = parent.span("job")
+        worker = Tracer(trace_id=parent.trace_id)
+        with worker.span("worker", parent=job.span_id):
+            with worker.span("solve"):
+                pass
+        path = self._spool(tmp_path, worker.sink.spans())
+        merged = merge_spool(parent, path, adopt_parent=job)
+        job.end()
+        spans = parent.sink.spans()
+        assert len(merged) == 2
+        assert validate_trace(spans)["n_orphans"] == 0
+
+    def test_merge_spool_adopts_spans_with_unflushed_parents(self, tmp_path):
+        # A worker SIGKILLed mid-solve flushed its outer_iter slices but never
+        # its (still open) root span: the slices must be adopted, not dropped.
+        parent = Tracer()
+        job = parent.span("job")
+        events = [
+            {
+                "event": "span",
+                "trace_id": parent.trace_id,
+                "span_id": "aaaa",
+                "parent_id": "never-flushed",
+                "name": "outer_iter",
+                "start": 1.0,
+                "wall": 1.0,
+                "duration": 0.5,
+                "status": "ok",
+                "attributes": {},
+            }
+        ]
+        merged = merge_spool(parent, self._spool(tmp_path, events), adopt_parent=job)
+        job.end()
+        assert merged[0]["parent_id"] == job.span_id
+        assert merged[0]["attributes"]["adopted"] is True
+        assert validate_trace(parent.sink.spans())["n_orphans"] == 0
+
+    def test_merge_spool_missing_file_is_a_noop(self, tmp_path):
+        parent = Tracer()
+        assert merge_spool(parent, tmp_path / "gone.ndjson", adopt_parent=None) == []
+        assert parent.sink.events == []
+
+    def test_read_trace_filters_non_span_events(self, tmp_path):
+        path = self._spool(
+            tmp_path,
+            [
+                {"event": "log_record", "index": 0},
+                {"event": "span", "span_id": "a", "name": "x"},
+            ],
+        )
+        assert [s["span_id"] for s in read_trace(path)] == ["a"]
+
+    def test_validate_trace_reports_orphans_and_roots(self):
+        spans = [
+            {"span_id": "a", "parent_id": None, "name": "root"},
+            {"span_id": "b", "parent_id": "a", "name": "child"},
+            {"span_id": "c", "parent_id": "ghost", "name": "lost"},
+        ]
+        report = validate_trace(spans)
+        assert report["n_spans"] == 3
+        assert report["n_roots"] == 1
+        assert report["n_orphans"] == 1 and report["orphans"] == ["c"]
+        assert report["names"] == ["child", "lost", "root"]
+
+    def test_wall_clock_breakdown_sums_by_name(self):
+        spans = [
+            {"name": "solve", "duration": 1.0},
+            {"name": "solve", "duration": 2.0},
+            {"name": "killed", "duration": None},
+        ]
+        breakdown = wall_clock_breakdown(spans)
+        assert breakdown["solve"] == pytest.approx(3.0)
+        assert breakdown["killed"] == 0.0
+
+    def test_span_event_schema(self):
+        tracer = Tracer(trace_id="t" * 16)
+        with tracer.span("unit", key="value"):
+            pass
+        event = tracer.sink.spans()[0]
+        assert event["event"] == "span"
+        assert event["trace_id"] == "t" * 16
+        assert len(event["span_id"]) == 16
+        assert event["parent_id"] is None
+        assert event["name"] == "unit"
+        assert event["status"] == "ok"
+        assert event["duration"] >= 0.0
+        assert event["attributes"] == {"key": "value"}
+        assert isinstance(Span("x", "t", None), Span)

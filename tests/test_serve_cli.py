@@ -251,3 +251,158 @@ class TestShardSubcommand:
         actual = tmp_path / "weights.npy.npz"
         assert actual.exists() and not asked.exists()
         assert str(actual) in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_outputs(self, tmp_path, capsys):
+        from repro.obs import read_trace, validate_trace
+
+        manifest = _write_manifest(tmp_path, [FAST_JOB, {**FAST_JOB, "seed": 1}])
+        trace_path = tmp_path / "trace.ndjson"
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                manifest,
+                "--quiet",
+                "--output",
+                str(tmp_path / "report.json"),
+                "--trace-out",
+                str(trace_path),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+
+        spans = read_trace(trace_path)
+        summary = validate_trace(spans)
+        assert summary["n_orphans"] == 0
+        for name in ("job", "queue_wait", "data_materialize", "solve", "outer_iter"):
+            assert name in summary["names"], name
+
+        metrics = json.loads(metrics_path.read_text())
+        counters = {
+            (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+            for c in metrics["counters"]
+        }
+        assert counters[("serve_jobs_total", (("status", "ok"),))] == 2.0
+        histograms = {h["name"]: h for h in metrics["histograms"]}
+        assert histograms["serve_job_seconds"]["count"] == 2
+
+    def test_metrics_prometheus_format(self, tmp_path):
+        manifest = _write_manifest(tmp_path, [FAST_JOB])
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                manifest,
+                "--quiet",
+                "--output",
+                str(tmp_path / "report.json"),
+                "--metrics-out",
+                str(metrics_path),
+                "--metrics-format",
+                "prometheus",
+            ]
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "# TYPE serve_jobs_total counter" in text
+        assert 'serve_jobs_total{status="ok"} 1' in text
+        assert "serve_job_seconds_count 1" in text
+
+    def test_metrics_only_run_uses_memory_sink(self, tmp_path):
+        # --metrics-out alone must not require (or write) a trace file.
+        manifest = _write_manifest(tmp_path, [FAST_JOB])
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                manifest,
+                "--quiet",
+                "--output",
+                str(tmp_path / "report.json"),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        assert metrics_path.exists()
+        assert not (tmp_path / "trace.ndjson").exists()
+
+    def test_no_obs_flags_no_outputs(self, tmp_path):
+        manifest = _write_manifest(tmp_path, [FAST_JOB])
+        code = main([manifest, "--quiet", "--output", str(tmp_path / "report.json")])
+        assert code == 0
+        assert list(tmp_path.glob("*.ndjson")) == []
+
+    def test_cache_summary_line_in_stderr(self, tmp_path, capsys):
+        manifest = _write_manifest(tmp_path, [FAST_JOB])
+        cache_dir = tmp_path / "cache"
+        for _ in range(2):
+            code = main(
+                [
+                    manifest,
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--output",
+                    str(tmp_path / "report.json"),
+                ]
+            )
+            assert code == 0
+        err = capsys.readouterr().err
+        # Each invocation opens its own DiskCache, so the stats are
+        # per-invocation: a miss+store on the first run, a pure hit on the
+        # second.
+        assert "cache: 0 hits, 1 misses (hit rate 0.0%)" in err
+        assert "cache: 1 hits, 0 misses (hit rate 100.0%), 0 evictions" in err
+
+    def test_cache_summary_line_in_stream_mode(self, tmp_path, capsys):
+        manifest = _write_manifest(tmp_path, [FAST_JOB])
+        cache_dir = tmp_path / "cache"
+        code = main(
+            [
+                manifest,
+                "--stream",
+                "--cache-dir",
+                str(cache_dir),
+                "--output",
+                str(tmp_path / "report.json"),
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "cache:" in err and "misses" in err
+
+    def test_shard_trace_and_metrics(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.obs import read_trace, validate_trace
+
+        rng = np.random.default_rng(2)
+        data_path = tmp_path / "data.npy"
+        np.save(data_path, rng.normal(size=(60, 8)))
+        trace_path = tmp_path / "shard-trace.ndjson"
+        metrics_path = tmp_path / "shard-metrics.json"
+        code = main(
+            [
+                "shard",
+                str(data_path),
+                "--max-block-size",
+                "4",
+                "--config",
+                json.dumps({"max_outer_iterations": 2, "max_inner_iterations": 30}),
+                "--output",
+                str(tmp_path / "report.json"),
+                "--trace-out",
+                str(trace_path),
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        summary = validate_trace(read_trace(trace_path))
+        assert summary["n_orphans"] == 0
+        for name in ("shard_plan", "shard_solve", "stitch", "job", "solve"):
+            assert name in summary["names"], name
+        metrics = json.loads(metrics_path.read_text())
+        names = {c["name"] for c in metrics["counters"]}
+        assert "shard_blocks_total" in names

@@ -497,3 +497,126 @@ class TestCliStream:
         ]
         assert len(lines) == 1
         assert json.loads(lines[0])["status"] == "preempted"
+
+
+@dataclass(frozen=True)
+class _SigalrmConfig:
+    pass
+
+
+class _SigalrmSolver:
+    """A solver that trips the worker's own SIGALRM suicide disposition.
+
+    With a deadline set, ``_arm_suicide_timer`` leaves SIGALRM at its default
+    (process-terminating) disposition — raising the signal immediately makes
+    the worker die exactly as if its suicide timer had fired, without waiting
+    out a real deadline.
+    """
+
+    def __init__(self, config: _SigalrmConfig):
+        self.config = config
+
+    def fit(self, data, seed=None):
+        import signal as _signal
+
+        os.kill(os.getpid(), _signal.SIGALRM)
+
+
+@pytest.fixture
+def sigalrm_solver():
+    register_solver("sigalrm", _SigalrmSolver, _SigalrmConfig, overwrite=True)
+    yield
+    unregister_solver("sigalrm")
+
+
+class TestTelemetryEdgeCases:
+    def test_time_to_first_result_spans_requeued_attempts(self, hang_solver):
+        """With a single job that is killed once and requeued, the first (and
+        only) yielded result arrives after BOTH attempts — the telemetry must
+        report that, not the first attempt's deadline."""
+        deadline = 0.6
+        job = LearningJob(
+            solver="hang", data=np.zeros((4, 3)), config={"duration": 60.0}
+        )
+        runner = StreamingRunner(
+            timeout=deadline, preempt_policy="requeue", preempt_retries=1
+        )
+        results = list(runner.stream([job]))
+        assert [r.status for r in results] == ["preempted"]
+        telemetry = runner.telemetry
+        assert telemetry.n_yielded == 1
+        assert telemetry.n_requeued == 1
+        # Two full deadlines were granted before the only result appeared.
+        assert telemetry.time_to_first_result >= 2 * deadline
+        assert telemetry.time_to_first_result <= telemetry.total_seconds
+
+    def test_preemption_summary_separates_kills_from_suicides(
+        self, hang_solver, sigalrm_solver
+    ):
+        """One worker killed by the parent at its deadline, one dead from its
+        own SIGALRM: the summary must attribute each to its own counter."""
+        jobs = [
+            LearningJob(
+                solver="hang",
+                data=np.zeros((4, 3)),
+                config={"duration": 60.0},
+                job_id="hang",
+            ),
+            LearningJob(solver="sigalrm", data=np.zeros((4, 3)), job_id="alrm"),
+        ]
+        runner = StreamingRunner(n_workers=2, timeout=1.5)
+        statuses = {r.job_id: r.status for r in runner.stream(jobs)}
+        assert statuses == {"hang": "preempted", "alrm": "preempted"}
+        summary = runner.telemetry.preemption_summary()
+        assert summary == {
+            "n_killed": 1.0,
+            "n_suicide_exits": 1.0,
+            "n_requeued": 0.0,
+        }
+
+    def test_suicide_exit_counts_in_traced_metrics(self, sigalrm_solver):
+        from repro.obs import Tracer, validate_trace
+
+        tracer = Tracer()
+        job = LearningJob(solver="sigalrm", data=np.zeros((4, 3)))
+        runner = StreamingRunner(timeout=5.0, tracer=tracer)
+        results = list(runner.stream([job]))
+        assert results[0].status == "preempted"
+        assert runner.telemetry.n_suicide_exits == 1
+        suicides = tracer.metrics.counter("serve_preemptions_total", kind="suicide")
+        assert suicides.value == 1.0
+        assert validate_trace(tracer.sink.spans())["n_orphans"] == 0
+
+    def test_worker_dead_before_flushing_spool_merges_cleanly(self, crash_solver):
+        """A worker that dies mid-flight leaves a spool whose flushed spans
+        reference never-flushed parents — the merge must adopt them onto the
+        job span and keep the trace orphan-free."""
+        from repro.obs import Tracer, validate_trace
+
+        tracer = Tracer()
+        job = LearningJob(solver="crash", data=np.zeros((4, 3)), config={"exit_code": 3})
+        runner = StreamingRunner(n_workers=2, timeout=30.0, tracer=tracer)
+        results = list(runner.stream([job]))
+        assert results[0].status == "failed"
+
+        spans = tracer.sink.spans()
+        assert validate_trace(spans)["n_orphans"] == 0
+        names = [s["name"] for s in spans]
+        # The worker's root span and its "solve" span were still open at the
+        # crash, so neither flushed — and with no worker root there is no
+        # spawn gap to synthesize.
+        assert "worker" not in names and "solve" not in names
+        assert "worker_spawn" not in names
+        # The parent-side lifecycle is complete regardless.
+        for name in ("job", "queue_wait", "data_materialize"):
+            assert name in names, name
+        job_span = next(s for s in spans if s["name"] == "job")
+        assert job_span["status"] == "failed"
+        # The one span the worker DID flush before dying (the pre-solve hook
+        # slice) pointed at the never-flushed solve span: it must have been
+        # adopted by the job span, not left dangling.
+        adopted = [s for s in spans if s.get("attributes", {}).get("adopted")]
+        assert [s["name"] for s in adopted] == ["outer_iter"]
+        assert adopted[0]["parent_id"] == job_span["span_id"]
+        # The spool directory is gone despite the crash.
+        assert runner._spool_dir is None

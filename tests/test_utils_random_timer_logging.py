@@ -114,3 +114,85 @@ class TestRunLog:
         log.extend([{"a": 1}, {"a": 2}])
         assert [record["a"] for record in log] == [1, 2]
         assert log[0]["a"] == 1
+
+
+class TestTimerPeek:
+    def test_peek_without_running_interval_equals_elapsed(self):
+        timer = Timer()
+        with timer:
+            pass
+        assert timer.peek() == timer.elapsed
+
+    def test_peek_includes_open_interval_without_stopping(self):
+        timer = Timer()
+        timer.start()
+        first = timer.peek()
+        second = timer.peek()
+        assert timer.running
+        assert 0.0 <= first <= second
+        assert timer.elapsed == 0.0  # no lap was closed by peeking
+        total = timer.stop()
+        assert total >= second
+
+    def test_peek_accumulates_across_laps(self):
+        timer = Timer()
+        with timer:
+            pass
+        closed = timer.elapsed
+        timer.start()
+        assert timer.peek() >= closed
+        timer.stop()
+
+
+class TestRunLogNdjson:
+    def test_round_trip(self, tmp_path):
+        log = RunLog()
+        log.append(outer=0, loss=1.5)
+        log.append(outer=1, loss=0.7, extra="note")
+        path = tmp_path / "log.ndjson"
+        assert log.to_ndjson(path) == 2
+        restored = RunLog.from_ndjson(path)
+        assert restored.records == log.records
+
+    def test_numpy_values_become_plain_json(self, tmp_path):
+        log = RunLog()
+        log.append(n=np.int64(3), x=np.float64(0.5))
+        path = tmp_path / "log.ndjson"
+        log.to_ndjson(path)
+        restored = RunLog.from_ndjson(path)
+        assert restored.records == [{"n": 3, "x": 0.5}]
+
+    def test_creates_parent_directories(self, tmp_path):
+        log = RunLog()
+        log.append(step=1)
+        path = tmp_path / "deep" / "nested" / "log.ndjson"
+        log.to_ndjson(path)
+        assert path.exists()
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert len(RunLog.from_ndjson(tmp_path / "gone.ndjson")) == 0
+
+    def test_shared_file_with_span_events(self, tmp_path):
+        """log_record events interleaved with spans: only the logs load."""
+        import json
+
+        path = tmp_path / "mixed.ndjson"
+        lines = [
+            {"event": "span", "span_id": "a", "name": "solve"},
+            {"event": "log_record", "index": 0, "record": {"loss": 2.0}},
+            {"event": "log_record", "index": 1, "record": "not-a-dict"},
+        ]
+        path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+        restored = RunLog.from_ndjson(path)
+        assert restored.records == [{"loss": 2.0}]
+
+    def test_to_dict_union_of_keys_in_first_seen_order(self):
+        log = RunLog()
+        log.append(a=1)
+        log.append(b=2, a=3)
+        log.append(c=4)
+        columns = log.to_dict()
+        assert list(columns) == ["a", "b", "c"]
+        assert columns["a"] == [1, 3, None]
+        assert columns["b"] == [None, 2, None]
+        assert columns["c"] == [None, None, 4]
