@@ -36,10 +36,11 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from benchmarks.helpers import print_table
+from benchmarks.helpers import append_bench_history, print_table
 from repro.core.least import LEASTConfig
 from repro.monitoring import BookingSimulator, Incident, MonitoringPipeline
-from repro.obs import NDJSONFileSink, Tracer, read_trace, validate_trace, wall_clock_breakdown
+from repro.obs import NDJSONFileSink, TraceModel, Tracer, validate_trace, wall_clock_section
+from repro.obs.sampler import is_supported as sampling_supported
 from repro.serve import BatchRunner, InMemoryCache, LearningJob, StreamingRunner
 from repro.serve.job import register_solver, unregister_solver
 from repro.shard.executor import ShardExecutor
@@ -96,6 +97,8 @@ def _write_summary():
         path = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
         path.write_text(json.dumps(RESULTS, indent=2, sort_keys=True) + "\n")
         print(f"\nwrote {path}")
+        history = append_bench_history("serve", RESULTS)
+        print(f"appended history row to {history}")
 
 
 def test_serial_vs_parallel_throughput(benchmark):
@@ -292,12 +295,14 @@ def test_traced_wall_clock_breakdown(benchmark):
     metrics_path.write_text(
         json.dumps(tracer.metrics.as_dict(), indent=2, sort_keys=True) + "\n"
     )
-    spans = read_trace(trace_path)
-    summary = validate_trace(spans)
-    breakdown = wall_clock_breakdown(spans)
+    # The breakdown section is produced by the analytics library — the bench
+    # only adds run-specific keys on top (no duplicated span-summing logic).
+    model = TraceModel.from_file(trace_path)
+    summary = validate_trace(model.spans)
+    section = wall_clock_section(model)
 
     # Every job decomposes cleanly: no span may point at a missing parent.
-    assert summary["n_orphans"] == 0, summary["orphans"]
+    assert section["n_orphans"] == 0, summary["orphans"]
     # At least one span per layer: serve, shard, solver.
     for layer, name in [
         ("serve", "job"),
@@ -309,17 +314,15 @@ def test_traced_wall_clock_breakdown(benchmark):
         ("solver", "outer_iter"),
     ]:
         assert name in summary["names"], f"no {name!r} span ({layer} layer)"
+    if sampling_supported():
+        # The resource sampler ran alongside the stream: per-worker peak RSS
+        # must have landed in the trace next to the spans.
+        assert section["n_sampled_processes"] > 0
+        assert section["max_worker_peak_rss_bytes"] > 0
 
     RESULTS["wall_clock_breakdown"] = {
         "n_jobs": N_JOBS + plan.n_blocks,
-        "n_spans": summary["n_spans"],
-        "n_orphans": summary["n_orphans"],
-        "worker_spawn_seconds": breakdown.get("worker_spawn", 0.0),
-        "solve_seconds": breakdown.get("solve", 0.0),
-        "queue_wait_seconds": breakdown.get("queue_wait", 0.0),
-        "data_materialize_seconds": breakdown.get("data_materialize", 0.0),
-        "cache_store_seconds": breakdown.get("cache_store", 0.0),
-        "stitch_seconds": breakdown.get("stitch", 0.0),
+        **section,
         "trace_file": trace_path.name,
         "metrics_file": metrics_path.name,
     }
@@ -327,7 +330,7 @@ def test_traced_wall_clock_breakdown(benchmark):
         "repro.obs: span-derived wall clock — where do traced jobs spend time?",
         ["span", "total seconds"],
         [
-            [name, f"{breakdown.get(name, 0.0):.2f}s"]
+            [name, f"{section[f'{name}_seconds']:.2f}s"]
             for name in (
                 "worker_spawn",
                 "data_materialize",
@@ -336,6 +339,18 @@ def test_traced_wall_clock_breakdown(benchmark):
                 "cache_store",
                 "stitch",
             )
+        ],
+    )
+    print_table(
+        "repro.obs: sampled peak RSS (per-worker, from /proc)",
+        ["process", "peak RSS"],
+        [
+            ["parent", f"{section['parent_peak_rss_bytes'] / 1e6:.1f} MB"],
+            [
+                "max worker",
+                f"{section['max_worker_peak_rss_bytes'] / 1e6:.1f} MB",
+            ],
+            ["sampled processes", section["n_sampled_processes"]],
         ],
     )
 

@@ -39,7 +39,7 @@ if __package__ in (None, ""):  # direct `python benchmarks/bench_shard.py` run
 
 import numpy as np
 
-from benchmarks.helpers import print_table
+from benchmarks.helpers import append_bench_history, print_table
 from repro.core.least import LEAST, LEASTConfig
 from repro.core.thresholding import threshold_weights
 from repro.graph.dag import is_dag
@@ -194,6 +194,8 @@ def main() -> dict:
 
     OUTPUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {OUTPUT_PATH}")
+    history = append_bench_history("shard", results)
+    print(f"appended history row to {history}")
     return results
 
 

@@ -39,7 +39,7 @@ if __package__ in (None, ""):  # direct `python benchmarks/bench_sparse_shard.py
 import numpy as np
 import scipy.sparse as sp
 
-from benchmarks.helpers import print_table
+from benchmarks.helpers import append_bench_history, print_table
 from repro.graph.dag import is_dag
 from repro.graph.generation import random_dag
 from repro.sem.linear_sem import simulate_linear_sem
@@ -202,6 +202,8 @@ def main() -> dict:
 
     OUTPUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
     print(f"\nwrote {OUTPUT_PATH}")
+    history = append_bench_history("sparse_shard", results)
+    print(f"appended history row to {history}")
     return results
 
 

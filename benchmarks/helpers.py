@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
 
 import numpy as np
 
@@ -21,9 +25,77 @@ __all__ = [
     "run_least",
     "run_notears",
     "print_table",
+    "flatten_metrics",
+    "append_bench_history",
+    "HISTORY_SCHEMA_VERSION",
     "LEAST_BENCH_CONFIG",
     "NOTEARS_BENCH_CONFIG",
 ]
+
+#: Version stamped into every ``BENCH_history.ndjson`` row (bump on schema
+#: changes so ``tools/bench_gate.py --check-history`` can tell rows apart).
+HISTORY_SCHEMA_VERSION = 1
+
+
+def flatten_metrics(payload, prefix: str = "") -> dict[str, float]:
+    """Flatten a nested benchmark-results dict to dotted-path numeric leaves.
+
+    Only int/float/bool leaves survive (bools as 0.0/1.0); strings and lists
+    are skipped, as are dicts keyed by process ids (e.g. the per-worker
+    peak-RSS map — pids change every run and would bloat the history with
+    never-repeating keys).  The dotted paths are the same ones
+    ``benchmarks/baselines.json`` uses to address metrics, so one flattening
+    convention serves both the history rows and the gate.
+    """
+    flat: dict[str, float] = {}
+    for key, value in payload.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            flat[path] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            flat[path] = float(value)
+        elif isinstance(value, dict):
+            if value and all(str(k).isdigit() for k in value):
+                continue  # pid-keyed map: per-run keys, useless as a series
+            flat.update(flatten_metrics(value, prefix=path))
+    return flat
+
+
+def append_bench_history(
+    bench: str, results: dict, path: str | Path | None = None
+) -> Path:
+    """Append one schema'd summary row for a benchmark run to the history file.
+
+    Every benchmark module calls this right after writing its
+    ``BENCH_<name>.json``; the accumulated ``BENCH_history.ndjson`` (one JSON
+    row per run, append-only) is what turns isolated benchmark artifacts into
+    a perf *trajectory*.  Row schema::
+
+        {"schema": 1, "bench": "serve", "written_at": "<UTC ISO-8601>",
+         "run_id": "<CI run id or 'local'>", "metrics": {"<dotted.path>": 1.0}}
+
+    Parameters
+    ----------
+    bench:
+        Short benchmark name (``serve``, ``shard``, ``sparse_shard``).
+    results:
+        The full results dict of the run; flattened via :func:`flatten_metrics`.
+    path:
+        History file (default: ``BENCH_history.ndjson`` at the repo root).
+    """
+    if path is None:
+        path = Path(__file__).resolve().parents[1] / "BENCH_history.ndjson"
+    path = Path(path)
+    row = {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "bench": bench,
+        "written_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "run_id": os.environ.get("GITHUB_RUN_ID", "local"),
+        "metrics": flatten_metrics(results),
+    }
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

@@ -13,10 +13,34 @@ previously disconnected islands (``StreamTelemetry``, ``WindowStats``,
   exposition;
 * cross-process collection — workers spool spans to NDJSON files that the
   parent folds into one trace via :func:`merge_spool`, adopting the spans of
-  workers that died before flushing so merged traces never contain orphans.
+  workers that died before flushing so merged traces never contain orphans;
+* the consumption side (:mod:`repro.obs.analyze`) — :class:`TraceModel`,
+  :func:`critical_path`, per-phase attribution, trace diffing, Chrome
+  trace-event export, and a terminal waterfall, surfaced by the
+  ``repro-obs`` CLI (:mod:`repro.obs.cli`);
+* per-process resource sampling (:class:`ResourceSampler`) — a background
+  thread reading ``/proc`` RSS/CPU for the parent and live workers, so peak
+  memory per job lands next to its spans.
 
 See ``docs/observability.md`` for the span model and the event schema.
 """
+
+from repro.obs.analyze import (
+    CriticalPath,
+    TraceDiff,
+    TraceModel,
+    critical_path,
+    diff_traces,
+    peak_rss_by_pid,
+    phase_attribution,
+    queue_wait_stats,
+    render_waterfall,
+    self_time_by_name,
+    to_chrome_trace,
+    wall_clock_section,
+    worker_stats,
+    write_chrome_trace,
+)
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -25,6 +49,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.sampler import ResourceSampler
 from repro.obs.sinks import (
     EventSink,
     InMemorySink,
@@ -38,6 +63,7 @@ from repro.obs.tracing import (
     Tracer,
     activate,
     activated,
+    clamp_negative_durations,
     current_tracer,
     deactivate,
     merge_spool,
@@ -69,5 +95,21 @@ __all__ = [
     "read_trace",
     "validate_trace",
     "wall_clock_breakdown",
+    "clamp_negative_durations",
     "new_span_id",
+    "ResourceSampler",
+    "TraceModel",
+    "CriticalPath",
+    "TraceDiff",
+    "critical_path",
+    "phase_attribution",
+    "self_time_by_name",
+    "worker_stats",
+    "queue_wait_stats",
+    "diff_traces",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "render_waterfall",
+    "wall_clock_section",
+    "peak_rss_by_pid",
 ]

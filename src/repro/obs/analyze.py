@@ -1,0 +1,702 @@
+"""Trace analytics: the consumption side of :mod:`repro.obs`.
+
+PR 6 made the system *emit* telemetry — span trees across serve, shard, and
+the solver loop, merged orphan-free across worker processes.  This module
+turns those raw NDJSON traces into answers:
+
+* :class:`TraceModel` — a trace loaded into an indexed span tree
+  (parent/child index, roots, per-worker lanes, orphan/adopted/clamped
+  accounting);
+* :func:`critical_path` — the chain of spans that actually bounds the
+  wall-clock of a run; its segments tile the root span exactly, so the total
+  always equals the root duration;
+* :func:`phase_attribution` / :func:`self_time_by_name` — per-span-name
+  wall-clock totals *and* self times (children subtracted as an interval
+  union, so overlapping attempt spans from requeued jobs never double-count);
+* :func:`worker_stats` / :func:`queue_wait_stats` — utilization per worker
+  lane and queue-wait distribution, the two numbers the ROADMAP's
+  worker-pool item needs;
+* :func:`diff_traces` — two traces reduced to per-span-name count / total /
+  self-time deltas with tolerance-based regression detection (the
+  ``repro-obs diff`` CI gate);
+* :func:`to_chrome_trace` — Chrome trace-event JSON loadable in Perfetto or
+  ``chrome://tracing``, with one timeline lane per worker process and RSS
+  counter tracks from :class:`~repro.obs.sampler.ResourceSampler` events;
+* :func:`render_waterfall` — a terminal waterfall of the span tree;
+* :func:`wall_clock_section` — the span-derived ``wall_clock_breakdown``
+  section of ``BENCH_serve.json`` (the benchmark imports this instead of
+  keeping a private copy of the logic).
+
+Everything here is read-only over span event dicts (see
+``docs/observability.md`` for the NDJSON schema) — no tracer required.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import ValidationError
+from repro.obs.sinks import json_default, read_ndjson
+from repro.obs.tracing import (
+    clamp_negative_durations,
+    validate_trace,
+    wall_clock_breakdown,
+)
+
+__all__ = [
+    "TraceModel",
+    "CriticalPath",
+    "TraceDiff",
+    "critical_path",
+    "phase_attribution",
+    "self_time_by_name",
+    "worker_stats",
+    "queue_wait_stats",
+    "diff_traces",
+    "to_chrome_trace",
+    "render_waterfall",
+    "wall_clock_section",
+    "peak_rss_by_pid",
+    "resource_events",
+]
+
+#: Span names whose totals the serving benchmark has always pinned; they are
+#: emitted as ``<name>_seconds`` keys by :func:`wall_clock_section` even when
+#: absent from the trace (0.0), so the ``BENCH_serve.json`` schema is stable.
+BREAKDOWN_NAMES: tuple[str, ...] = (
+    "worker_spawn",
+    "data_materialize",
+    "solve",
+    "queue_wait",
+    "cache_store",
+    "stitch",
+)
+
+
+def _start(span: Mapping[str, Any]) -> float:
+    """Monotonic start of a span event (0.0 when absent)."""
+    return float(span.get("start") or 0.0)
+
+
+def _end(span: Mapping[str, Any]) -> float:
+    """Monotonic end of a span event (open spans end at their start)."""
+    return _start(span) + float(span.get("duration") or 0.0)
+
+
+def resource_events(events: Iterable[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """The ``resource`` sampler events of a mixed NDJSON event list."""
+    return [dict(e) for e in events if e.get("event") == "resource"]
+
+
+class TraceModel:
+    """A trace loaded into an indexed span tree.
+
+    Builds the parent/child index once so every analysis (critical path,
+    attribution, lanes, waterfall) is a cheap walk instead of a re-scan.
+    Negative span durations — cross-process clock-skew artifacts — are
+    clamped to zero on construction and counted, never silently folded into
+    breakdowns.
+
+    Parameters
+    ----------
+    spans:
+        Span event dicts (``event == "span"``); non-span events are ignored.
+    resources:
+        Optional ``resource`` events (from
+        :class:`~repro.obs.sampler.ResourceSampler`) kept alongside the tree
+        for RSS/CPU attribution.
+
+    Attributes
+    ----------
+    spans:
+        The span events, in file order (clamped copies).
+    resources:
+        The resource events handed in (possibly empty).
+    roots:
+        Spans with no parent, plus orphans (spans whose parent is absent
+        from the trace) so no span is unreachable from a root.
+    orphans:
+        The orphan subset of :attr:`roots` (empty for a well-merged trace).
+    n_adopted:
+        Spans re-parented by :func:`~repro.obs.merge_spool` adoption.
+    n_clamped:
+        Spans whose negative duration was clamped to zero.
+    """
+
+    def __init__(
+        self,
+        spans: Iterable[Mapping[str, Any]],
+        resources: Iterable[Mapping[str, Any]] | None = None,
+    ) -> None:
+        self.spans: list[dict[str, Any]] = [
+            dict(span)
+            for span in spans
+            if span.get("event", "span") == "span" and span.get("span_id")
+        ]
+        self.n_clamped = clamp_negative_durations(self.spans)
+        self.resources: list[dict[str, Any]] = list(resources or [])
+        self._by_id: dict[str, dict[str, Any]] = {
+            span["span_id"]: span for span in self.spans
+        }
+        self._children: dict[str | None, list[dict[str, Any]]] = {}
+        self.roots: list[dict[str, Any]] = []
+        self.orphans: list[dict[str, Any]] = []
+        for span in self.spans:
+            parent_id = span.get("parent_id")
+            if parent_id is None:
+                self.roots.append(span)
+            elif parent_id not in self._by_id:
+                self.orphans.append(span)
+                self.roots.append(span)
+            else:
+                self._children.setdefault(parent_id, []).append(span)
+        for children in self._children.values():
+            children.sort(key=_start)
+        self.roots.sort(key=_start)
+        self.n_adopted = sum(
+            1 for span in self.spans if (span.get("attributes") or {}).get("adopted")
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "TraceModel":
+        """Load a model from an NDJSON trace file.
+
+        Tolerates the truncated final line of a killed writer (via
+        :func:`~repro.obs.read_ndjson`) and keeps any ``resource`` events
+        found in the same file.
+        """
+        events = read_ndjson(path)
+        return cls(
+            [e for e in events if e.get("event") == "span"],
+            resources=resource_events(events),
+        )
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def node(self, span_id: str) -> dict[str, Any] | None:
+        """The span event with this id, or ``None``."""
+        return self._by_id.get(span_id)
+
+    def children_of(self, span_id: str | None) -> list[dict[str, Any]]:
+        """Direct children of a span, sorted by start time."""
+        return list(self._children.get(span_id, []))
+
+    def root(self) -> dict[str, Any] | None:
+        """The longest-duration root span — the run a critical path bounds."""
+        if not self.roots:
+            return None
+        return max(self.roots, key=lambda span: float(span.get("duration") or 0.0))
+
+    def interval(self) -> tuple[float, float]:
+        """``(earliest start, latest end)`` across every span; ``(0, 0)`` empty."""
+        if not self.spans:
+            return (0.0, 0.0)
+        return (min(_start(s) for s in self.spans), max(_end(s) for s in self.spans))
+
+    def lanes(self) -> dict[str, list[dict[str, Any]]]:
+        """Spans grouped into per-process timeline lanes.
+
+        Every descendant of a ``worker`` span (the root a worker process
+        emits, carrying its ``pid`` attribute) lands in a ``worker-<pid>``
+        lane; everything else is the ``parent`` lane.  This is the lane
+        assignment the Chrome export uses for one timeline row per process.
+        """
+        lanes: dict[str, list[dict[str, Any]]] = {"parent": []}
+        lane_of: dict[str, str] = {}
+        # Two passes: first mark worker roots, then flood lanes downward.
+        stack: list[tuple[dict[str, Any], str]] = []
+        for span in self.spans:
+            if span.get("name") == "worker":
+                pid = (span.get("attributes") or {}).get("pid", span["span_id"])
+                stack.append((span, f"worker-{pid}"))
+        while stack:
+            span, lane = stack.pop()
+            lane_of[span["span_id"]] = lane
+            for child in self.children_of(span["span_id"]):
+                stack.append((child, lane))
+        for span in self.spans:
+            lane = lane_of.get(span["span_id"], "parent")
+            lanes.setdefault(lane, []).append(span)
+        return lanes
+
+
+# -- critical path -------------------------------------------------------------
+
+
+@dataclass
+class CriticalPath:
+    """The chain of spans bounding a root span's wall clock.
+
+    Attributes
+    ----------
+    root:
+        The root span event the path decomposes.
+    segments:
+        Chronological ``{span_id, name, start, end, duration}`` records; at
+        every instant of the root's lifetime exactly one segment is active,
+        so ``sum(durations) == root duration`` by construction.
+    """
+
+    root: dict[str, Any]
+    segments: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all segment durations (equals the root duration)."""
+        return sum(seg["duration"] for seg in self.segments)
+
+    def by_name(self) -> dict[str, float]:
+        """Critical-path seconds aggregated per span name, largest first."""
+        totals: dict[str, float] = {}
+        for seg in self.segments:
+            totals[seg["name"]] = totals.get(seg["name"], 0.0) + seg["duration"]
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able view (the ``repro-obs critical-path --json`` payload)."""
+        return {
+            "root_name": self.root.get("name"),
+            "root_span_id": self.root.get("span_id"),
+            "root_duration": float(self.root.get("duration") or 0.0),
+            "total_seconds": self.total_seconds,
+            "n_segments": len(self.segments),
+            "segments": list(self.segments),
+            "by_name": self.by_name(),
+        }
+
+
+def critical_path(
+    model: TraceModel, root: dict[str, Any] | str | None = None
+) -> CriticalPath:
+    """Extract the critical path under a root span.
+
+    Walks the tree backwards from the root's end: at each instant the path
+    descends into the deepest child still active, and intervals covered by no
+    child are attributed to the enclosing span itself.  Because the segments
+    tile ``[root.start, root.end]`` exactly, the path total always equals the
+    root duration — the invariant ``repro-obs critical-path`` prints and the
+    tests pin.
+
+    Parameters
+    ----------
+    model:
+        The trace.
+    root:
+        A span event, a span id, or ``None`` for the longest root span.
+
+    Raises
+    ------
+    ValidationError
+        The trace is empty or the requested root is unknown.
+    """
+    if isinstance(root, str):
+        node = model.node(root)
+        if node is None:
+            raise ValidationError(f"no span with id {root!r} in the trace")
+        root = node
+    if root is None:
+        root = model.root()
+    if root is None:
+        raise ValidationError("cannot extract a critical path from an empty trace")
+
+    segments: list[dict[str, Any]] = []
+
+    def _self_segment(span: dict[str, Any], lo: float, hi: float) -> None:
+        segments.append(
+            {
+                "span_id": span["span_id"],
+                "name": span.get("name", ""),
+                "start": lo,
+                "end": hi,
+                "duration": hi - lo,
+            }
+        )
+
+    def _visit(span: dict[str, Any], lo: float, hi: float) -> None:
+        """Attribute the window ``[lo, hi]`` of ``span`` (backwards)."""
+        cursor = hi
+        children = model.children_of(span["span_id"])
+        while cursor - lo > 1e-12:
+            best = None
+            best_end = lo
+            for child in children:
+                child_end = min(_end(child), cursor)
+                if _start(child) < cursor and child_end > best_end:
+                    best, best_end = child, child_end
+            if best is None:
+                _self_segment(span, lo, cursor)
+                return
+            if best_end < cursor:
+                _self_segment(span, best_end, cursor)
+            child_lo = max(_start(best), lo)
+            _visit(best, child_lo, best_end)
+            cursor = child_lo
+        # Window exhausted; nothing left to attribute.
+
+    _visit(root, _start(root), _end(root))
+    segments.reverse()  # built backwards; present chronologically
+    return CriticalPath(root=root, segments=segments)
+
+
+# -- per-phase attribution -----------------------------------------------------
+
+
+def _union_seconds(intervals: list[tuple[float, float]]) -> float:
+    """Total length of the union of ``(lo, hi)`` intervals."""
+    total = 0.0
+    last_hi = float("-inf")
+    for lo, hi in sorted(intervals):
+        if hi <= last_hi:
+            continue
+        total += hi - max(lo, last_hi)
+        last_hi = hi
+    return total
+
+
+def self_time_by_name(model: TraceModel) -> dict[str, float]:
+    """Seconds per span name with child time subtracted as an interval union.
+
+    Children are subtracted as a *union*, not a sum: a requeued job whose
+    attempt spans overlap (the old attempt's ``queue_wait`` and the new
+    worker's spans share wall-clock) still subtracts each covered instant
+    once, so self time can never go negative from double-counted children.
+    """
+    totals: dict[str, float] = {}
+    for span in model.spans:
+        lo, hi = _start(span), _end(span)
+        covered = _union_seconds(
+            [
+                (max(_start(child), lo), min(_end(child), hi))
+                for child in model.children_of(span["span_id"])
+                if _end(child) > lo and _start(child) < hi
+            ]
+        )
+        name = span.get("name", "")
+        totals[name] = totals.get(name, 0.0) + max((hi - lo) - covered, 0.0)
+    return totals
+
+
+def phase_attribution(model: TraceModel) -> dict[str, dict[str, float]]:
+    """Per span name: ``{count, total_seconds, self_seconds}``, largest first.
+
+    ``total_seconds`` is the plain duration sum (:func:`wall_clock_breakdown`);
+    ``self_seconds`` removes time covered by child spans, so phases stop
+    double-reporting their children's work.
+    """
+    totals = wall_clock_breakdown(model.spans)
+    selfs = self_time_by_name(model)
+    counts: dict[str, int] = {}
+    for span in model.spans:
+        name = span.get("name", "")
+        counts[name] = counts.get(name, 0) + 1
+    return {
+        name: {
+            "count": counts.get(name, 0),
+            "total_seconds": totals.get(name, 0.0),
+            "self_seconds": selfs.get(name, 0.0),
+        }
+        for name in sorted(totals, key=lambda n: -totals[n])
+    }
+
+
+# -- worker / queue statistics -------------------------------------------------
+
+
+def worker_stats(model: TraceModel) -> dict[str, Any]:
+    """Utilization per worker lane over the traced interval.
+
+    For each ``worker-<pid>`` lane (see :meth:`TraceModel.lanes`): busy
+    seconds (union of the lane's span intervals), span count, and utilization
+    relative to the whole trace interval.  The summary means answer the
+    ROADMAP's question — are workers busy, or waiting for jobs to spawn?
+    """
+    t0, t1 = model.interval()
+    horizon = max(t1 - t0, 1e-12)
+    lanes = model.lanes()
+    workers: dict[str, dict[str, float]] = {}
+    for lane, spans in lanes.items():
+        if lane == "parent":
+            continue
+        busy = _union_seconds([(_start(s), _end(s)) for s in spans])
+        workers[lane] = {
+            "n_spans": len(spans),
+            "busy_seconds": busy,
+            "utilization": busy / horizon,
+        }
+    utils = [w["utilization"] for w in workers.values()]
+    return {
+        "n_workers": len(workers),
+        "trace_seconds": t1 - t0,
+        "mean_utilization": sum(utils) / len(utils) if utils else 0.0,
+        "workers": dict(sorted(workers.items())),
+    }
+
+
+def queue_wait_stats(model: TraceModel, name: str = "queue_wait") -> dict[str, float]:
+    """Distribution of ``queue_wait`` span durations (count/total/mean/p50/p95/max)."""
+    waits = sorted(
+        float(span.get("duration") or 0.0)
+        for span in model.spans
+        if span.get("name") == name
+    )
+    if not waits:
+        return {"count": 0, "total_seconds": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "count": len(waits),
+        "total_seconds": sum(waits),
+        "mean": sum(waits) / len(waits),
+        "p50": waits[len(waits) // 2],
+        "p95": waits[min(int(0.95 * len(waits)), len(waits) - 1)],
+        "max": waits[-1],
+    }
+
+
+# -- trace diffing -------------------------------------------------------------
+
+
+@dataclass
+class TraceDiff:
+    """Per-span-name deltas between a baseline trace and a candidate trace.
+
+    Attributes
+    ----------
+    rows:
+        One record per span name present in either trace:
+        ``{name, count_a, count_b, total_a, total_b, self_a, self_b,
+        delta_total, ratio}`` (``ratio`` is ``total_b / total_a``, ``inf``
+        for names new in the candidate).
+    """
+
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def regressions(
+        self, tolerance: float = 0.25, min_seconds: float = 0.05
+    ) -> list[dict[str, Any]]:
+        """Rows whose candidate total regressed past the tolerance.
+
+        A name regresses when ``total_b > total_a * (1 + tolerance)`` *and*
+        the absolute growth is at least ``min_seconds`` (so microsecond spans
+        can't fail a gate on relative noise).  Names absent from the baseline
+        regress when their candidate total alone clears ``min_seconds``.
+        """
+        out = []
+        for row in self.rows:
+            delta = row["total_b"] - row["total_a"]
+            if delta < min_seconds:
+                continue
+            if row["total_b"] > row["total_a"] * (1.0 + tolerance):
+                out.append(row)
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able view (the ``repro-obs diff --json`` payload)."""
+        return {"rows": list(self.rows)}
+
+
+def diff_traces(
+    baseline: TraceModel | list[dict[str, Any]],
+    candidate: TraceModel | list[dict[str, Any]],
+) -> TraceDiff:
+    """Reduce two traces to per-span-name count/total/self-time deltas."""
+    a = baseline if isinstance(baseline, TraceModel) else TraceModel(baseline)
+    b = candidate if isinstance(candidate, TraceModel) else TraceModel(candidate)
+    attr_a = phase_attribution(a)
+    attr_b = phase_attribution(b)
+    rows = []
+    for name in sorted(set(attr_a) | set(attr_b)):
+        ra = attr_a.get(name, {"count": 0, "total_seconds": 0.0, "self_seconds": 0.0})
+        rb = attr_b.get(name, {"count": 0, "total_seconds": 0.0, "self_seconds": 0.0})
+        total_a, total_b = ra["total_seconds"], rb["total_seconds"]
+        rows.append(
+            {
+                "name": name,
+                "count_a": ra["count"],
+                "count_b": rb["count"],
+                "total_a": total_a,
+                "total_b": total_b,
+                "self_a": ra["self_seconds"],
+                "self_b": rb["self_seconds"],
+                "delta_total": total_b - total_a,
+                "ratio": (total_b / total_a) if total_a > 0 else float("inf"),
+            }
+        )
+    rows.sort(key=lambda row: -abs(row["delta_total"]))
+    return TraceDiff(rows=rows)
+
+
+# -- exporters -----------------------------------------------------------------
+
+
+def to_chrome_trace(model: TraceModel) -> dict[str, Any]:
+    """The trace as Chrome trace-event JSON (Perfetto / ``chrome://tracing``).
+
+    Every span becomes one complete (``"ph": "X"``) event on a per-process
+    timeline lane — ``parent`` plus one ``worker-<pid>`` row each — with
+    timestamps in microseconds relative to the earliest span.  Resource
+    sampler events become ``rss_mb`` counter tracks.  Load the file via
+    https://ui.perfetto.dev ("Open trace file") or ``chrome://tracing``.
+    """
+    t0, _ = model.interval()
+    lanes = model.lanes()
+    tids = {lane: index for index, lane in enumerate(sorted(lanes))}
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "repro trace"},
+        }
+    ]
+    for lane, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+        )
+    for lane, spans in lanes.items():
+        tid = tids[lane]
+        for span in spans:
+            attributes = dict(span.get("attributes") or {})
+            attributes["span_id"] = span["span_id"]
+            attributes["status"] = span.get("status", "ok")
+            events.append(
+                {
+                    "name": span.get("name", ""),
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": (_start(span) - t0) * 1e6,
+                    "dur": float(span.get("duration") or 0.0) * 1e6,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": attributes,
+                }
+            )
+    for event in model.resources:
+        events.append(
+            {
+                "name": f"rss_mb:{event.get('role', 'proc')}-{event.get('pid')}",
+                "ph": "C",
+                "ts": (float(event.get("monotonic") or 0.0) - t0) * 1e6,
+                "pid": 1,
+                "args": {"rss_mb": float(event.get("rss_bytes") or 0.0) / 1e6},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(model: TraceModel, path: str | Path) -> Path:
+    """Serialize :func:`to_chrome_trace` to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(model), default=json_default) + "\n")
+    return path
+
+
+def render_waterfall(
+    model: TraceModel, width: int = 64, max_lines: int = 60
+) -> str:
+    """A terminal waterfall of the span tree.
+
+    One line per span — indentation is tree depth, the bar is the span's
+    position within the whole traced interval — capped at ``max_lines`` (a
+    trailing summary line reports how many spans were elided).  This is the
+    ``repro-obs summarize --waterfall`` view.
+    """
+    t0, t1 = model.interval()
+    horizon = max(t1 - t0, 1e-12)
+    lines: list[str] = []
+    elided = 0
+
+    label_width = 28
+
+    def _emit(span: dict[str, Any], depth: int) -> None:
+        nonlocal elided
+        if len(lines) >= max_lines:
+            elided += 1
+        else:
+            lo = int(round((_start(span) - t0) / horizon * (width - 1)))
+            hi = int(round((_end(span) - t0) / horizon * (width - 1)))
+            hi = max(hi, lo)
+            bar = " " * lo + "#" * max(hi - lo, 1) + " " * (width - 1 - hi)
+            label = ("  " * depth + span.get("name", ""))[:label_width]
+            duration = float(span.get("duration") or 0.0)
+            lines.append(f"{label:<{label_width}} |{bar}| {duration:>9.3f}s")
+        for child in model.children_of(span["span_id"]):
+            _emit(child, depth + 1)
+
+    for root in model.roots:
+        _emit(root, 0)
+    if elided:
+        lines.append(f"... ({elided} more spans elided; raise max_lines to see them)")
+    return "\n".join(lines)
+
+
+# -- resource accounting and the benchmark section -----------------------------
+
+
+def peak_rss_by_pid(events: Iterable[Mapping[str, Any]]) -> dict[str, dict[str, Any]]:
+    """Peak RSS and last CPU total per sampled pid.
+
+    ``events`` may be a full NDJSON event list or pre-filtered ``resource``
+    events.  CPU seconds are cumulative in ``/proc/<pid>/stat``, so the
+    per-pid maximum *is* the total CPU the process consumed while sampled.
+    """
+    peaks: dict[str, dict[str, Any]] = {}
+    for event in resource_events(events):
+        pid = str(event.get("pid"))
+        record = peaks.setdefault(
+            pid,
+            {"peak_rss_bytes": 0, "cpu_seconds": 0.0, "n_samples": 0,
+             "role": event.get("role", "worker")},
+        )
+        record["peak_rss_bytes"] = max(
+            record["peak_rss_bytes"], int(event.get("rss_bytes") or 0)
+        )
+        record["cpu_seconds"] = max(
+            record["cpu_seconds"], float(event.get("cpu_seconds") or 0.0)
+        )
+        record["n_samples"] += 1
+    return peaks
+
+
+def wall_clock_section(model: TraceModel) -> dict[str, Any]:
+    """The span-derived ``wall_clock_breakdown`` section of ``BENCH_serve.json``.
+
+    Promotes what used to be benchmark-local logic into the library: the
+    validation counters, the pinned per-phase second totals
+    (:data:`BREAKDOWN_NAMES`), and — when the trace carries resource sampler
+    events — peak RSS per worker.  The benchmark adds run-specific keys
+    (``n_jobs``, file names) on top.
+    """
+    summary = validate_trace(model.spans)
+    breakdown = wall_clock_breakdown(model.spans)
+    section: dict[str, Any] = {
+        "n_spans": summary["n_spans"],
+        "n_orphans": summary["n_orphans"],
+        "n_clamped_durations": summary["n_clamped_durations"],
+    }
+    for name in BREAKDOWN_NAMES:
+        section[f"{name}_seconds"] = breakdown.get(name, 0.0)
+    peaks = peak_rss_by_pid(model.resources)
+    worker_peaks = {
+        pid: record["peak_rss_bytes"]
+        for pid, record in peaks.items()
+        if record["role"] == "worker"
+    }
+    parent_peaks = [
+        record["peak_rss_bytes"]
+        for record in peaks.values()
+        if record["role"] == "parent"
+    ]
+    section["n_sampled_processes"] = len(peaks)
+    section["peak_rss_per_worker_bytes"] = worker_peaks
+    section["max_worker_peak_rss_bytes"] = max(worker_peaks.values(), default=0)
+    section["parent_peak_rss_bytes"] = max(parent_peaks, default=0)
+    return section

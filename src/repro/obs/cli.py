@@ -1,0 +1,315 @@
+"""``repro-obs`` — the command-line face of the trace analytics layer.
+
+Five subcommands over the NDJSON traces the serving engine writes
+(``repro-serve ... --trace-out trace.ndjson``):
+
+``repro-obs summarize trace.ndjson [--waterfall]``
+    Validation counters, per-phase attribution, worker utilization, and
+    queue-wait stats; ``--waterfall`` appends the terminal span waterfall.
+
+``repro-obs critical-path trace.ndjson``
+    The chain of spans bounding the run's wall-clock; the printed total
+    always equals the root span duration (the segments tile it exactly).
+
+``repro-obs diff baseline.ndjson candidate.ndjson [--tolerance 0.25]``
+    Per-span-name count/total/self-time deltas; exits ``1`` when any span
+    name's total regressed past the tolerance — the perf gate CI runs.
+
+``repro-obs export trace.ndjson --format chrome -o trace.chrome.json``
+    Chrome trace-event JSON, loadable at https://ui.perfetto.dev.
+
+``repro-obs check trace.ndjson [--require-span solve ...]``
+    Structural health (wraps :func:`~repro.obs.validate_trace`); exits ``1``
+    on orphans or missing required span names.
+
+Every subcommand takes ``--json`` (machine-readable output) where a human
+rendering is the default.  A missing trace file exits ``2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ValidationError
+from repro.obs.analyze import (
+    TraceModel,
+    critical_path,
+    diff_traces,
+    phase_attribution,
+    queue_wait_stats,
+    render_waterfall,
+    wall_clock_section,
+    worker_stats,
+    write_chrome_trace,
+)
+from repro.obs.sinks import json_default
+from repro.obs.tracing import validate_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-obs`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Analyze NDJSON span traces written by repro-serve --trace-out.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "summarize",
+        help="validation counters, phase attribution, worker and queue stats",
+    )
+    p.add_argument("trace", help="NDJSON trace file")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--waterfall", action="store_true", help="append the terminal span waterfall"
+    )
+    p.add_argument(
+        "--width", type=int, default=64, help="waterfall bar width (default 64)"
+    )
+
+    p = sub.add_parser(
+        "critical-path", help="the span chain bounding the run's wall-clock"
+    )
+    p.add_argument("trace", help="NDJSON trace file")
+    p.add_argument(
+        "--root",
+        default=None,
+        help="span id to use as the root (default: the longest root span)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p = sub.add_parser(
+        "diff",
+        help="per-span-name deltas between two traces; exit 1 on regression",
+    )
+    p.add_argument("baseline", help="baseline NDJSON trace")
+    p.add_argument("candidate", help="candidate NDJSON trace")
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative growth of a span-name total (default 0.25)",
+    )
+    p.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="ignore regressions smaller than this many seconds (default 0.05)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p = sub.add_parser("export", help="convert a trace to another format")
+    p.add_argument("trace", help="NDJSON trace file")
+    p.add_argument(
+        "--format",
+        choices=["chrome"],
+        default="chrome",
+        help="output format (chrome = Chrome trace-event JSON, Perfetto-loadable)",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output path (default: <trace>.chrome.json)",
+    )
+
+    p = sub.add_parser(
+        "check", help="structural health check; exit 1 on orphans or missing spans"
+    )
+    p.add_argument("trace", help="NDJSON trace file")
+    p.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless a span with this name is present (repeatable)",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    return parser
+
+
+def _load(path: str) -> TraceModel:
+    """Load a trace or exit 2 with a readable error."""
+    if not Path(path).exists():
+        print(f"repro-obs: trace file not found: {path}", file=sys.stderr)
+        raise SystemExit(2)
+    model = TraceModel.from_file(path)
+    if not model.spans:
+        print(f"repro-obs: no span events in {path}", file=sys.stderr)
+        raise SystemExit(2)
+    return model
+
+
+def _print_json(payload: Any) -> None:
+    """Dump a payload as indented JSON on stdout."""
+    print(json.dumps(payload, indent=2, default=json_default))
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    """``repro-obs summarize``."""
+    model = _load(args.trace)
+    attribution = phase_attribution(model)
+    workers = worker_stats(model)
+    queue = queue_wait_stats(model)
+    section = wall_clock_section(model)
+    if args.json:
+        _print_json(
+            {
+                "trace": args.trace,
+                "wall_clock": section,
+                "phases": attribution,
+                "workers": workers,
+                "queue_wait": queue,
+            }
+        )
+        return 0
+    print(f"trace: {args.trace}")
+    print(
+        f"  {section['n_spans']} spans, {section['n_orphans']} orphans, "
+        f"{section['n_clamped_durations']} clamped negative durations, "
+        f"{model.n_adopted} adopted"
+    )
+    print(f"{'phase':<20} {'count':>6} {'total s':>10} {'self s':>10}")
+    for name, row in attribution.items():
+        print(
+            f"{name:<20} {row['count']:>6} {row['total_seconds']:>10.3f} "
+            f"{row['self_seconds']:>10.3f}"
+        )
+    print(
+        f"workers: {workers['n_workers']} over {workers['trace_seconds']:.3f}s, "
+        f"mean utilization {workers['mean_utilization']:.1%}"
+    )
+    print(
+        f"queue_wait: n={queue['count']} total={queue['total_seconds']:.3f}s "
+        f"mean={queue['mean']:.3f}s p95={queue['p95']:.3f}s max={queue['max']:.3f}s"
+    )
+    if section["n_sampled_processes"]:
+        print(
+            f"sampled rss: {section['n_sampled_processes']} processes, "
+            f"max worker peak {section['max_worker_peak_rss_bytes'] / 1e6:.1f} MB, "
+            f"parent peak {section['parent_peak_rss_bytes'] / 1e6:.1f} MB"
+        )
+    if args.waterfall:
+        print(render_waterfall(model, width=args.width))
+    return 0
+
+
+def _cmd_critical_path(args: argparse.Namespace) -> int:
+    """``repro-obs critical-path``."""
+    model = _load(args.trace)
+    path = critical_path(model, root=args.root)
+    if args.json:
+        _print_json(path.as_dict())
+        return 0
+    root = path.root
+    print(
+        f"critical path of {root.get('name')} ({root.get('span_id')}), "
+        f"root duration {float(root.get('duration') or 0.0):.3f}s:"
+    )
+    for seg in path.segments:
+        print(f"  {seg['duration']:>9.3f}s  {seg['name']}  [{seg['span_id']}]")
+    print(f"total: {path.total_seconds:.3f}s over {len(path.segments)} segments")
+    for name, seconds in path.by_name().items():
+        print(f"  {name:<20} {seconds:>9.3f}s")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """``repro-obs diff`` — exit 1 when a span-name total regressed."""
+    diff = diff_traces(_load(args.baseline), _load(args.candidate))
+    regressions = diff.regressions(
+        tolerance=args.tolerance, min_seconds=args.min_seconds
+    )
+    if args.json:
+        _print_json(
+            {
+                "baseline": args.baseline,
+                "candidate": args.candidate,
+                "tolerance": args.tolerance,
+                "min_seconds": args.min_seconds,
+                "rows": diff.rows,
+                "regressions": regressions,
+            }
+        )
+        return 1 if regressions else 0
+    print(
+        f"{'span name':<20} {'n a→b':>11} {'total a':>10} {'total b':>10} {'Δ':>9}"
+    )
+    for row in diff.rows:
+        print(
+            f"{row['name']:<20} {row['count_a']:>5}→{row['count_b']:<5} "
+            f"{row['total_a']:>10.3f} {row['total_b']:>10.3f} "
+            f"{row['delta_total']:>+9.3f}"
+        )
+    if regressions:
+        names = ", ".join(row["name"] for row in regressions)
+        print(
+            f"REGRESSION: {len(regressions)} span name(s) past "
+            f"+{args.tolerance:.0%} tolerance: {names}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: no span-name total grew past +{args.tolerance:.0%}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """``repro-obs export --format chrome``."""
+    model = _load(args.trace)
+    output = args.output or f"{args.trace}.chrome.json"
+    write_chrome_trace(model, output)
+    print(
+        f"wrote {output} ({len(model.spans)} spans, "
+        f"{len(model.resources)} resource samples) — "
+        "load it at https://ui.perfetto.dev or chrome://tracing"
+    )
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """``repro-obs check`` — exit 1 on orphans or missing required spans."""
+    model = _load(args.trace)
+    summary = validate_trace(model.spans)
+    missing = [name for name in args.require_span if name not in summary["names"]]
+    ok = summary["n_orphans"] == 0 and not missing
+    if args.json:
+        _print_json({**summary, "missing_spans": missing, "ok": ok})
+    else:
+        print(
+            f"{args.trace}: {summary['n_spans']} spans, "
+            f"{summary['n_roots']} roots, {summary['n_orphans']} orphans, "
+            f"{summary['n_clamped_durations']} clamped durations"
+        )
+        if missing:
+            print(f"missing required spans: {', '.join(missing)}", file=sys.stderr)
+        if summary["n_orphans"]:
+            print(f"orphans: {', '.join(summary['orphans'])}", file=sys.stderr)
+        print("ok" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-obs`` / ``python -m repro.obs``."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "summarize": _cmd_summarize,
+        "critical-path": _cmd_critical_path,
+        "diff": _cmd_diff,
+        "export": _cmd_export,
+        "check": _cmd_check,
+    }
+    try:
+        return handlers[args.command](args)
+    except ValidationError as exc:
+        print(f"repro-obs: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro.obs
+    sys.exit(main())

@@ -159,14 +159,49 @@ class Histogram:
         """Mean observation (0.0 with no observations)."""
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation within buckets.
+
+        Follows Prometheus ``histogram_quantile`` semantics: the quantile is
+        located in the first bucket whose cumulative count reaches
+        ``q * count`` and interpolated linearly between the bucket's bounds
+        (the first bucket interpolates up from 0).  Observations that landed
+        in the ``+Inf`` bucket clamp to the highest finite bound — an
+        estimate, as good as the bucket layout.  Returns 0.0 with no
+        observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        lower = 0.0
+        for bound, count in zip(self.bounds, self._bucket_counts):
+            if count > 0 and running + count >= target:
+                fraction = (target - running) / count
+                return lower + (bound - lower) * fraction
+            running += count
+            lower = bound
+        return self.bounds[-1]
+
+    def percentiles(self) -> dict[str, float]:
+        """The ``{"p50", "p95", "p99"}`` estimates (see :meth:`quantile`)."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
     def as_dict(self) -> dict[str, Any]:
-        """JSON-able view of the histogram."""
+        """JSON-able view of the histogram (buckets plus p50/p95/p99)."""
         return {
             "name": self.name,
             "labels": dict(self.labels),
             "count": self.count,
             "sum": self.sum,
             "mean": self.mean,
+            "percentiles": self.percentiles(),
             "buckets": self.cumulative_buckets(),
         }
 

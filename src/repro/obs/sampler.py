@@ -1,0 +1,282 @@
+"""Per-process resource sampling from ``/proc`` — no psutil required.
+
+The streaming engine's workers are disposable processes, so the question
+"how much memory did that job actually use?" cannot be answered after the
+fact: by the time the result arrives, the process is gone.
+:class:`ResourceSampler` answers it live — a daemon thread polls
+``/proc/<pid>/statm`` (resident pages → RSS bytes) and ``/proc/<pid>/stat``
+(``utime + stime`` ticks → CPU seconds) for the parent and every tracked
+worker pid, emitting periodic ``resource`` events into the same sink the
+span events go to, so memory and CPU land *next to* the spans they explain.
+
+Off Linux there is no ``/proc``, and the sampler degrades to a no-op:
+:meth:`ResourceSampler.start` simply never launches the thread
+(:func:`is_supported` is the gate).  There is deliberately no psutil
+dependency — the two proc files are stable ABI and parsing them is ~15
+lines.
+
+Environment knobs
+-----------------
+``REPRO_OBS_SAMPLE_INTERVAL``
+    Seconds between sampling sweeps (default 0.05).
+``REPRO_OBS_SAMPLE``
+    Set to ``0``/``false``/``no`` to disable sampling even where supported.
+
+Event schema
+------------
+Each sweep emits one event per live tracked pid::
+
+    {"event": "resource", "pid": 1234, "role": "worker", "job_id": "j-01",
+     "rss_bytes": 73728000, "cpu_seconds": 1.84,
+     "monotonic": 123.456, "wall": 1699999999.0}
+
+``monotonic`` shares the clock of span ``start`` fields, which is what lets
+:func:`repro.obs.analyze.to_chrome_trace` draw RSS counter tracks on the
+same timeline as the spans.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any
+
+from repro.obs.sinks import EventSink, InMemorySink
+
+__all__ = ["ResourceSampler", "is_supported", "read_proc_sample"]
+
+#: Default seconds between sampling sweeps.
+DEFAULT_INTERVAL = 0.05
+
+
+def _env_interval() -> float:
+    """The sweep interval from ``REPRO_OBS_SAMPLE_INTERVAL`` (or the default)."""
+    raw = os.environ.get("REPRO_OBS_SAMPLE_INTERVAL", "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_INTERVAL
+    return value if value > 0 else DEFAULT_INTERVAL
+
+
+def _env_disabled() -> bool:
+    """True when ``REPRO_OBS_SAMPLE`` turns sampling off."""
+    return os.environ.get("REPRO_OBS_SAMPLE", "").strip().lower() in {"0", "false", "no", "off"}
+
+
+def is_supported() -> bool:
+    """Whether this platform exposes the ``/proc`` files the sampler reads."""
+    try:
+        return os.path.exists("/proc/self/statm") and os.path.exists("/proc/self/stat")
+    except OSError:  # pragma: no cover - exotic /proc failures
+        return False
+
+
+def read_proc_sample(pid: int) -> dict[str, float] | None:
+    """One ``{rss_bytes, cpu_seconds}`` sample for a pid, or ``None`` if gone.
+
+    RSS comes from field 2 of ``/proc/<pid>/statm`` (resident pages ×
+    ``SC_PAGE_SIZE``).  CPU is ``utime + stime`` from ``/proc/<pid>/stat``,
+    parsed after the last ``')'`` because the comm field may itself contain
+    spaces and parentheses, divided by ``SC_CLK_TCK``.  Any vanished-process
+    error (the pid exited between sweeps) reads as ``None``, never raises.
+    """
+    try:
+        with open(f"/proc/{pid}/statm", "rb") as handle:
+            resident_pages = int(handle.read().split()[1])
+        with open(f"/proc/{pid}/stat", "rb") as handle:
+            stat = handle.read().decode("ascii", "replace")
+    except (FileNotFoundError, ProcessLookupError, PermissionError, OSError, IndexError, ValueError):
+        return None
+    try:
+        rest = stat[stat.rfind(")") + 2 :].split()
+        # rest[0] is field 3 (state); utime/stime are fields 14/15 → rest[11]/rest[12].
+        cpu_ticks = int(rest[11]) + int(rest[12])
+        page_size = os.sysconf("SC_PAGE_SIZE")
+        clk_tck = os.sysconf("SC_CLK_TCK")
+    except (IndexError, ValueError, OSError):
+        return None
+    return {
+        "rss_bytes": float(resident_pages * page_size),
+        "cpu_seconds": cpu_ticks / float(clk_tck),
+    }
+
+
+class ResourceSampler:
+    """Background thread sampling RSS/CPU for tracked pids into an event sink.
+
+    The streaming engine owns one sampler per run: the parent pid is tracked
+    for the whole run, each worker pid from ``process.start()`` until its
+    trace is merged, at which point :meth:`untrack` returns the peak record
+    that gets stamped onto the job span (``worker_peak_rss_bytes`` /
+    ``worker_cpu_seconds`` attributes).
+
+    Parameters
+    ----------
+    sink:
+        Destination for ``resource`` events (default: a private
+        :class:`~repro.obs.sinks.InMemorySink`).  Sharing the tracer's NDJSON
+        sink is safe — its writes are serialized.
+    interval:
+        Seconds between sweeps; ``None`` reads ``REPRO_OBS_SAMPLE_INTERVAL``
+        (default 0.05).
+
+    Notes
+    -----
+    Where :func:`is_supported` is false (no ``/proc``) or ``REPRO_OBS_SAMPLE``
+    disables sampling, :meth:`start` is a no-op: :attr:`enabled` stays false,
+    tracked pids accumulate zero samples, and every peak reads as zero — the
+    engine's wiring code never needs a platform branch.
+    """
+
+    def __init__(self, sink: EventSink | None = None, interval: float | None = None) -> None:
+        self.sink = sink if sink is not None else InMemorySink()
+        self.interval = float(interval) if interval is not None else _env_interval()
+        self.enabled = False
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        #: pid -> {"role": ..., "job_id": ...} for live tracked processes.
+        self._tracked: dict[int, dict[str, Any]] = {}
+        #: pid -> running peak record (kept after untrack in :attr:`peaks`).
+        self.peaks: dict[int, dict[str, Any]] = {}
+        self.n_samples = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> bool:
+        """Launch the sampling thread; returns whether sampling is active.
+
+        No-op (returns False) off Linux, under ``REPRO_OBS_SAMPLE=0``, or
+        when already started.
+        """
+        if self._thread is not None:
+            return self.enabled
+        if not is_supported() or _env_disabled():
+            return False
+        self.enabled = True
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-resource-sampler", daemon=True
+        )
+        self._thread.start()
+        return True
+
+    def stop(self) -> None:
+        """Stop the thread (idempotent) after one final sweep."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=max(self.interval * 20, 2.0))
+        self._thread = None
+        self.enabled = False
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+        self.sample_once()  # final sweep so short-lived pids get >= 1 sample
+
+    # -- tracking --------------------------------------------------------------
+
+    def track(self, pid: int, role: str = "worker", job_id: str | None = None) -> None:
+        """Start sampling ``pid`` (``role`` is ``"parent"`` or ``"worker"``)."""
+        with self._lock:
+            self._tracked[pid] = {"role": role, "job_id": job_id}
+            self.peaks.setdefault(
+                pid,
+                {
+                    "role": role,
+                    "job_id": job_id,
+                    "peak_rss_bytes": 0.0,
+                    "cpu_seconds": 0.0,
+                    "n_samples": 0,
+                },
+            )
+
+    def untrack(self, pid: int) -> dict[str, Any]:
+        """Stop sampling ``pid`` after one last sample; return its peak record.
+
+        The record (``{role, job_id, peak_rss_bytes, cpu_seconds, n_samples}``)
+        stays available in :attr:`peaks`; an untracked or never-sampled pid
+        returns an all-zero record rather than raising.
+        """
+        self._sample_pid(pid)
+        with self._lock:
+            meta = self._tracked.pop(pid, {"role": "worker", "job_id": None})
+            return dict(
+                self.peaks.get(
+                    pid,
+                    {
+                        "role": meta["role"],
+                        "job_id": meta["job_id"],
+                        "peak_rss_bytes": 0.0,
+                        "cpu_seconds": 0.0,
+                        "n_samples": 0,
+                    },
+                )
+            )
+
+    # -- sampling --------------------------------------------------------------
+
+    def _sample_pid(self, pid: int) -> dict[str, Any] | None:
+        """Sample one pid now; emit its event and fold it into the peak."""
+        if not self.enabled:
+            return None
+        sample = read_proc_sample(pid)
+        if sample is None:
+            return None
+        now = time.monotonic()
+        with self._lock:
+            meta = self._tracked.get(pid, {"role": "worker", "job_id": None})
+            event = {
+                "event": "resource",
+                "pid": pid,
+                "role": meta["role"],
+                "job_id": meta["job_id"],
+                "rss_bytes": sample["rss_bytes"],
+                "cpu_seconds": sample["cpu_seconds"],
+                "monotonic": now,
+                "wall": time.time(),
+            }
+            peak = self.peaks.setdefault(
+                pid,
+                {
+                    "role": meta["role"],
+                    "job_id": meta["job_id"],
+                    "peak_rss_bytes": 0.0,
+                    "cpu_seconds": 0.0,
+                    "n_samples": 0,
+                },
+            )
+            peak["peak_rss_bytes"] = max(peak["peak_rss_bytes"], sample["rss_bytes"])
+            peak["cpu_seconds"] = max(peak["cpu_seconds"], sample["cpu_seconds"])
+            peak["n_samples"] += 1
+            self.n_samples += 1
+        try:
+            self.sink.emit(event)
+        except RuntimeError:  # sink closed mid-shutdown; drop the sample
+            return None
+        return event
+
+    def sample_once(self) -> int:
+        """Sample every tracked pid once; returns how many samples landed."""
+        with self._lock:
+            pids = list(self._tracked)
+        return sum(1 for pid in pids if self._sample_pid(pid) is not None)
+
+    # -- reporting -------------------------------------------------------------
+
+    def peak_rss_bytes(self, pid: int) -> float:
+        """Peak RSS observed for ``pid`` (0.0 when never sampled)."""
+        with self._lock:
+            return float(self.peaks.get(pid, {}).get("peak_rss_bytes", 0.0))
+
+    def worker_peaks(self) -> dict[int, float]:
+        """``{pid: peak_rss_bytes}`` for every pid tracked with role worker."""
+        with self._lock:
+            return {
+                pid: float(record["peak_rss_bytes"])
+                for pid, record in self.peaks.items()
+                if record.get("role") == "worker"
+            }

@@ -20,6 +20,7 @@ line a killed writer leaves behind, which is what makes trace *merging* safe
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Any, Protocol, runtime_checkable
 
@@ -90,6 +91,11 @@ class NDJSONFileSink:
     valid event — only an in-flight line can be lost, and
     :func:`read_ndjson` skips it.
 
+    Writes are serialized behind a lock: the streaming engine's
+    :class:`~repro.obs.sampler.ResourceSampler` emits ``resource`` events
+    from a background thread into the same sink that receives span events
+    from the main thread, and interleaved partial lines would corrupt both.
+
     Parameters
     ----------
     path:
@@ -101,21 +107,25 @@ class NDJSONFileSink:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = self.path.open("w", encoding="utf-8")
+        self._lock = threading.Lock()
         self.n_events = 0
 
     def emit(self, event: dict[str, Any]) -> None:
         """Write ``event`` as one JSON line and flush it to disk."""
-        if self._handle is None:
-            raise RuntimeError(f"sink for {self.path} is closed")
-        self._handle.write(json.dumps(event, default=json_default) + "\n")
-        self._handle.flush()
-        self.n_events += 1
+        line = json.dumps(event, default=json_default) + "\n"
+        with self._lock:
+            if self._handle is None:
+                raise RuntimeError(f"sink for {self.path} is closed")
+            self._handle.write(line)
+            self._handle.flush()
+            self.n_events += 1
 
     def close(self) -> None:
         """Close the underlying file (idempotent)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
 
 def read_ndjson(path: str | Path, skip_malformed: bool = True) -> list[dict[str, Any]]:

@@ -47,6 +47,7 @@ __all__ = [
     "read_trace",
     "validate_trace",
     "wall_clock_breakdown",
+    "clamp_negative_durations",
     "new_span_id",
 ]
 
@@ -347,6 +348,27 @@ def activated(tracer: Tracer) -> Iterator[Tracer]:
 # -- cross-process merge and analysis -----------------------------------------
 
 
+def clamp_negative_durations(spans: list[dict[str, Any]]) -> int:
+    """Clamp negative span durations to zero in place; return the clamp count.
+
+    Negative durations are cross-process clock-skew artifacts: a worker's
+    synthesized span (e.g. a spawn gap reconstructed at merge time) can end
+    up with ``duration < 0`` when the two processes read ``time.monotonic()``
+    a scheduling quantum apart.  Left alone they *subtract* from
+    :func:`wall_clock_breakdown` totals; clamped spans are marked with a
+    ``clamped_negative_duration`` attribute so :func:`validate_trace` can
+    report how often it happened.
+    """
+    n_clamped = 0
+    for span in spans:
+        duration = span.get("duration")
+        if duration is not None and float(duration) < 0.0:
+            span["duration"] = 0.0
+            span.setdefault("attributes", {})["clamped_negative_duration"] = True
+            n_clamped += 1
+    return n_clamped
+
+
 def merge_spool(
     tracer: Tracer,
     spool_path: str | Path,
@@ -381,6 +403,7 @@ def merge_spool(
         for event in read_ndjson(spool_path)
         if event.get("event") == "span" and event.get("span_id")
     ]
+    clamp_negative_durations(events)
     known = {event["span_id"] for event in events}
     if adopt_id is not None:
         known.add(adopt_id)
@@ -395,12 +418,18 @@ def merge_spool(
 
 
 def read_trace(path: str | Path) -> list[dict[str, Any]]:
-    """Read the span events of an NDJSON trace file (other events skipped)."""
-    return [
+    """Read the span events of an NDJSON trace file (other events skipped).
+
+    Negative durations — clock-skew artifacts of cross-process merges — are
+    clamped to zero and flagged (see :func:`clamp_negative_durations`).
+    """
+    spans = [
         event
         for event in read_ndjson(path)
         if event.get("event") == "span" and event.get("span_id")
     ]
+    clamp_negative_durations(spans)
+    return spans
 
 
 def validate_trace(spans: list[dict[str, Any]]) -> dict[str, Any]:
@@ -408,8 +437,10 @@ def validate_trace(spans: list[dict[str, Any]]) -> dict[str, Any]:
 
     Returns a dict with ``n_spans``, ``n_roots`` (spans with no parent),
     ``n_orphans`` and ``orphans`` (span ids whose ``parent_id`` references a
-    span absent from the list), and ``names`` (distinct span names).  A
-    well-merged trace has ``n_orphans == 0``.
+    span absent from the list), ``n_clamped_durations`` (spans whose negative
+    duration was clamped to zero — either still raw-negative here or already
+    flagged by :func:`clamp_negative_durations`), and ``names`` (distinct
+    span names).  A well-merged trace has ``n_orphans == 0``.
     """
     ids = {span["span_id"] for span in spans}
     orphans = [
@@ -417,11 +448,18 @@ def validate_trace(spans: list[dict[str, Any]]) -> dict[str, Any]:
         for span in spans
         if span.get("parent_id") is not None and span["parent_id"] not in ids
     ]
+    n_clamped = sum(
+        1
+        for span in spans
+        if (span.get("attributes") or {}).get("clamped_negative_duration")
+        or float(span.get("duration") or 0.0) < 0.0
+    )
     return {
         "n_spans": len(spans),
         "n_roots": sum(1 for span in spans if span.get("parent_id") is None),
         "n_orphans": len(orphans),
         "orphans": orphans,
+        "n_clamped_durations": n_clamped,
         "names": sorted({span.get("name", "") for span in spans}),
     }
 

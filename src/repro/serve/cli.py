@@ -204,6 +204,23 @@ def _cache_summary_line(stats: dict) -> str:
     )
 
 
+def _latency_summary_line(metrics) -> str | None:
+    """The per-job latency percentile digest, or ``None`` with no samples.
+
+    Reads the ``serve_job_seconds`` histogram the streaming engine observes
+    per finished job; the percentiles are bucket-interpolated estimates
+    (:meth:`repro.obs.Histogram.quantile`).
+    """
+    histogram = metrics.histogram("serve_job_seconds")
+    if histogram.count == 0:
+        return None
+    p = histogram.percentiles()
+    return (
+        f"latency: n={histogram.count} mean={histogram.mean:.3f}s "
+        f"p50={p['p50']:.3f}s p95={p['p95']:.3f}s p99={p['p99']:.3f}s"
+    )
+
+
 def load_manifest(source: str) -> list[LearningJob]:
     """Parse the manifest file (or stdin when ``source`` is ``-``) into jobs."""
     if source == "-":
@@ -515,6 +532,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         if cache is not None:
             print(_cache_summary_line(summary["cache_stats"]), file=sys.stderr)
+        if runner.tracer is not None:
+            latency = _latency_summary_line(runner.tracer.metrics)
+            if latency is not None:
+                print(latency, file=sys.stderr)
 
     return 0 if report.n_failed + report.n_timeout == 0 else 1
 

@@ -60,7 +60,7 @@ import numpy as np
 
 import repro.core.backend as backend_module
 from repro.exceptions import ValidationError
-from repro.obs import NDJSONFileSink, Span, Tracer, activated, merge_spool
+from repro.obs import NDJSONFileSink, ResourceSampler, Span, Tracer, activated, merge_spool
 from repro.serve.cache import ResultCache, job_fingerprint
 from repro.serve.job import JobResult, LearningJob, execute_job
 
@@ -466,6 +466,16 @@ class StreamingRunner:
         trace (orphans adopted if the worker died mid-flush), and
         preemption/requeue/cache counters are folded into
         ``tracer.metrics``.
+    sample_resources:
+        Whether to run a :class:`~repro.obs.ResourceSampler` alongside the
+        stream, emitting periodic ``resource`` events (RSS/CPU for the parent
+        and each live worker) into the tracer's sink and stamping
+        ``worker_peak_rss_bytes`` / ``worker_cpu_seconds`` attributes onto
+        each job span.  ``None`` (default) auto-enables whenever a tracer is
+        set and the platform supports ``/proc`` sampling; ``False`` forces it
+        off, ``True`` requests it (still a no-op off Linux or under
+        ``REPRO_OBS_SAMPLE=0``).  Sampling without a tracer has nowhere to
+        put events, so it stays off.
 
     Examples
     --------
@@ -487,6 +497,7 @@ class StreamingRunner:
         preempt_policy: str = "fail",
         preempt_retries: int = 1,
         tracer: Tracer | None = None,
+        sample_resources: bool | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
@@ -510,6 +521,8 @@ class StreamingRunner:
         self.preempt_policy = preempt_policy
         self.preempt_retries = int(preempt_retries)
         self.tracer = tracer
+        self.sample_resources = sample_resources
+        self.sampler: ResourceSampler | None = None
         self.telemetry = StreamTelemetry()
         self.solver_seconds_saved = 0.0
         self._spool_dir: str | None = None
@@ -581,6 +594,17 @@ class StreamingRunner:
             if self.tracer is not None and not inline
             else None
         )
+        self.sampler = None
+        want_sampling = (
+            self.sample_resources
+            if self.sample_resources is not None
+            else self.tracer is not None
+        )
+        if want_sampling and self.tracer is not None:
+            sampler = ResourceSampler(sink=self.tracer.sink)
+            if sampler.start():  # no-op (False) off Linux / REPRO_OBS_SAMPLE=0
+                sampler.track(os.getpid(), role="parent")
+                self.sampler = sampler
 
         def _finish(item: _PendingItem, result: JobResult) -> tuple[int, JobResult]:
             now = time.monotonic() - started
@@ -653,6 +677,13 @@ class StreamingRunner:
                 _terminate(worker.process)
                 worker.conn.close()
                 self._merge_worker_trace(worker)
+            if self.sampler is not None:
+                self.sampler.stop()
+                parent_peak = self.sampler.peak_rss_bytes(os.getpid())
+                if self.tracer is not None and parent_peak > 0:
+                    self.tracer.metrics.gauge(
+                        "serve_peak_rss_bytes", role="parent"
+                    ).set(parent_peak)
             if self._spool_dir is not None:
                 shutil.rmtree(self._spool_dir, ignore_errors=True)
                 self._spool_dir = None
@@ -692,7 +723,18 @@ class StreamingRunner:
         dominates throughput" hypothesis needs pinned.  Workers killed before
         flushing anything simply contribute no spans; partially flushed
         spools have their parentless spans adopted by the job span.
+
+        When resource sampling is on, this is also where the worker's pid
+        stops being sampled and its peak RSS / CPU total are stamped onto the
+        job span (``worker_peak_rss_bytes`` / ``worker_cpu_seconds``).
         """
+        if self.sampler is not None and worker.process.pid is not None:
+            peak = self.sampler.untrack(worker.process.pid)
+            if worker.item.span is not None and peak["n_samples"]:
+                worker.item.span.set_attributes(
+                    worker_peak_rss_bytes=peak["peak_rss_bytes"],
+                    worker_cpu_seconds=peak["cpu_seconds"],
+                )
         if self.tracer is None or worker.spool_path is None:
             return
         item = worker.item
@@ -818,6 +860,8 @@ class StreamingRunner:
         launch_at = time.monotonic()
         process.start()
         child_conn.close()
+        if self.sampler is not None and process.pid is not None:
+            self.sampler.track(process.pid, role="worker", job_id=item.job.job_id)
         deadline_at = (
             time.monotonic() + self.timeout if self.timeout is not None else None
         )

@@ -20,6 +20,7 @@ from repro.obs import (
     Span,
     Tracer,
     activated,
+    clamp_negative_durations,
     current_tracer,
     merge_spool,
     read_ndjson,
@@ -118,6 +119,45 @@ class TestMetrics:
     def test_histogram_requires_buckets(self):
         with pytest.raises(ValidationError):
             Histogram("seconds", {}, buckets=[])
+
+    def test_histogram_quantile_interpolates_within_bucket(self):
+        hist = Histogram("seconds", {}, buckets=[0.1, 1.0, 10.0])
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        # p50 target = 2.5 observations: 1 in (0, 0.1], then 2 in (0.1, 1.0];
+        # 1.5 of those 2 are needed → 0.1 + 0.9 * 0.75.
+        assert hist.quantile(0.50) == pytest.approx(0.775)
+        # p95 lands in the +Inf bucket and clamps to the top finite bound.
+        assert hist.quantile(0.95) == pytest.approx(10.0)
+
+    def test_histogram_quantile_uniform_buckets(self):
+        hist = Histogram("seconds", {}, buckets=[1.0, 2.0, 3.0, 4.0])
+        for value in (0.5, 1.5, 2.5, 3.5):
+            hist.observe(value)
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+        assert hist.quantile(1.0) == pytest.approx(4.0)
+
+    def test_histogram_quantile_edge_cases(self):
+        hist = Histogram("seconds", {}, buckets=[1.0])
+        assert hist.quantile(0.5) == 0.0  # no observations yet
+        hist.observe(0.5)
+        with pytest.raises(ValidationError):
+            hist.quantile(1.5)
+        with pytest.raises(ValidationError):
+            hist.quantile(-0.1)
+
+    def test_histogram_percentiles_in_as_dict(self):
+        hist = Histogram("seconds", {}, buckets=[1.0, 2.0])
+        for value in (0.5, 0.5, 1.5):
+            hist.observe(value)
+        payload = hist.as_dict()
+        assert set(payload["percentiles"]) == {"p50", "p95", "p99"}
+        assert payload["percentiles"]["p50"] == pytest.approx(
+            hist.quantile(0.5)
+        )
+        # Percentile estimates are monotone in q.
+        p = payload["percentiles"]
+        assert p["p50"] <= p["p95"] <= p["p99"]
 
     def test_default_buckets_cover_cache_hits_to_sharded_solves(self):
         assert DEFAULT_BUCKETS[0] <= 0.001 and DEFAULT_BUCKETS[-1] >= 300.0
@@ -327,6 +367,56 @@ class TestMergeAndAnalysis:
         breakdown = wall_clock_breakdown(spans)
         assert breakdown["solve"] == pytest.approx(3.0)
         assert breakdown["killed"] == 0.0
+
+    def test_clamp_negative_durations_counts_and_flags(self):
+        spans = [
+            {"span_id": "a", "name": "x", "duration": -0.5, "attributes": {}},
+            {"span_id": "b", "name": "y", "duration": 1.0, "attributes": {}},
+            {"span_id": "c", "name": "z", "duration": -0.1},  # no attributes
+        ]
+        assert clamp_negative_durations(spans) == 2
+        assert spans[0]["duration"] == 0.0
+        assert spans[0]["attributes"]["clamped_negative_duration"] is True
+        assert spans[1]["duration"] == 1.0
+        assert spans[2]["duration"] == 0.0
+        assert validate_trace(spans)["n_clamped_durations"] == 2
+
+    def test_merge_spool_clamps_negative_durations(self, tmp_path):
+        # A worker clock hiccup (or torn write) can leave duration < 0 in a
+        # spool; the merged trace must clamp it to zero and flag the span.
+        parent = Tracer()
+        job = parent.span("job")
+        events = [
+            {
+                "event": "span",
+                "trace_id": parent.trace_id,
+                "span_id": "aaaa",
+                "parent_id": job.span_id,
+                "name": "solve",
+                "start": 1.0,
+                "wall": 1.0,
+                "duration": -0.25,
+                "status": "ok",
+                "attributes": {},
+            }
+        ]
+        merged = merge_spool(parent, self._spool(tmp_path, events), adopt_parent=job)
+        job.end()
+        assert merged[0]["duration"] == 0.0
+        assert merged[0]["attributes"]["clamped_negative_duration"] is True
+        assert validate_trace(parent.sink.spans())["n_clamped_durations"] == 1
+
+    def test_read_trace_clamps_negative_durations(self, tmp_path):
+        path = self._spool(
+            tmp_path,
+            [
+                {"event": "span", "span_id": "a", "name": "x", "duration": -1.0},
+                {"event": "span", "span_id": "b", "name": "y", "duration": 2.0},
+            ],
+        )
+        spans = read_trace(path)
+        assert spans[0]["duration"] == 0.0
+        assert spans[1]["duration"] == 2.0
 
     def test_span_event_schema(self):
         tracer = Tracer(trace_id="t" * 16)

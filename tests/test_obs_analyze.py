@@ -1,0 +1,368 @@
+"""Tests for repro.obs.analyze — the trace analytics layer."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import (
+    TraceModel,
+    critical_path,
+    diff_traces,
+    peak_rss_by_pid,
+    phase_attribution,
+    queue_wait_stats,
+    render_waterfall,
+    self_time_by_name,
+    to_chrome_trace,
+    validate_trace,
+    wall_clock_section,
+    worker_stats,
+    write_chrome_trace,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+COMMITTED_TRACE = REPO_ROOT / "trace.ndjson"
+
+
+def _span(span_id, name, start, duration, parent=None, **attributes):
+    return {
+        "event": "span",
+        "trace_id": "t0",
+        "span_id": span_id,
+        "parent_id": parent,
+        "name": name,
+        "start": float(start),
+        "wall": 1000.0 + float(start),
+        "duration": float(duration),
+        "status": "ok",
+        "attributes": attributes,
+    }
+
+
+def _job_tree():
+    """A small synthetic job tree: root with two children and a gap."""
+    return [
+        _span("r", "job", 0.0, 10.0),
+        _span("a", "queue_wait", 0.0, 2.0, parent="r"),
+        _span("b", "worker", 3.0, 7.0, parent="r"),
+        _span("c", "solve", 3.5, 6.0, parent="b"),
+    ]
+
+
+class TestTraceModel:
+    def test_indexes_and_roots(self):
+        model = TraceModel(_job_tree())
+        assert len(model) == 4
+        assert [s["span_id"] for s in model.roots] == ["r"]
+        assert [c["span_id"] for c in model.children_of("r")] == ["a", "b"]
+        assert model.node("c")["name"] == "solve"
+        assert model.orphans == []
+
+    def test_orphans_become_traversable_roots(self):
+        spans = _job_tree() + [_span("x", "lost", 1.0, 1.0, parent="missing")]
+        model = TraceModel(spans)
+        assert len(model.orphans) == 1
+        assert {s["span_id"] for s in model.roots} == {"r", "x"}
+
+    def test_root_picks_longest_duration(self):
+        spans = [_span("r1", "job", 0.0, 2.0), _span("r2", "job", 0.0, 9.0)]
+        assert TraceModel(spans).root()["span_id"] == "r2"
+
+    def test_negative_durations_clamped_and_counted(self):
+        spans = _job_tree()
+        spans[1]["duration"] = -0.5
+        model = TraceModel(spans)
+        assert model.n_clamped == 1
+        assert model.node("a")["duration"] == 0.0
+        assert model.node("a")["attributes"]["clamped_negative_duration"] is True
+        assert wall_clock_section(model)["n_clamped_durations"] == 1
+
+    def test_from_file_tolerates_truncated_last_line(self, tmp_path):
+        # A killed writer leaves a half-flushed final line; the model must
+        # load every complete span and simply drop the torn one.
+        path = tmp_path / "trace.ndjson"
+        lines = [json.dumps(s) for s in _job_tree()]
+        path.write_text("\n".join(lines) + "\n" + lines[0][: len(lines[0]) // 2])
+        model = TraceModel.from_file(path)
+        assert len(model) == 4
+        assert validate_trace(model.spans)["n_orphans"] == 0
+
+    def test_from_file_splits_resource_events(self, tmp_path):
+        path = tmp_path / "trace.ndjson"
+        events = [json.dumps(s) for s in _job_tree()]
+        events.append(
+            json.dumps(
+                {
+                    "event": "resource",
+                    "pid": 42,
+                    "role": "worker",
+                    "rss_bytes": 1000,
+                    "cpu_seconds": 0.5,
+                    "monotonic": 4.0,
+                }
+            )
+        )
+        path.write_text("\n".join(events) + "\n")
+        model = TraceModel.from_file(path)
+        assert len(model) == 4
+        assert len(model.resources) == 1
+
+    def test_lanes_split_worker_descendants(self):
+        spans = _job_tree()
+        spans[2]["attributes"] = {"pid": 77}
+        lanes = TraceModel(spans).lanes()
+        assert {s["span_id"] for s in lanes["parent"]} == {"r", "a"}
+        assert {s["span_id"] for s in lanes["worker-77"]} == {"b", "c"}
+
+
+class TestCriticalPath:
+    def test_segments_tile_root_exactly(self):
+        model = TraceModel(_job_tree())
+        path = critical_path(model)
+        assert path.total_seconds == pytest.approx(10.0, abs=1e-9)
+        # Chronological, gap-free tiling of [0, 10].
+        cursor = 0.0
+        for seg in path.segments:
+            assert seg["start"] == pytest.approx(cursor, abs=1e-9)
+            cursor = seg["end"]
+        assert cursor == pytest.approx(10.0, abs=1e-9)
+
+    def test_path_descends_into_latest_child(self):
+        model = TraceModel(_job_tree())
+        names = [seg["name"] for seg in critical_path(model).segments]
+        # queue_wait (0-2), job gap (2-3), worker/solve, trailing edges.
+        assert names[0] == "queue_wait"
+        assert "solve" in names
+        assert "job" in names  # the uncovered gap is root self-time
+
+    def test_by_name_sums_to_total(self):
+        model = TraceModel(_job_tree())
+        path = critical_path(model)
+        assert sum(path.by_name().values()) == pytest.approx(path.total_seconds)
+
+    def test_explicit_root_by_id(self):
+        model = TraceModel(_job_tree())
+        path = critical_path(model, root="b")
+        assert path.root["span_id"] == "b"
+        assert path.total_seconds == pytest.approx(7.0)
+
+    def test_unknown_root_raises(self):
+        with pytest.raises(ValidationError):
+            critical_path(TraceModel(_job_tree()), root="nope")
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValidationError):
+            critical_path(TraceModel([]))
+
+    def test_committed_trace_total_matches_root_within_one_percent(self):
+        # Acceptance criterion: on the repo's committed trace the critical
+        # path total equals the root span duration within 1%.
+        model = TraceModel.from_file(COMMITTED_TRACE)
+        assert model.spans, "committed trace.ndjson must contain spans"
+        path = critical_path(model)
+        root_duration = float(path.root["duration"])
+        assert root_duration > 0
+        assert abs(path.total_seconds - root_duration) <= 0.01 * root_duration
+
+
+class TestAttribution:
+    def test_self_time_subtracts_children(self):
+        totals = self_time_by_name(TraceModel(_job_tree()))
+        # job: 10 total - (2 queue_wait + 7 worker) = 1 self.
+        assert totals["job"] == pytest.approx(1.0)
+        # worker: 7 total - 6 solve = 1 self.
+        assert totals["worker"] == pytest.approx(1.0)
+        assert totals["solve"] == pytest.approx(6.0)
+
+    def test_overlapping_attempt_spans_do_not_double_count(self):
+        # A requeued job: two attempt spans overlap on [2, 6].  Subtracting
+        # their durations naively (4 + 4 = 8) would push the parent's self
+        # time negative; the interval union (6) must be subtracted instead.
+        spans = [
+            _span("r", "job", 0.0, 8.0),
+            _span("a1", "attempt", 0.0, 6.0, parent="r"),
+            _span("a2", "attempt", 2.0, 6.0, parent="r"),
+        ]
+        totals = self_time_by_name(TraceModel(spans))
+        assert totals["job"] == pytest.approx(0.0)  # union covers [0, 8]
+        assert totals["attempt"] == pytest.approx(12.0)
+
+    def test_child_clipped_to_parent_window(self):
+        # A child overhanging its parent (clock skew) only subtracts the
+        # overlap.
+        spans = [
+            _span("r", "job", 0.0, 4.0),
+            _span("c", "solve", 3.0, 5.0, parent="r"),
+        ]
+        totals = self_time_by_name(TraceModel(spans))
+        assert totals["job"] == pytest.approx(3.0)
+
+    def test_phase_attribution_counts_and_totals(self):
+        attribution = phase_attribution(TraceModel(_job_tree()))
+        assert attribution["job"]["count"] == 1
+        assert attribution["job"]["total_seconds"] == pytest.approx(10.0)
+        assert attribution["job"]["self_seconds"] == pytest.approx(1.0)
+        # Sorted by total, descending.
+        totals = [row["total_seconds"] for row in attribution.values()]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_requeued_preempted_breakdown_on_engine_trace(self):
+        # End-to-end shape check: wall_clock_section on a trace that has a
+        # requeued (preempted once, then succeeded) job must keep queue_wait
+        # totals finite and self-times non-negative.
+        spans = [
+            _span("r", "job", 0.0, 20.0),
+            _span("q1", "queue_wait", 0.0, 1.0, parent="r", attempt=0),
+            _span("w1", "worker", 1.0, 6.0, parent="r"),
+            _span("q2", "queue_wait", 7.0, 2.0, parent="r", attempt=1),
+            _span("w2", "worker", 9.0, 10.0, parent="r"),
+            _span("s2", "solve", 9.5, 9.0, parent="w2"),
+        ]
+        model = TraceModel(spans)
+        section = wall_clock_section(model)
+        assert section["queue_wait_seconds"] == pytest.approx(3.0)
+        assert section["solve_seconds"] == pytest.approx(9.0)
+        for value in self_time_by_name(model).values():
+            assert value >= 0.0
+
+
+class TestWorkerAndQueueStats:
+    def test_worker_stats(self):
+        spans = _job_tree()
+        spans[2]["attributes"] = {"pid": 9}
+        stats = worker_stats(TraceModel(spans))
+        assert stats["n_workers"] == 1
+        lane = stats["workers"]["worker-9"]
+        assert lane["busy_seconds"] == pytest.approx(7.0)
+        assert 0.0 < lane["utilization"] <= 1.0
+
+    def test_queue_wait_stats(self):
+        spans = [_span("r", "job", 0.0, 10.0)] + [
+            _span(f"q{i}", "queue_wait", i, float(i), parent="r") for i in range(1, 5)
+        ]
+        stats = queue_wait_stats(TraceModel(spans))
+        assert stats["count"] == 4
+        assert stats["total_seconds"] == pytest.approx(10.0)
+        assert stats["max"] == pytest.approx(4.0)
+
+    def test_queue_wait_stats_empty(self):
+        assert queue_wait_stats(TraceModel([]))["count"] == 0
+
+
+class TestDiff:
+    def _scaled(self, factor):
+        return [
+            _span("r", "job", 0.0, 10.0 * factor),
+            _span("c", "solve", 0.0, 8.0 * factor, parent="r"),
+        ]
+
+    def test_identical_traces_no_regressions(self):
+        diff = diff_traces(self._scaled(1.0), self._scaled(1.0))
+        assert diff.regressions() == []
+        assert all(row["delta_total"] == 0.0 for row in diff.rows)
+
+    def test_regression_past_tolerance_detected(self):
+        diff = diff_traces(self._scaled(1.0), self._scaled(2.0))
+        regressions = diff.regressions(tolerance=0.25)
+        assert {row["name"] for row in regressions} == {"job", "solve"}
+
+    def test_growth_within_tolerance_passes(self):
+        diff = diff_traces(self._scaled(1.0), self._scaled(1.1))
+        assert diff.regressions(tolerance=0.25) == []
+
+    def test_min_seconds_floor_ignores_tiny_spans(self):
+        baseline = [_span("r", "blip", 0.0, 0.001)]
+        candidate = [_span("r", "blip", 0.0, 0.01)]  # 10x but microscopic
+        diff = diff_traces(baseline, candidate)
+        assert diff.regressions(tolerance=0.25, min_seconds=0.05) == []
+        assert diff.regressions(tolerance=0.25, min_seconds=0.0)
+
+    def test_new_span_name_has_inf_ratio(self):
+        diff = diff_traces([_span("r", "job", 0.0, 1.0)], self._scaled(1.0))
+        row = next(r for r in diff.rows if r["name"] == "solve")
+        assert row["ratio"] == float("inf")
+        assert row["count_a"] == 0
+
+
+class TestExporters:
+    def test_chrome_trace_shape(self):
+        spans = _job_tree()
+        spans[2]["attributes"] = {"pid": 5}
+        payload = to_chrome_trace(TraceModel(spans))
+        events = payload["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == 4
+        assert any(e["args"].get("name") == "worker-5" for e in metadata)
+        # Timestamps are µs relative to the earliest span.
+        assert min(e["ts"] for e in complete) == pytest.approx(0.0)
+        solve = next(e for e in complete if e["name"] == "solve")
+        assert solve["dur"] == pytest.approx(6.0 * 1e6)
+
+    def test_chrome_trace_counter_events_from_resources(self):
+        resources = [
+            {"event": "resource", "pid": 5, "role": "worker",
+             "rss_bytes": 2_000_000, "cpu_seconds": 0.1, "monotonic": 1.0}
+        ]
+        payload = to_chrome_trace(TraceModel(_job_tree(), resources=resources))
+        counters = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["args"]["rss_mb"] == pytest.approx(2.0)
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        out = write_chrome_trace(TraceModel(_job_tree()), tmp_path / "t.json")
+        payload = json.loads(out.read_text())
+        assert "traceEvents" in payload
+
+    def test_waterfall_renders_and_caps(self):
+        text = render_waterfall(TraceModel(_job_tree()), width=32, max_lines=2)
+        lines = text.splitlines()
+        assert "elided" in lines[-1]
+        assert any("job" in line for line in lines)
+
+    def test_waterfall_full(self):
+        text = render_waterfall(TraceModel(_job_tree()), width=32)
+        assert len(text.splitlines()) == 4
+
+
+class TestResourceAccounting:
+    def test_peak_rss_by_pid(self):
+        events = [
+            {"event": "resource", "pid": 1, "role": "worker", "rss_bytes": 100,
+             "cpu_seconds": 0.1, "monotonic": 0.0},
+            {"event": "resource", "pid": 1, "role": "worker", "rss_bytes": 300,
+             "cpu_seconds": 0.4, "monotonic": 1.0},
+            {"event": "resource", "pid": 1, "role": "worker", "rss_bytes": 200,
+             "cpu_seconds": 0.5, "monotonic": 2.0},
+            {"event": "span"},
+        ]
+        peaks = peak_rss_by_pid(events)
+        assert peaks["1"]["peak_rss_bytes"] == 300
+        assert peaks["1"]["cpu_seconds"] == pytest.approx(0.5)
+        assert peaks["1"]["n_samples"] == 3
+
+    def test_wall_clock_section_worker_and_parent_peaks(self):
+        resources = [
+            {"event": "resource", "pid": 10, "role": "parent", "rss_bytes": 900,
+             "cpu_seconds": 1.0, "monotonic": 0.0},
+            {"event": "resource", "pid": 11, "role": "worker", "rss_bytes": 500,
+             "cpu_seconds": 0.2, "monotonic": 0.0},
+            {"event": "resource", "pid": 12, "role": "worker", "rss_bytes": 700,
+             "cpu_seconds": 0.3, "monotonic": 0.0},
+        ]
+        section = wall_clock_section(TraceModel(_job_tree(), resources=resources))
+        assert section["n_sampled_processes"] == 3
+        assert section["max_worker_peak_rss_bytes"] == 700
+        assert section["parent_peak_rss_bytes"] == 900
+        assert set(section["peak_rss_per_worker_bytes"]) == {"11", "12"}
+
+    def test_wall_clock_section_stable_schema_without_resources(self):
+        section = wall_clock_section(TraceModel(_job_tree()))
+        for name in ("worker_spawn", "data_materialize", "solve", "queue_wait",
+                     "cache_store", "stitch"):
+            assert f"{name}_seconds" in section
+        assert section["max_worker_peak_rss_bytes"] == 0

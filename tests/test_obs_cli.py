@@ -1,0 +1,214 @@
+"""Tests for the ``repro-obs`` command line interface."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+COMMITTED_TRACE = REPO_ROOT / "trace.ndjson"
+
+
+def _span(span_id, name, start, duration, parent=None):
+    return {
+        "event": "span",
+        "trace_id": "t0",
+        "span_id": span_id,
+        "parent_id": parent,
+        "name": name,
+        "start": float(start),
+        "wall": 1000.0 + float(start),
+        "duration": float(duration),
+        "status": "ok",
+        "attributes": {},
+    }
+
+
+def _write_trace(path, spans):
+    path.write_text("".join(json.dumps(s) + "\n" for s in spans))
+    return path
+
+
+@pytest.fixture
+def small_trace(tmp_path):
+    return _write_trace(
+        tmp_path / "trace.ndjson",
+        [
+            _span("r", "job", 0.0, 10.0),
+            _span("q", "queue_wait", 0.0, 2.0, parent="r"),
+            _span("s", "solve", 2.0, 8.0, parent="r"),
+        ],
+    )
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if a.dest == "command"
+        )
+        assert set(subparsers.choices) == {
+            "summarize", "critical-path", "diff", "export", "check"
+        }
+
+
+class TestSummarize:
+    def test_text_output(self, small_trace, capsys):
+        assert main(["summarize", str(small_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "solve" in out and "queue_wait" in out
+
+    def test_json_output(self, small_trace, capsys):
+        assert main(["summarize", str(small_trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["wall_clock"]["n_spans"] == 3
+        assert "phases" in payload
+
+    def test_waterfall(self, small_trace, capsys):
+        assert main(["summarize", str(small_trace), "--waterfall"]) == 0
+        assert "job" in capsys.readouterr().out
+
+
+class TestCriticalPath:
+    def test_committed_trace_tiles_root_within_one_percent(self, capsys):
+        # Acceptance criterion, CLI flavor: running the critical-path command
+        # on the repo's committed trace prints a path whose total equals the
+        # root span duration within 1%.
+        assert main(["critical-path", str(COMMITTED_TRACE), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        total = payload["total_seconds"]
+        root_duration = payload["root_duration"]
+        assert root_duration > 0
+        assert abs(total - root_duration) <= 0.01 * root_duration
+        assert payload["segments"]
+
+    def test_text_output_mentions_total(self, small_trace, capsys):
+        assert main(["critical-path", str(small_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "10.0" in out
+
+    def test_explicit_root(self, small_trace, capsys):
+        assert main(["critical-path", str(small_trace), "--root", "s"]) == 0
+        assert "solve" in capsys.readouterr().out
+
+    def test_unknown_root_fails(self, small_trace, capsys):
+        assert main(["critical-path", str(small_trace), "--root", "zz"]) == 2
+
+
+class TestDiff:
+    def _traces(self, tmp_path, factor):
+        baseline = _write_trace(
+            tmp_path / "a.ndjson",
+            [
+                _span("r", "job", 0.0, 10.0),
+                _span("s", "solve", 0.0, 8.0, parent="r"),
+            ],
+        )
+        candidate = _write_trace(
+            tmp_path / "b.ndjson",
+            [
+                _span("r", "job", 0.0, 10.0 * factor),
+                _span("s", "solve", 0.0, 8.0 * factor, parent="r"),
+            ],
+        )
+        return baseline, candidate
+
+    def test_no_regression_exits_zero(self, tmp_path, capsys):
+        baseline, candidate = self._traces(tmp_path, 1.0)
+        assert main(["diff", str(baseline), str(candidate)]) == 0
+        assert "ok: no span-name" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        # Acceptance criterion: diff exits nonzero when a span-name total
+        # regresses past the tolerance.
+        baseline, candidate = self._traces(tmp_path, 2.0)
+        code = main(["diff", str(baseline), str(candidate), "--tolerance", "0.25"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "solve" in out
+
+    def test_tolerance_flag_loosens_gate(self, tmp_path):
+        baseline, candidate = self._traces(tmp_path, 1.5)
+        assert main(["diff", str(baseline), str(candidate),
+                     "--tolerance", "2.0"]) == 0
+        assert main(["diff", str(baseline), str(candidate),
+                     "--tolerance", "0.1"]) == 1
+
+    def test_json_mode_still_exits_nonzero(self, tmp_path, capsys):
+        baseline, candidate = self._traces(tmp_path, 2.0)
+        assert main(["diff", str(baseline), str(candidate), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regressions"]
+
+
+class TestExport:
+    def test_chrome_export_default_output(self, small_trace, capsys):
+        assert main(["export", str(small_trace), "--format", "chrome"]) == 0
+        out_path = Path(str(small_trace) + ".chrome.json")
+        assert out_path.exists()
+        payload = json.loads(out_path.read_text())
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_explicit_output_path(self, small_trace, tmp_path):
+        target = tmp_path / "out.json"
+        assert main(["export", str(small_trace), "-o", str(target)]) == 0
+        assert json.loads(target.read_text())["traceEvents"]
+
+
+class TestCheck:
+    def test_clean_trace_passes(self, small_trace, capsys):
+        code = main([
+            "check", str(small_trace),
+            "--require-span", "job", "--require-span", "solve",
+        ])
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_missing_required_span_fails(self, small_trace, capsys):
+        assert main(["check", str(small_trace),
+                     "--require-span", "stitch"]) == 1
+        assert "stitch" in capsys.readouterr().err
+
+    def test_orphans_fail(self, tmp_path):
+        trace = _write_trace(
+            tmp_path / "orphan.ndjson",
+            [
+                _span("r", "job", 0.0, 1.0),
+                _span("x", "lost", 0.0, 1.0, parent="missing"),
+            ],
+        )
+        assert main(["check", str(trace)]) == 1
+
+    def test_committed_trace_passes_check(self):
+        code = main([
+            "check", str(COMMITTED_TRACE),
+            "--require-span", "job",
+            "--require-span", "solve",
+            "--require-span", "stitch",
+        ])
+        assert code == 0
+
+    def test_check_json(self, small_trace, capsys):
+        assert main(["check", str(small_trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+
+class TestErrors:
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["summarize", str(tmp_path / "nope.ndjson")])
+        assert excinfo.value.code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_empty_trace_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty.ndjson"
+        empty.write_text("")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["summarize", str(empty)])
+        assert excinfo.value.code == 2

@@ -1,0 +1,192 @@
+"""Tests for repro.obs.sampler — /proc-based per-worker resource sampling."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.obs import ResourceSampler
+from repro.obs.sampler import (
+    DEFAULT_INTERVAL,
+    is_supported,
+    read_proc_sample,
+)
+
+requires_proc = pytest.mark.skipif(
+    not is_supported(), reason="/proc sampling only available on Linux"
+)
+
+
+class _ListSink:
+    """Collects emitted events in memory."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(dict(event))
+
+
+class TestReadProcSample:
+    @requires_proc
+    def test_self_pid_has_positive_rss(self):
+        sample = read_proc_sample(os.getpid())
+        assert sample is not None
+        assert sample["rss_bytes"] > 0
+        assert sample["cpu_seconds"] >= 0.0
+
+    def test_dead_pid_returns_none(self):
+        # pid 2**22 is above the default pid_max; never a live process.
+        assert read_proc_sample(2**22) is None
+
+
+class TestResourceSampler:
+    @requires_proc
+    def test_samples_tracked_pid_and_reports_peak(self):
+        sink = _ListSink()
+        sampler = ResourceSampler(sink=sink, interval=0.01)
+        assert sampler.start()
+        try:
+            sampler.track(os.getpid(), role="parent")
+            time.sleep(0.08)
+        finally:
+            sampler.stop()
+        assert sampler.peak_rss_bytes(os.getpid()) > 0
+        parent_events = [e for e in sink.events if e["pid"] == os.getpid()]
+        assert parent_events
+        event = parent_events[0]
+        assert event["event"] == "resource"
+        assert event["role"] == "parent"
+        assert event["rss_bytes"] > 0
+        assert "monotonic" in event and "wall" in event
+
+    @requires_proc
+    def test_untrack_returns_peak_record(self):
+        sampler = ResourceSampler(sink=_ListSink(), interval=0.01)
+        sampler.start()
+        try:
+            sampler.track(os.getpid(), role="worker", job_id="job-1")
+            time.sleep(0.05)
+        finally:
+            peak = sampler.untrack(os.getpid())
+            sampler.stop()
+        assert peak["role"] == "worker"
+        assert peak["job_id"] == "job-1"
+        assert peak["peak_rss_bytes"] > 0
+        assert peak["n_samples"] >= 1
+        assert sampler.worker_peaks()  # retained after untrack
+
+    @requires_proc
+    def test_untrack_never_sampled_pid_returns_zeros(self):
+        sampler = ResourceSampler(sink=_ListSink(), interval=10.0)
+        sampler.track(123456789, role="worker")
+        peak = sampler.untrack(123456789)
+        assert peak["peak_rss_bytes"] == 0
+        assert peak["n_samples"] == 0
+
+    def test_env_kill_switch_disables_start(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_SAMPLE", "0")
+        sampler = ResourceSampler(sink=_ListSink())
+        assert sampler.start() is False
+
+    def test_env_interval_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_SAMPLE_INTERVAL", "0.5")
+        assert ResourceSampler(sink=_ListSink()).interval == pytest.approx(0.5)
+        monkeypatch.setenv("REPRO_OBS_SAMPLE_INTERVAL", "garbage")
+        assert ResourceSampler(sink=_ListSink()).interval == pytest.approx(
+            DEFAULT_INTERVAL
+        )
+
+    @requires_proc
+    def test_double_start_is_idempotent(self):
+        sampler = ResourceSampler(sink=_ListSink(), interval=0.01)
+        assert sampler.start()
+        thread = sampler._thread
+        try:
+            # Second start keeps the existing thread and stays enabled.
+            assert sampler.start() is True
+            assert sampler._thread is thread
+        finally:
+            sampler.stop()
+
+    @requires_proc
+    def test_stop_without_start_is_noop(self):
+        ResourceSampler(sink=_ListSink()).stop()
+
+    @requires_proc
+    def test_sample_once_emits_for_all_tracked(self):
+        sink = _ListSink()
+        # Interval far beyond the test runtime: only explicit sweeps sample.
+        sampler = ResourceSampler(sink=sink, interval=60.0)
+        sampler.track(os.getpid(), role="parent")
+        assert sampler.sample_once() == 0  # not started yet: no-op
+        assert sampler.start()
+        try:
+            assert sampler.sample_once() == 1
+            assert sink.events[0]["pid"] == os.getpid()
+        finally:
+            sampler.stop()
+
+
+@requires_proc
+class TestStreamingRunnerIntegration:
+    def _job(self, seed=0):
+        import numpy as np
+
+        from repro.serve.job import LearningJob
+
+        rng = np.random.default_rng(7)
+        return LearningJob(
+            data=rng.normal(size=(40, 6)),
+            seed=seed,
+            config={"max_outer_iterations": 3, "max_inner_iterations": 40},
+        )
+
+    def test_traced_run_emits_resource_events_and_worker_peaks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_SAMPLE_INTERVAL", "0.01")
+        from repro.obs import Tracer
+        from repro.serve.streaming import StreamingRunner
+
+        tracer = Tracer()
+        runner = StreamingRunner(n_workers=2, timeout=60.0, tracer=tracer)
+        results = list(runner.stream([self._job(seed=s) for s in range(2)]))
+        assert all(r.status == "ok" for r in results)
+
+        resources = [
+            e for e in tracer.sink.events if e.get("event") == "resource"
+        ]
+        assert resources, "sampler should emit resource events during the run"
+        roles = {e["role"] for e in resources}
+        assert "parent" in roles
+        # Worker sampling is timing-dependent (jobs may finish within one
+        # interval), but when workers were sampled their job spans must carry
+        # the sampled peak.
+        job_spans = [
+            s for s in tracer.sink.spans() if s["name"] == "job"
+        ]
+        stamped = [
+            s for s in job_spans if "worker_peak_rss_bytes" in s["attributes"]
+        ]
+        if "worker" in roles:
+            assert stamped
+            assert all(
+                s["attributes"]["worker_peak_rss_bytes"] > 0 for s in stamped
+            )
+        gauge = tracer.metrics.gauge("serve_peak_rss_bytes", role="parent")
+        assert gauge.value > 0
+
+    def test_sample_resources_false_disables_sampler(self):
+        from repro.obs import Tracer
+        from repro.serve.streaming import StreamingRunner
+
+        tracer = Tracer()
+        runner = StreamingRunner(
+            n_workers=1, tracer=tracer, sample_resources=False
+        )
+        list(runner.stream([self._job()]))
+        assert runner.sampler is None
+        assert not [
+            e for e in tracer.sink.events if e.get("event") == "resource"
+        ]

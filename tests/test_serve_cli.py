@@ -355,6 +355,29 @@ class TestObservabilityFlags:
         assert "cache: 0 hits, 1 misses (hit rate 0.0%)" in err
         assert "cache: 1 hits, 0 misses (hit rate 100.0%), 0 evictions" in err
 
+    def test_latency_summary_line_in_traced_run(self, tmp_path, capsys):
+        manifest = _write_manifest(tmp_path, [FAST_JOB])
+        code = main(
+            [
+                manifest,
+                "--trace-out",
+                str(tmp_path / "trace.ndjson"),
+                "--output",
+                str(tmp_path / "report.json"),
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        line = next(l for l in err.splitlines() if l.startswith("latency:"))
+        assert "n=1" in line
+        assert "p50=" in line and "p95=" in line and "p99=" in line
+
+    def test_no_latency_line_without_tracer(self, tmp_path, capsys):
+        manifest = _write_manifest(tmp_path, [FAST_JOB])
+        code = main([manifest, "--output", str(tmp_path / "report.json")])
+        assert code == 0
+        assert "latency:" not in capsys.readouterr().err
+
     def test_cache_summary_line_in_stream_mode(self, tmp_path, capsys):
         manifest = _write_manifest(tmp_path, [FAST_JOB])
         cache_dir = tmp_path / "cache"
