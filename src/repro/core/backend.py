@@ -57,6 +57,7 @@ __all__ = [
     "get_spec",
     "register_backend",
     "unregister_backend",
+    "registry_epoch",
     "registry_snapshot",
     "restore_registry",
     "config_overrides",
@@ -458,19 +459,40 @@ def make_solver(
     return get_spec(name).build(config, **overrides)
 
 
+#: Monotonic counter bumped on every registry mutation (see
+#: :func:`registry_epoch`).
+_REGISTRY_EPOCH = 0
+
+
 def register_backend(spec: BackendSpec, overwrite: bool = False) -> None:
     """Add a :class:`BackendSpec` to the live registry."""
+    global _REGISTRY_EPOCH
     if spec.name in _BACKENDS and not overwrite:
         raise ValidationError(
             f"solver {spec.name!r} is already registered; "
             "pass overwrite=True to replace it"
         )
     _BACKENDS[spec.name] = spec
+    _REGISTRY_EPOCH += 1
 
 
 def unregister_backend(name: str) -> None:
     """Remove a registered backend (built-ins included — use with care)."""
-    _BACKENDS.pop(name, None)
+    global _REGISTRY_EPOCH
+    if _BACKENDS.pop(name, None) is not None:
+        _REGISTRY_EPOCH += 1
+
+
+def registry_epoch() -> int:
+    """Version counter of the registry, bumped on every (un)registration.
+
+    Long-lived pool workers snapshot the registry once at spawn; the parent
+    compares the epoch it shipped against the current one and includes a
+    fresh snapshot in a job dispatch only when the registry actually changed
+    in between — keeping the "snapshot paid once per worker" economics
+    without serving jobs against a stale registry.
+    """
+    return _REGISTRY_EPOCH
 
 
 def registry_snapshot() -> dict[str, BackendSpec]:

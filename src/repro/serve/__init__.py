@@ -6,9 +6,16 @@ package is that serving layer in miniature:
 
 * :mod:`repro.serve.job` — declarative :class:`LearningJob` specs and the
   uniform :class:`JobResult` record, covering all three solvers;
+* :mod:`repro.serve.pool` — :class:`WorkerPool`: the persistent pre-forked
+  worker pool — workers started once, recycled only after preemption or
+  ``max_jobs_per_worker``, with two-tier deadlines (cooperative soft stop at
+  an outer-iteration boundary, then SIGKILL + worker suicide timers);
 * :mod:`repro.serve.streaming` — :class:`StreamingRunner`: the execution
-  engine — disposable worker processes, results yielded as they complete,
-  hard per-job preemption (SIGKILL on deadline + worker suicide timers);
+  engine on top of the pool — results yielded as they complete, plus the
+  incremental :class:`StreamSession` submit/poll face;
+* :mod:`repro.serve.daemon` — :class:`ServeDaemon`: spool-directory job
+  intake — NDJSON submissions claimed atomically, per-tenant FIFO fairness,
+  admission control, NDJSON results streamed back as jobs finish;
 * :mod:`repro.serve.runner` — :class:`BatchRunner`: the batch-shaped facade
   over the engine, returning a :class:`BatchReport` with throughput, cache,
   and preemption telemetry;
@@ -58,11 +65,14 @@ def __getattr__(name: str):
     if name == "SOLVER_NAMES":
         return solver_names()
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+from repro.serve.daemon import ServeDaemon
+from repro.serve.pool import PoolJob, SoftDeadlineExceeded, WorkerPool
 from repro.serve.runner import BatchReport, BatchRunner
 from repro.serve.scheduler import RelearnScheduler, WindowStats
 from repro.serve.streaming import (
     PreemptedError,
     StreamingRunner,
+    StreamSession,
     StreamTelemetry,
     WorkerCrashError,
     call_with_deadline,
@@ -85,7 +95,12 @@ __all__ = [
     "BatchRunner",
     "BatchReport",
     "StreamingRunner",
+    "StreamSession",
     "StreamTelemetry",
+    "WorkerPool",
+    "PoolJob",
+    "SoftDeadlineExceeded",
+    "ServeDaemon",
     "PreemptedError",
     "WorkerCrashError",
     "call_with_deadline",

@@ -39,6 +39,14 @@ metrics.json`` dumps the metrics registry on exit (``--metrics-format
 prometheus`` switches to the text exposition).  See ``docs/observability.md``
 for the span model and schema.
 
+The ``daemon`` subcommand turns the service resident: ``repro-serve daemon
+spool/ --workers 4 --timeout 30`` keeps a pre-forked worker pool alive and
+trades NDJSON with clients through the spool directory — submissions dropped
+into ``spool/incoming/``, per-file result streams appended under
+``spool/results/`` as each job finishes (see :mod:`repro.serve.daemon` for
+the spool protocol, per-tenant fairness, and admission control).  ``SIGTERM``
+or touching ``spool/stop`` drains accepted jobs and exits 0.
+
 The ``shard`` subcommand instead solves **one large problem** by block
 partition: it loads a sample matrix (``.npy``, or ``.csv``/``.txt`` with
 comma-separated rows), plans blocks from the correlation skeleton
@@ -67,8 +75,10 @@ from repro.serve.job import JobResult, LearningJob, solver_names
 from repro.serve.streaming import PREEMPT_POLICIES, StreamingRunner
 
 __all__ = [
+    "build_daemon_parser",
     "build_parser",
     "build_shard_parser",
+    "daemon_main",
     "load_manifest",
     "load_sample_matrix",
     "main",
@@ -101,6 +111,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="hard per-job deadline in seconds (overrunning workers are killed)",
     )
     parser.add_argument(
+        "--soft-timeout",
+        type=float,
+        default=None,
+        help=(
+            "cooperative per-job deadline in seconds: the solver is asked to "
+            "stop at the next outer-iteration boundary, sparing its worker "
+            "(must not exceed --timeout, which stays the SIGKILL escalation)"
+        ),
+    )
+    parser.add_argument(
         "--preempt-policy",
         choices=PREEMPT_POLICIES,
         default="fail",
@@ -108,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--max-retries", type=int, default=0, help="extra attempts for failing jobs"
+    )
+    parser.add_argument(
+        "--max-jobs-per-worker",
+        type=int,
+        default=None,
+        help="recycle each pooled worker after serving this many jobs",
     )
     parser.add_argument(
         "--cache-dir",
@@ -465,6 +491,136 @@ def shard_main(argv: Sequence[str] | None = None) -> int:
     return 0 if result.complete else 1
 
 
+def build_daemon_parser() -> argparse.ArgumentParser:
+    """Build the argument parser of the ``repro-serve daemon`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve daemon",
+        description=(
+            "Serve jobs from a spool directory on a persistent worker pool: "
+            "clients drop NDJSON submission files into <spool>/incoming and "
+            "read per-file NDJSON result streams from <spool>/results. "
+            "Touch <spool>/stop (or send SIGTERM) to drain and exit."
+        ),
+    )
+    parser.add_argument(
+        "spool", help="spool directory (incoming/work/results created if missing)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="size of the resident worker pool"
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="hard per-job deadline in seconds (overrunning workers are killed)",
+    )
+    parser.add_argument(
+        "--soft-timeout",
+        type=float,
+        default=None,
+        help=(
+            "cooperative deadline in seconds (<= --timeout): ask the solver "
+            "to stop at the next outer-iteration boundary before the SIGKILL "
+            "tier fires"
+        ),
+    )
+    parser.add_argument(
+        "--preempt-policy",
+        choices=PREEMPT_POLICIES,
+        default="fail",
+        help="what happens to a job killed at its deadline (default: fail)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=0, help="extra attempts for failing jobs"
+    )
+    parser.add_argument(
+        "--max-jobs-per-worker",
+        type=int,
+        default=None,
+        help="recycle a pool worker after this many jobs (default: never)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission bound: queued jobs past this are rejected (queue full)",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        help="idle sleep between spool scans, in seconds",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the on-disk result cache (created if missing)",
+    )
+    _add_obs_arguments(parser)
+    return parser
+
+
+def daemon_main(argv: Sequence[str] | None = None) -> int:
+    """Run the ``daemon`` subcommand; returns the process exit code.
+
+    Blocks until a stop is requested — ``SIGTERM``/``SIGINT`` and the
+    ``<spool>/stop`` sentinel all trigger the same cooperative shutdown:
+    intake closes, accepted jobs drain, the pool exits cleanly.
+    """
+    import signal
+    import threading
+
+    from repro.serve.daemon import ServeDaemon
+
+    parser = build_daemon_parser()
+    args = parser.parse_args(argv)
+    try:
+        cache = DiskCache(args.cache_dir) if args.cache_dir else None
+        runner = StreamingRunner(
+            n_workers=args.workers,
+            cache=cache,
+            timeout=args.timeout,
+            max_retries=args.max_retries,
+            preempt_policy=args.preempt_policy,
+            tracer=_build_tracer(args),
+            soft_timeout=args.soft_timeout,
+            max_jobs_per_worker=args.max_jobs_per_worker,
+        )
+        daemon = ServeDaemon(
+            runner,
+            args.spool,
+            max_pending=args.max_pending,
+            poll_interval=args.poll_interval,
+        )
+    except (ValidationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def _handle_stop(signum, frame):  # pragma: no cover - signal path
+        daemon.request_stop()
+
+    previous = {}
+    if threading.current_thread() is threading.main_thread():
+        # Signal handlers can only be installed from the main thread; test
+        # harnesses driving the CLI on a worker thread stop via the sentinel.
+        previous = {
+            sig: signal.signal(sig, _handle_stop)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+    try:
+        daemon.run()
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        _write_obs_outputs(runner.tracer, args)
+    print(
+        f"daemon drained: {daemon.n_accepted} accepted, "
+        f"{daemon.n_completed} completed, {daemon.n_rejected} rejected",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the CLI; returns the process exit code (see module docstring)."""
     if argv is None:
@@ -472,6 +628,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     argv = list(argv)
     if argv and argv[0] == "shard":
         return shard_main(argv[1:])
+    if argv and argv[0] == "daemon":
+        return daemon_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -497,6 +655,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             timeout=args.timeout,
             max_retries=args.max_retries,
             preempt_policy=args.preempt_policy,
+            soft_timeout=args.soft_timeout,
+            max_jobs_per_worker=args.max_jobs_per_worker,
             tracer=_build_tracer(args),
         )
     except (ValidationError, OSError) as exc:

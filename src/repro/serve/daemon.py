@@ -1,0 +1,289 @@
+"""Asynchronous job intake: a spool-directory daemon over the worker pool.
+
+The paper's deployment story (Section VI) has learning tasks *arriving* at
+the LEAST service continuously — clients submit work, a resident scheduler
+feeds a fixed worker fleet, and answers stream back as each task finishes.
+:class:`ServeDaemon` is that intake loop: a long-running process that holds
+one :class:`~repro.serve.streaming.StreamSession` (and therefore one
+persistent pre-forked :class:`~repro.serve.pool.WorkerPool`) open for its
+whole life and trades NDJSON with clients through a spool directory.
+
+Spool protocol
+--------------
+
+The daemon owns one directory with three children (created on start)::
+
+    spool/
+      incoming/   clients atomically drop  <name>.ndjson  submission files
+      work/       claimed submissions (renamed out of incoming/)
+      results/    <name>.ndjson result streams, one line per finished job
+
+A submission file holds one JSON object per line, each a
+:meth:`~repro.serve.job.LearningJob.from_dict` manifest entry plus two
+optional daemon keys: ``tenant`` (fairness queue, default ``"default"``) and
+``job_id`` (defaulted to ``<name>:<line>`` when omitted).  Clients should
+write the file elsewhere and ``os.rename`` it into ``incoming/`` so the
+daemon never reads a half-written file; the daemon claims a submission the
+same way — an atomic rename into ``work/`` — so multiple pollers never parse
+the same file twice.
+
+Results stream back per submission file: the moment a job finishes, one
+NDJSON line is appended (and flushed) to ``results/<name>.ndjson``.  Lines
+are either job digests (``{"type": "result", ...summary}``) or rejection
+records (``{"type": "rejected", "line": n, "reason": ...}``) for malformed
+lines and admission failures — a malformed line costs exactly that line,
+never the rest of the file.
+
+Scheduling
+----------
+
+Accepted jobs wait in per-tenant FIFO queues and are dispatched round-robin
+across tenants whenever the session has a free worker, so one tenant's bulk
+submission cannot starve another's trickle.  Admission control bounds memory:
+once ``max_pending`` jobs are queued, further lines are rejected with
+``"queue full"`` rather than buffered without bound.
+
+Shutdown is cooperative: :meth:`request_stop` (or a client touching the
+``spool/stop`` sentinel, or SIGTERM/SIGINT under the CLI) stops intake, and
+:meth:`run` drains every already-accepted job before closing the session.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import ValidationError
+from repro.serve.job import JobResult, LearningJob
+from repro.serve.streaming import StreamingRunner, StreamSession
+
+__all__ = ["ServeDaemon"]
+
+_STOP_SENTINEL = "stop"
+
+
+class ServeDaemon:
+    """Feed a resident :class:`~repro.serve.pool.WorkerPool` from a spool dir.
+
+    Parameters
+    ----------
+    runner:
+        The :class:`~repro.serve.streaming.StreamingRunner` whose session the
+        daemon drives — its ``n_workers`` / ``timeout`` / ``soft_timeout`` /
+        cache / tracer configuration all apply.
+    spool_dir:
+        Root of the spool (created, with its ``incoming``/``work``/``results``
+        children, if missing).
+    max_pending:
+        Admission bound on jobs accepted but not yet dispatched; submissions
+        past it are rejected with a ``"queue full"`` record.
+    poll_interval:
+        Seconds :meth:`run` sleeps in when completely idle (no pending work,
+        nothing in flight, empty incoming directory).
+
+    Attributes
+    ----------
+    n_accepted, n_rejected, n_completed:
+        Intake/outcome counters for the daemon's lifetime.
+    """
+
+    def __init__(
+        self,
+        runner: StreamingRunner,
+        spool_dir: str | os.PathLike[str],
+        max_pending: int = 64,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if max_pending < 1:
+            raise ValidationError(f"max_pending must be >= 1, got {max_pending}")
+        if poll_interval <= 0:
+            raise ValidationError(
+                f"poll_interval must be positive, got {poll_interval}"
+            )
+        self.runner = runner
+        self.spool_dir = Path(spool_dir)
+        self.incoming_dir = self.spool_dir / "incoming"
+        self.work_dir = self.spool_dir / "work"
+        self.results_dir = self.spool_dir / "results"
+        for directory in (self.incoming_dir, self.work_dir, self.results_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        self.max_pending = max_pending
+        self.poll_interval = poll_interval
+        self.n_accepted = 0
+        self.n_rejected = 0
+        self.n_completed = 0
+        self._queues: dict[str, deque[tuple[LearningJob, str, float]]] = {}
+        self._rr: deque[str] = deque()  # round-robin order over tenants
+        self._stop = False
+        self._session: StreamSession | None = None
+
+    # -- intake ----------------------------------------------------------------
+
+    @property
+    def n_pending(self) -> int:
+        """Jobs accepted into tenant queues but not yet dispatched."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    def request_stop(self) -> None:
+        """Stop intake after the current step; :meth:`run` then drains."""
+        self._stop = True
+
+    def stop_requested(self) -> bool:
+        """Whether a stop was requested (API call or ``stop`` sentinel file)."""
+        return self._stop or (self.spool_dir / _STOP_SENTINEL).exists()
+
+    def _claim_submissions(self) -> list[Path]:
+        """Atomically move every complete submission file into ``work/``.
+
+        The rename is the claim: a file either moves (ours) or is gone
+        (another poller's / withdrawn) — never parsed twice, never parsed
+        half-written.
+        """
+        claimed = []
+        for path in sorted(self.incoming_dir.glob("*.ndjson")):
+            target = self.work_dir / path.name
+            try:
+                path.rename(target)
+            except OSError:
+                continue  # withdrawn or claimed elsewhere between glob and rename
+            claimed.append(target)
+        return claimed
+
+    def _intake(self) -> None:
+        """Claim new submissions and enqueue (or reject) every line."""
+        for path in self._claim_submissions():
+            source = path.stem
+            for line_no, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if not line.strip():
+                    continue
+                self._admit_line(source, line_no, line)
+
+    def _admit_line(self, source: str, line_no: int, line: str) -> None:
+        """Parse one submission line into a tenant queue, or reject it."""
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValidationError("submission lines must be JSON objects")
+            tenant = payload.pop("tenant", "default")
+            if not isinstance(tenant, str) or not tenant:
+                raise ValidationError(f"tenant must be a non-empty string, got {tenant!r}")
+            payload.setdefault("job_id", f"{source}:{line_no}")
+            job = LearningJob.from_dict(payload)
+        except (json.JSONDecodeError, ValidationError, TypeError) as exc:
+            self._reject(source, line_no, f"malformed submission: {exc}")
+            return
+        if self.n_pending >= self.max_pending:
+            self._reject(source, line_no, "queue full", job_id=job.job_id)
+            return
+        if tenant not in self._queues:
+            self._queues[tenant] = deque()
+            self._rr.append(tenant)
+        self._queues[tenant].append((job, source, time.monotonic()))
+        self.n_accepted += 1
+
+    def _reject(
+        self, source: str, line_no: int, reason: str, job_id: str | None = None
+    ) -> None:
+        """Append one rejection record to the source's result stream."""
+        self.n_rejected += 1
+        record = {"type": "rejected", "line": line_no, "reason": reason}
+        if job_id is not None:
+            record["job_id"] = job_id
+        self._write_record(source, record)
+
+    # -- dispatch / results ----------------------------------------------------
+
+    def _next_pending(self) -> tuple[LearningJob, str, float] | None:
+        """Pop the next job, round-robin across tenants (FIFO within each)."""
+        for _ in range(len(self._rr)):
+            tenant = self._rr[0]
+            self._rr.rotate(-1)
+            queue = self._queues[tenant]
+            if queue:
+                return queue.popleft()
+        return None
+
+    def _dispatch(self, session: StreamSession) -> None:
+        """Fill free workers from the tenant queues; finish instant results."""
+        while session.has_capacity():
+            entry = self._next_pending()
+            if entry is None:
+                return
+            job, source, enqueued_at = entry
+            immediate = session.submit(job, tag=source, enqueued_at=enqueued_at)
+            if immediate is not None:  # cache hit / materialization failure
+                self._emit(source, immediate)
+
+    def _emit(self, source: str, result: JobResult) -> None:
+        """Stream one finished job back as an NDJSON result record."""
+        self.n_completed += 1
+        self._write_record(source, {"type": "result", **result.summary()})
+
+    def _write_record(self, source: str, record: dict[str, Any]) -> None:
+        """Append one record to ``results/<source>.ndjson``, flushed to disk.
+
+        Open-append-close per line keeps the stream crash-consistent: every
+        record a client can read is complete, and a daemon restart never
+        truncates earlier answers.
+        """
+        path = self.results_dir / f"{source}.ndjson"
+        with path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- main loop -------------------------------------------------------------
+
+    def step(self, timeout: float | None = 0.0) -> int:
+        """One scheduler turn: intake → dispatch → poll.  Returns #completed.
+
+        Deterministic and re-entrant — the integration tests drive the daemon
+        one step at a time instead of racing a background thread.  ``timeout``
+        bounds the poll's wait for worker completions (0 = just sweep).
+        """
+        if self._session is None:
+            self._session = self.runner.open_session()
+        if not self.stop_requested():
+            self._intake()
+        self._dispatch(self._session)
+        completed = 0
+        for item, result in self._session.poll(timeout):
+            self._emit(item.tag, result)
+            completed += 1
+        # Completions freed workers; refill so the pool never idles while
+        # tenant queues hold work.
+        self._dispatch(self._session)
+        return completed
+
+    def drained(self) -> bool:
+        """True when nothing is queued or in flight."""
+        in_flight = self._session.in_flight if self._session is not None else 0
+        return self.n_pending == 0 and in_flight == 0
+
+    def run(self) -> None:
+        """Serve until a stop is requested, then drain and shut the pool down.
+
+        A stop (API, sentinel file, or CLI signal) closes intake immediately;
+        every job already accepted still runs to its normal outcome — results
+        keep streaming during the drain — before the session (and its worker
+        pool) is closed.
+        """
+        try:
+            while not (self.stop_requested() and self.drained()):
+                busy = self.step(timeout=self.poll_interval)
+                if busy == 0 and self.drained() and not self.stop_requested():
+                    time.sleep(self.poll_interval)
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Close the session (stopping the worker pool); idempotent."""
+        if self._session is not None:
+            self._session.close()
+            self._session = None

@@ -340,13 +340,21 @@ class JobResult:
 
 
 def execute_job(
-    job: LearningJob, data: np.ndarray | None = None, fingerprint: str | None = None
+    job: LearningJob,
+    data: np.ndarray | None = None,
+    fingerprint: str | None = None,
+    deadline_hooks: list | None = None,
 ) -> JobResult:
     """Run ``job`` once and return its :class:`JobResult`.
 
     ``data`` short-circuits :meth:`LearningJob.resolve_data` when the caller
     (the runner) already materialized the sample matrix.  Solver and dataset
     exceptions propagate to the caller, which owns retry/timeout policy.
+
+    ``deadline_hooks`` are extra per-outer-iteration callbacks forwarded to
+    the backend's ``fit`` — this is how the worker pool injects its
+    soft-deadline check (:class:`repro.serve.pool.SoftDeadlineExceeded`) so a
+    deadline-bound solve can stop cooperatively at an iteration boundary.
 
     When a tracer is active (:func:`repro.obs.current_tracer`), the solve is
     wrapped in a ``solve`` span and the backend's per-outer-iteration hooks
@@ -359,10 +367,16 @@ def execute_job(
         data = job.resolve_data()
     backend = job.build_backend()
     tracer = current_tracer()
+    extra_hooks = list(deadline_hooks) if deadline_hooks else []
     timer = Timer()
     if tracer is None:
         with timer:
-            result = backend.fit(data, init_weights=job.init_weights, rng=job.seed)
+            result = backend.fit(
+                data,
+                init_weights=job.init_weights,
+                deadline_hooks=extra_hooks or None,
+                rng=job.seed,
+            )
     else:
         with tracer.span(
             "solve", job_id=job.job_id or job.describe(), solver=job.solver
@@ -372,7 +386,7 @@ def execute_job(
                 result = backend.fit(
                     data,
                     init_weights=job.init_weights,
-                    deadline_hooks=[hook],
+                    deadline_hooks=[hook, *extra_hooks],
                     rng=job.seed,
                 )
             span.set_attributes(

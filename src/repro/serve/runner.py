@@ -5,7 +5,8 @@ a list of :class:`~repro.serve.job.LearningJob` specs goes in, a
 :class:`BatchReport` with per-job results and aggregate throughput comes out.
 Since the streaming rework, :class:`BatchRunner` is a thin batch-shaped facade
 over :class:`~repro.serve.streaming.StreamingRunner` — the engine that runs
-each job on a disposable worker process and yields results as they complete.
+jobs on a persistent pre-forked worker pool and yields results as they
+complete.
 
 Execution pipeline per job:
 
@@ -142,13 +143,13 @@ class BatchReport:
 
 
 class BatchRunner:
-    """Execute a list of jobs serially or across disposable worker processes.
+    """Execute a list of jobs serially or on a pool of worker processes.
 
     Parameters
     ----------
     n_workers:
-        1 with no ``timeout`` runs jobs inline; otherwise each job gets its
-        own worker process, at most ``n_workers`` live at a time.
+        1 with no ``timeout`` runs jobs inline; otherwise jobs are dispatched
+        to a pre-forked pool of at most ``n_workers`` long-lived workers.
     cache:
         Optional :class:`~repro.serve.cache.ResultCache`; hits skip solver
         execution entirely and successful misses are written back.
@@ -166,6 +167,12 @@ class BatchRunner:
         Optional :class:`~repro.obs.Tracer` forwarded to the engine — per-job
         lifecycle spans plus preemption/cache counters (see
         :class:`~repro.serve.streaming.StreamingRunner`).
+    soft_timeout:
+        Optional cooperative deadline (seconds, ≤ ``timeout``): the solver is
+        asked to stop at the next outer-iteration boundary before the hard
+        SIGKILL tier fires.
+    max_jobs_per_worker:
+        Recycle a pool worker after this many jobs (``None`` = unbounded).
     """
 
     def __init__(
@@ -177,6 +184,8 @@ class BatchRunner:
         preempt_policy: str = "fail",
         preempt_retries: int = 1,
         tracer=None,
+        soft_timeout: float | None = None,
+        max_jobs_per_worker: int | None = None,
     ) -> None:
         self._engine = StreamingRunner(
             n_workers=n_workers,
@@ -186,6 +195,8 @@ class BatchRunner:
             preempt_policy=preempt_policy,
             preempt_retries=preempt_retries,
             tracer=tracer,
+            soft_timeout=soft_timeout,
+            max_jobs_per_worker=max_jobs_per_worker,
         )
 
     @property

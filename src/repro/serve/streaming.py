@@ -2,33 +2,43 @@
 
 :class:`StreamingRunner` is the execution core behind
 :class:`~repro.serve.runner.BatchRunner`: it runs every
-:class:`~repro.serve.job.LearningJob` in a disposable worker process and
-*streams* :class:`~repro.serve.job.JobResult` records back the moment each job
+:class:`~repro.serve.job.LearningJob` on a persistent pre-forked worker pool
+(:class:`~repro.serve.pool.WorkerPool`) and *streams*
+:class:`~repro.serve.job.JobResult` records back the moment each job
 finishes, instead of blocking until the whole manifest is done.  That is the
 shape the paper's deployment needs — ~100k tasks per day, where downstream
 consumers (dashboards, alerting, the re-learn loop) want each scenario's graph
 as soon as it exists, and one runaway solve must never stall the fleet.
 
-Preemption model
-----------------
-Deadlines are enforced with *hard* preemption, replacing the cooperative
-timeouts of the original runner:
+Execution model
+---------------
+Workers are started once (lazily, up to ``n_workers``) and live across jobs:
+the registry snapshot, interpreter boot, and numpy import are paid per
+*worker*, not per *job*.  A worker is replaced only after a preemption kill
+or — with ``max_jobs_per_worker`` set — after that many completed jobs
+(``1`` reproduces the old disposable-process-per-job engine).
 
-* every deadline-bound job runs in its own worker process (one process per
-  job, so killing one job can never poison a shared pool);
-* the parent polls the workers and sends ``SIGKILL`` to any worker still
-  alive past its deadline — a solver stuck in a C loop is killed all the
-  same;
-* each worker additionally arms a *suicide timer*
-  (``signal.setitimer(ITIMER_REAL, ...)`` with ``SIGALRM`` left at its
-  default, process-terminating disposition) slightly after the parent's
-  deadline, so a worker orphaned by a dead parent still kills itself;
-* a killed job is recorded with the ``"preempted"`` status and, depending on
-  :attr:`StreamingRunner.preempt_policy`, is either failed immediately or
-  requeued for a fresh attempt with a fresh deadline.
+Deadlines are enforced in two tiers:
+
+* **soft** (``soft_timeout``, cooperative): past it, the solve stops at the
+  next outer-iteration boundary via the backend protocol's
+  ``deadline_hooks`` and the job is reported ``"preempted"`` — the worker
+  survives and stays in the pool;
+* **hard** (``timeout``, SIGKILL): the parent kills a worker still alive
+  past the deadline — and kills *only that worker*; each worker additionally
+  arms a per-job *suicide timer* (``SIGALRM`` at its default disposition)
+  slightly past the parent's deadline, so a worker orphaned by a dead parent
+  still kills itself.  A hard-killed job is either failed immediately or
+  requeued for a fresh attempt, per :attr:`StreamingRunner.preempt_policy`.
 
 Jobs with no deadline and ``n_workers=1`` are executed inline in the parent
-(no fork, no pickling) — the cheap path for small serial manifests.
+(no fork, no pickling) — the cheap path for small serial manifests.  The
+soft-deadline tier works inline too (it is purely cooperative).
+
+For incremental intake (the ``repro-serve daemon`` mode) use
+:meth:`StreamingRunner.open_session`: the returned :class:`StreamSession`
+accepts submissions one at a time and hands back results as they complete,
+over the same pool.
 
 Environment knobs (also honored by the tier-1 test-suite):
 
@@ -45,51 +55,42 @@ Environment knobs (also honored by the tier-1 test-suite):
 from __future__ import annotations
 
 import copy
-import multiprocessing as mp
 import os
 import pickle
 import shutil
-import signal
 import tempfile
 import time
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
-import repro.core.backend as backend_module
 from repro.exceptions import ValidationError
-from repro.obs import NDJSONFileSink, ResourceSampler, Span, Tracer, activated, merge_spool
+from repro.obs import ResourceSampler, Tracer, activated
 from repro.serve.cache import ResultCache, job_fingerprint
-from repro.serve.job import JobResult, LearningJob, execute_job
+from repro.serve.job import JobResult, LearningJob
+from repro.serve.pool import (
+    PREEMPT_POLICIES,
+    PoolJob,
+    SoftDeadlineExceeded,
+    StreamTelemetry,
+    WorkerPool,
+    _arm_suicide_timer,
+    _execute_with_retry,
+    _mp_context,
+    _suicide_exit,
+    _terminate,
+)
 
 __all__ = [
     "PreemptedError",
     "WorkerCrashError",
+    "SoftDeadlineExceeded",
     "StreamTelemetry",
+    "StreamSession",
     "StreamingRunner",
     "call_with_deadline",
 ]
-
-#: Allowed values of :attr:`StreamingRunner.preempt_policy`.
-PREEMPT_POLICIES: tuple[str, ...] = ("fail", "requeue")
-
-
-def _kill_grace() -> float:
-    """Grace period between parent kill and worker suicide timer (seconds)."""
-    return float(os.environ.get("REPRO_SERVE_KILL_GRACE", "0.5"))
-
-
-def _poll_interval() -> float:
-    """Upper bound on the parent's poll sleep (seconds)."""
-    return float(os.environ.get("REPRO_SERVE_POLL_INTERVAL", "0.05"))
-
-
-def _mp_context() -> mp.context.BaseContext:
-    """The multiprocessing context honoring ``REPRO_SERVE_START_METHOD``."""
-    method = os.environ.get("REPRO_SERVE_START_METHOD") or None
-    return mp.get_context(method)
 
 
 class PreemptedError(RuntimeError):
@@ -98,132 +99,6 @@ class PreemptedError(RuntimeError):
 
 class WorkerCrashError(RuntimeError):
     """Raised when a worker process died without producing a result or error."""
-
-
-# -- worker-side code ----------------------------------------------------------
-
-
-def _arm_suicide_timer(deadline: float | None) -> None:
-    """Arm the worker's own kill switch slightly past the parent's deadline.
-
-    ``SIGALRM`` is deliberately left at its *default* disposition: the kernel
-    terminates the process when the timer fires even if the interpreter is
-    stuck inside a C extension and would never run a Python handler.  The
-    parent's ``SIGKILL`` remains the primary enforcement; the suicide timer
-    only matters when the parent itself died and can no longer clean up.
-    """
-    if deadline is None:
-        return
-    if not (hasattr(signal, "setitimer") and hasattr(signal, "SIGALRM")):
-        return  # pragma: no cover - non-POSIX platforms
-    signal.signal(signal.SIGALRM, signal.SIG_DFL)
-    signal.setitimer(signal.ITIMER_REAL, deadline + _kill_grace())
-
-
-def _execute_with_retry(
-    job: LearningJob,
-    data: np.ndarray,
-    fingerprint: str | None,
-    max_retries: int,
-    base_attempts: int,
-) -> JobResult:
-    """Run the solver for one job, retrying failures within the same worker.
-
-    Parameters
-    ----------
-    job, data, fingerprint:
-        The job spec, its materialized sample matrix, and its cache key.
-    max_retries:
-        Additional solver attempts granted after the first failure.
-    base_attempts:
-        Attempts already consumed in the parent (dataset materialization).
-
-    Returns
-    -------
-    JobResult
-        An ``"ok"`` result from the first successful attempt, or a
-        ``"failed"`` result carrying the last error once the budget is spent.
-    """
-    last_error = "job was never attempted"
-    attempts = base_attempts
-    for _ in range(max_retries + 1):
-        attempts += 1
-        try:
-            result = execute_job(job, data=data, fingerprint=fingerprint)
-            result.attempts = attempts
-            return result
-        except Exception as exc:  # noqa: BLE001 - failures become job status
-            last_error = f"{type(exc).__name__}: {exc}"
-    return JobResult(
-        job_id=job.job_id or job.describe(),
-        solver=job.solver,
-        status="failed",
-        attempts=attempts,
-        fingerprint=fingerprint,
-        error=last_error,
-    )
-
-
-@dataclass
-class _TraceSpec:
-    """Tracing instructions shipped to a worker (picklable for spawn workers).
-
-    The worker opens an :class:`~repro.obs.NDJSONFileSink` on ``spool_path``
-    and parents its root ``worker`` span onto the parent-side job span, so
-    the merged trace (:func:`repro.obs.merge_spool`) reads as one tree.
-    """
-
-    spool_path: str
-    trace_id: str
-    parent_span_id: str | None
-
-
-def _job_worker(
-    conn,
-    deadline: float | None,
-    job: LearningJob,
-    data: np.ndarray,
-    fingerprint: str | None,
-    max_retries: int,
-    base_attempts: int,
-    solver_registry: dict,
-    trace_spec: _TraceSpec | None = None,
-) -> None:
-    """Worker entry point: execute one job and send its result over ``conn``.
-
-    The backend-registry snapshot replicates parent-side
-    :func:`~repro.serve.job.register_solver` /
-    :func:`repro.core.backend.register_backend` calls for
-    ``spawn``/``forkserver`` workers (``fork`` workers inherit it anyway).
-
-    With a ``trace_spec`` the worker spools its spans (a root ``worker`` span
-    wrapping the ``solve``/``outer_iter`` spans of :func:`execute_job`) to
-    NDJSON, flushed per line — a SIGKILL loses at most one in-flight line.
-    The spool is closed *before* the result is sent so the parent never
-    merges a half-written file for a job it already counted finished.
-    """
-    _arm_suicide_timer(deadline)
-    backend_module.restore_registry(solver_registry)
-    if trace_spec is None:
-        result = _execute_with_retry(job, data, fingerprint, max_retries, base_attempts)
-    else:
-        tracer = Tracer(
-            NDJSONFileSink(trace_spec.spool_path), trace_id=trace_spec.trace_id
-        )
-        try:
-            with activated(tracer):
-                with tracer.span(
-                    "worker", parent=trace_spec.parent_span_id, pid=os.getpid()
-                ):
-                    result = _execute_with_retry(
-                        job, data, fingerprint, max_retries, base_attempts
-                    )
-        finally:
-            tracer.close()
-    try:
-        conn.send(result)
-    finally:
-        conn.close()
 
 
 def _call_worker(conn, deadline: float | None, fn, args, kwargs) -> None:
@@ -238,32 +113,6 @@ def _call_worker(conn, deadline: float | None, fn, args, kwargs) -> None:
         conn.send(payload)
     finally:
         conn.close()
-
-
-# -- parent-side primitives ----------------------------------------------------
-
-
-def _terminate(process: mp.process.BaseProcess) -> None:
-    """SIGKILL ``process`` and reap it (best effort, never raises)."""
-    try:
-        process.kill()
-    except Exception:  # pragma: no cover - process already gone
-        pass
-    process.join(timeout=5.0)
-
-
-def _suicide_exit(exitcode: int | None) -> bool:
-    """True when the worker died from its own ``SIGALRM`` suicide timer.
-
-    The parent's own deadline kills never reach the exit-code classifiers —
-    the parent records them directly at the moment it sends the ``SIGKILL``.
-    A ``-SIGKILL`` exit observed *here* therefore came from outside the
-    engine (e.g. the kernel OOM killer) and is a crash, not a preemption;
-    only the ``SIGALRM`` the worker armed itself counts as a deadline death.
-    """
-    if exitcode is None:
-        return False
-    return hasattr(signal, "SIGALRM") and exitcode == -int(signal.SIGALRM)
 
 
 def call_with_deadline(
@@ -362,75 +211,116 @@ def call_with_deadline(
 # -- the streaming engine ------------------------------------------------------
 
 
-@dataclass
-class StreamTelemetry:
-    """Execution telemetry of one :meth:`StreamingRunner.stream` pass.
+class StreamSession:
+    """Incremental submit/poll face of a :class:`StreamingRunner` pass.
 
-    Attributes
-    ----------
-    time_to_first_result:
-        Seconds from stream start to the first yielded result (``None`` until
-        one arrives).
-    total_seconds:
-        Wall-clock duration of the whole stream.
-    n_yielded:
-        Results yielded so far (all statuses).
-    n_killed:
-        Workers the parent SIGKILLed at their deadline.
-    n_suicide_exits:
-        Workers found dead from their own ``SIGALRM`` suicide timer.
-    n_requeued:
-        Preempted jobs granted a fresh attempt under the ``"requeue"`` policy.
-    killed_pids:
-        Process ids of the killed workers (all reaped — useful for asserting
-        that no orphans survive).
+    A session owns one :class:`~repro.serve.pool.WorkerPool` and layers the
+    runner's parent-side responsibilities on top: dataset materialization,
+    cache lookups and write-backs, job lifecycle spans, and telemetry.  The
+    runner's own :meth:`StreamingRunner.stream` drives a session under the
+    hood; the ``repro-serve daemon`` drives one directly, submitting jobs as
+    they arrive in the spool and collecting results as each finishes.
+
+    Obtain sessions from :meth:`StreamingRunner.open_session` (constructing
+    one directly skips the runner's sampler/spool setup); always
+    :meth:`close` them — ``close()`` stops idle workers gracefully, SIGKILLs
+    busy ones without touching the preemption telemetry, and releases the
+    trace spool directory.
     """
 
-    time_to_first_result: float | None = None
-    total_seconds: float = 0.0
-    n_yielded: int = 0
-    n_killed: int = 0
-    n_suicide_exits: int = 0
-    n_requeued: int = 0
-    killed_pids: list[int] = field(default_factory=list)
+    def __init__(self, runner: "StreamingRunner") -> None:
+        self._runner = runner
+        self.started = time.monotonic()
+        self.pool = WorkerPool(
+            runner.n_workers,
+            timeout=runner.timeout,
+            soft_timeout=runner.soft_timeout,
+            max_retries=runner.max_retries,
+            preempt_policy=runner.preempt_policy,
+            preempt_retries=runner.preempt_retries,
+            max_jobs_per_worker=runner.max_jobs_per_worker,
+            tracer=runner.tracer,
+            sampler=runner.sampler,
+            telemetry=runner.telemetry,
+            spool_dir=runner._spool_dir,
+        )
+        self._closed = False
 
-    def preemption_summary(self) -> dict[str, float]:
-        """JSON-able preemption counters (the report's ``preemption`` block)."""
-        return {
-            "n_killed": float(self.n_killed),
-            "n_suicide_exits": float(self.n_suicide_exits),
-            "n_requeued": float(self.n_requeued),
-        }
+    @property
+    def in_flight(self) -> int:
+        """Jobs submitted and not yet completed (queued + executing)."""
+        return self.pool.in_flight
 
+    def has_capacity(self) -> bool:
+        """Whether another submission would find a worker without queuing deep.
 
-@dataclass
-class _PendingItem:
-    """One manifest entry waiting for (or holding) a worker."""
+        The session admits up to ``n_workers`` jobs in flight; callers that
+        respect this keep the pool's internal queue empty, so queue waits are
+        measured where the backlog actually is (the caller's queue — the
+        runner's manifest deque, the daemon's tenant queues).
+        """
+        return self.pool.in_flight < self._runner.n_workers
 
-    index: int
-    job: LearningJob
-    data: np.ndarray | None = None
-    fingerprint: str | None = None
-    base_attempts: int = 0
-    preempt_attempts: int = 0
-    enqueued_at: float = 0.0
-    span: Span | None = None
+    def submit(
+        self,
+        job: LearningJob,
+        tag: Any = None,
+        enqueued_at: float | None = None,
+    ) -> JobResult | None:
+        """Submit one job; returns its result only when it finished instantly.
 
+        Instant outcomes are cache hits and materialization failures — both
+        are finalized (spans ended, telemetry counted) before being returned.
+        Otherwise ``None`` is returned and the result will surface from a
+        later :meth:`poll`.  ``enqueued_at`` backdates the job's queue-wait
+        accounting to when the caller accepted it.
+        """
+        item = PoolJob(
+            job=job,
+            tag=tag,
+            enqueued_at=enqueued_at if enqueued_at is not None else time.monotonic(),
+        )
+        return self.submit_item(item)
 
-@dataclass
-class _ActiveWorker:
-    """A live worker process bound to one job."""
+    def submit_item(self, item: PoolJob) -> JobResult | None:
+        """Submit a pre-built :class:`~repro.serve.pool.PoolJob` (runner path)."""
+        runner = self._runner
+        runner._start_job_trace(item)
+        immediate = runner._prepare(item)
+        if immediate is not None:
+            return self.finish(item, immediate)
+        if item.job.data is not None:
+            # The materialized matrix travels as the explicit `data` payload;
+            # don't ship a second copy inside the job spec.
+            item.job = copy.copy(item.job)
+            item.job.data = None
+        self.pool.submit(item)
+        return None
 
-    item: _PendingItem
-    process: mp.process.BaseProcess
-    conn: Any
-    deadline_at: float | None
-    launch_at: float = 0.0
-    spool_path: str | None = None
+    def poll(self, timeout: float | None = None) -> list[tuple[PoolJob, JobResult]]:
+        """Advance the pool; return finalized ``(item, result)`` completions."""
+        return [
+            (item, self.finish(item, result))
+            for item, result in self.pool.poll(timeout)
+        ]
+
+    def finish(self, item: PoolJob, result: JobResult) -> JobResult:
+        """Finalize one result: cache write-back, span end, telemetry."""
+        runner = self._runner
+        return runner._finalize(item, result, self.started)
+
+    def close(self) -> None:
+        """Shut the pool down and release the session's resources (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.close()
+        self._runner.telemetry.total_seconds = time.monotonic() - self.started
+        self._runner._teardown_session()
 
 
 class StreamingRunner:
-    """Execute jobs on disposable workers, yielding results as they complete.
+    """Execute jobs on a persistent worker pool, yielding results as they complete.
 
     This is the engine underneath :class:`~repro.serve.runner.BatchRunner`;
     use it directly when results should be consumed the moment they exist
@@ -445,37 +335,48 @@ class StreamingRunner:
         Optional :class:`~repro.serve.cache.ResultCache`.  Hits are yielded
         immediately without a worker; successful misses are written back.
     timeout:
-        Hard per-job deadline in seconds.  A job still running this long
-        after its worker started is SIGKILLed and reported ``"preempted"``.
-        ``None`` disables preemption.
+        Hard per-job deadline in seconds, measured from dispatch to a ready
+        worker.  A job still running this long is SIGKILLed and reported
+        ``"preempted"``.  ``None`` disables hard preemption.
+    soft_timeout:
+        Cooperative deadline in seconds: past it, the solve stops at the
+        next outer-iteration boundary (via the backend protocol's
+        ``deadline_hooks``) and is reported ``"preempted"`` without killing
+        the worker.  Works inline too.  Must not exceed ``timeout`` when
+        both are set.
     max_retries:
         Additional attempts for failing dataset builds and solver runs
         (retries happen inside the worker, within the same deadline).
     preempt_policy:
-        ``"fail"`` (default) reports a killed job as ``"preempted"``
+        ``"fail"`` (default) reports a hard-killed job as ``"preempted"``
         immediately; ``"requeue"`` grants it up to ``preempt_retries`` fresh
-        attempts (each with a full deadline) before giving up.
+        attempts (each with a full deadline) before giving up.  Soft stops
+        are final under either policy.
     preempt_retries:
-        Fresh attempts granted to a preempted job under the ``"requeue"``
-        policy.
+        Fresh attempts granted to a hard-preempted job under the
+        ``"requeue"`` policy.
+    max_jobs_per_worker:
+        Completed jobs after which a pool worker is retired and replaced
+        (``None``, the default, disables recycling; ``1`` reproduces the old
+        disposable-process-per-job engine).
     tracer:
         Optional :class:`~repro.obs.Tracer`.  When set, every job gets a
-        lifecycle span tree (``queue_wait`` → ``worker_spawn`` →
+        lifecycle span tree (``queue_wait`` → ``job_dispatch`` →
         ``data_materialize`` → ``solve``/``outer_iter`` → ``cache_store``),
         worker-side spans are spooled to NDJSON and merged into the parent
-        trace (orphans adopted if the worker died mid-flush), and
-        preemption/requeue/cache counters are folded into
-        ``tracer.metrics``.
+        trace (orphans adopted if the worker died mid-flush), pool health
+        appears as ``worker_spawn``/``worker_idle`` spans and
+        ``serve_pool_*`` gauges, and preemption/requeue/cache counters are
+        folded into ``tracer.metrics``.
     sample_resources:
         Whether to run a :class:`~repro.obs.ResourceSampler` alongside the
         stream, emitting periodic ``resource`` events (RSS/CPU for the parent
         and each live worker) into the tracer's sink and stamping
-        ``worker_peak_rss_bytes`` / ``worker_cpu_seconds`` attributes onto
-        each job span.  ``None`` (default) auto-enables whenever a tracer is
-        set and the platform supports ``/proc`` sampling; ``False`` forces it
-        off, ``True`` requests it (still a no-op off Linux or under
-        ``REPRO_OBS_SAMPLE=0``).  Sampling without a tracer has nowhere to
-        put events, so it stays off.
+        ``worker_peak_rss_bytes`` attributes onto each job span.  ``None``
+        (default) auto-enables whenever a tracer is set and the platform
+        supports ``/proc`` sampling; ``False`` forces it off, ``True``
+        requests it (still a no-op off Linux or under ``REPRO_OBS_SAMPLE=0``).
+        Sampling without a tracer has nowhere to put events, so it stays off.
 
     Examples
     --------
@@ -498,11 +399,22 @@ class StreamingRunner:
         preempt_retries: int = 1,
         tracer: Tracer | None = None,
         sample_resources: bool | None = None,
+        soft_timeout: float | None = None,
+        max_jobs_per_worker: int | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
         if timeout is not None and timeout <= 0:
             raise ValidationError(f"timeout must be positive, got {timeout}")
+        if soft_timeout is not None and soft_timeout <= 0:
+            raise ValidationError(
+                f"soft_timeout must be positive, got {soft_timeout}"
+            )
+        if timeout is not None and soft_timeout is not None and soft_timeout > timeout:
+            raise ValidationError(
+                f"soft_timeout ({soft_timeout}) must not exceed the hard "
+                f"timeout ({timeout})"
+            )
         if max_retries < 0:
             raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
         if preempt_policy not in PREEMPT_POLICIES:
@@ -514,12 +426,20 @@ class StreamingRunner:
             raise ValidationError(
                 f"preempt_retries must be >= 0, got {preempt_retries}"
             )
+        if max_jobs_per_worker is not None and max_jobs_per_worker < 1:
+            raise ValidationError(
+                f"max_jobs_per_worker must be >= 1, got {max_jobs_per_worker}"
+            )
         self.n_workers = int(n_workers)
         self.cache = cache
         self.timeout = timeout
+        self.soft_timeout = soft_timeout
         self.max_retries = int(max_retries)
         self.preempt_policy = preempt_policy
         self.preempt_retries = int(preempt_retries)
+        self.max_jobs_per_worker = (
+            int(max_jobs_per_worker) if max_jobs_per_worker is not None else None
+        )
         self.tracer = tracer
         self.sample_resources = sample_resources
         self.sampler: ResourceSampler | None = None
@@ -571,29 +491,73 @@ class StreamingRunner:
             preemption_stats=self.telemetry.preemption_summary(),
         )
 
+    def open_session(self) -> StreamSession:
+        """Begin an incremental pass and return its :class:`StreamSession`.
+
+        Resets the pass telemetry, starts resource sampling (when enabled),
+        creates the worker trace-spool directory (when tracing), and builds
+        the worker pool.  The caller owns the session and must
+        :meth:`StreamSession.close` it; the daemon holds one session open
+        for its whole life.
+        """
+        self.telemetry = StreamTelemetry()
+        self.solver_seconds_saved = 0.0
+        self._setup_sampler()
+        if self.tracer is not None:
+            self._spool_dir = tempfile.mkdtemp(prefix="repro-trace-")
+        return StreamSession(self)
+
     # -- internals --------------------------------------------------------------
 
-    def _stream(self, jobs: Sequence[LearningJob]) -> Iterator[tuple[int, JobResult]]:
+    def _stream(self, jobs: Sequence[LearningJob]) -> Iterator[tuple[Any, JobResult]]:
         """Yield ``(manifest index, result)`` pairs in completion order."""
         jobs = list(jobs)
         for index, job in enumerate(jobs):
             if job.job_id is None:
                 job.job_id = f"job-{index:03d}"
+        if self.n_workers == 1 and self.timeout is None:
+            yield from self._stream_inline(jobs)
+            return
+        session = self.open_session()
+        pending: deque[PoolJob] = deque(
+            PoolJob(job=job, tag=index, enqueued_at=session.started)
+            for index, job in enumerate(jobs)
+        )
+        try:
+            while pending or session.in_flight:
+                # Fill free capacity; immediate outcomes (materialization
+                # failures, cache hits) yield right away.
+                while pending and session.has_capacity():
+                    item = pending.popleft()
+                    immediate = session.submit_item(item)
+                    if immediate is not None:
+                        yield item.tag, immediate
+                if session.in_flight:
+                    for item, result in session.poll():
+                        yield item.tag, result
+        finally:
+            session.close()
 
+    def _stream_inline(self, jobs: list[LearningJob]) -> Iterator[tuple[Any, JobResult]]:
+        """Serial no-subprocess path for ``n_workers=1`` without a hard deadline."""
         self.telemetry = StreamTelemetry()
         self.solver_seconds_saved = 0.0
         started = time.monotonic()
-        pending: deque[_PendingItem] = deque(
-            _PendingItem(index=index, job=job, enqueued_at=started)
-            for index, job in enumerate(jobs)
-        )
-        active: list[_ActiveWorker] = []
-        inline = self.n_workers == 1 and self.timeout is None
-        self._spool_dir = (
-            tempfile.mkdtemp(prefix="repro-trace-")
-            if self.tracer is not None and not inline
-            else None
-        )
+        self._setup_sampler()
+        try:
+            for index, job in enumerate(jobs):
+                item = PoolJob(job=job, tag=index, enqueued_at=started)
+                self._start_job_trace(item)
+                result = self._prepare(item)
+                if result is None:
+                    result = self._run_inline(item)
+                yield item.tag, self._finalize(item, result, started)
+        finally:
+            self._teardown_session()
+            self.telemetry.total_seconds = time.monotonic() - started
+
+    def _setup_sampler(self) -> None:
+        """Start the resource sampler for one pass (when enabled and supported)."""
         self.sampler = None
         want_sampling = (
             self.sample_resources
@@ -606,95 +570,58 @@ class StreamingRunner:
                 sampler.track(os.getpid(), role="parent")
                 self.sampler = sampler
 
-        def _finish(item: _PendingItem, result: JobResult) -> tuple[int, JobResult]:
-            now = time.monotonic() - started
-            if self.telemetry.time_to_first_result is None:
-                self.telemetry.time_to_first_result = now
-            self.telemetry.total_seconds = now
-            self.telemetry.n_yielded += 1
-            store = (
-                self.cache is not None
-                and result.status == "ok"
-                and not result.cache_hit  # hits must not overwrite the entry
-                and result.fingerprint is not None
-            )
-            if store and self.tracer is not None and item.span is not None:
-                with self.tracer.span("cache_store", parent=item.span):
-                    self.cache.put(result.fingerprint, result)
-            elif store:
+    def _teardown_session(self) -> None:
+        """Stop sampling and drop the spool directory at the end of a pass."""
+        if self.sampler is not None:
+            self.sampler.stop()
+            parent_peak = self.sampler.peak_rss_bytes(os.getpid())
+            if self.tracer is not None and parent_peak > 0:
+                self.tracer.metrics.gauge(
+                    "serve_peak_rss_bytes", role="parent"
+                ).set(parent_peak)
+        if self._spool_dir is not None:
+            shutil.rmtree(self._spool_dir, ignore_errors=True)
+            self._spool_dir = None
+
+    def _finalize(self, item: PoolJob, result: JobResult, started: float) -> JobResult:
+        """Cache write-back, span end, and telemetry for one finished job."""
+        now = time.monotonic() - started
+        if self.telemetry.time_to_first_result is None:
+            self.telemetry.time_to_first_result = now
+        self.telemetry.total_seconds = now
+        self.telemetry.n_yielded += 1
+        store = (
+            self.cache is not None
+            and result.status == "ok"
+            and not result.cache_hit  # hits must not overwrite the entry
+            and result.fingerprint is not None
+        )
+        if store and self.tracer is not None and item.span is not None:
+            with self.tracer.span("cache_store", parent=item.span):
                 self.cache.put(result.fingerprint, result)
-            if self.tracer is not None:
-                self.tracer.metrics.counter(
-                    "serve_jobs_total", status=result.status
-                ).inc()
-                if item.span is not None:
-                    item.span.set_attributes(
-                        attempts=result.attempts, cache_hit=result.cache_hit
-                    )
-                    item.span.end(
-                        "ok" if result.status == "ok" else result.status
-                    )
-                    self.tracer.metrics.histogram("serve_job_seconds").observe(
-                        item.span.duration
-                    )
-            return item.index, result
+        elif store:
+            self.cache.put(result.fingerprint, result)
+        if self.tracer is not None:
+            self.tracer.metrics.counter(
+                "serve_jobs_total", status=result.status
+            ).inc()
+            if item.span is not None:
+                item.span.set_attributes(
+                    attempts=result.attempts, cache_hit=result.cache_hit
+                )
+                item.span.end("ok" if result.status == "ok" else result.status)
+                self.tracer.metrics.histogram("serve_job_seconds").observe(
+                    item.span.duration
+                )
+        return result
 
-        try:
-            while pending or active:
-                # Fill free capacity; immediate outcomes (materialization
-                # failures, cache hits, inline execution) yield right away.
-                while pending and len(active) < self.n_workers:
-                    item = pending.popleft()
-                    self._start_job_trace(item)
-                    immediate = self._prepare(item)
-                    if immediate is not None:
-                        yield _finish(item, immediate)
-                        continue
-                    if inline:
-                        yield _finish(item, self._run_inline(item))
-                        continue
-                    active.append(self._launch(item))
+    def _start_job_trace(self, item: PoolJob) -> None:
+        """Open the job span and record the first attempt's queue wait.
 
-                if not active:
-                    continue
-                self._wait(active)
-                now = time.monotonic()
-                still_active: list[_ActiveWorker] = []
-                for worker in active:
-                    outcome, requeue = self._poll_worker(worker, now)
-                    if outcome is None and requeue is None:
-                        still_active.append(worker)
-                    elif requeue is not None:
-                        requeue.enqueued_at = time.monotonic()
-                        pending.append(requeue)
-                    else:
-                        yield _finish(worker.item, outcome)
-                active = still_active
-        finally:
-            for worker in active:  # only on generator abandonment / error
-                # Cleanup kills are not deadline preemptions: keep them out
-                # of the kill telemetry.
-                _terminate(worker.process)
-                worker.conn.close()
-                self._merge_worker_trace(worker)
-            if self.sampler is not None:
-                self.sampler.stop()
-                parent_peak = self.sampler.peak_rss_bytes(os.getpid())
-                if self.tracer is not None and parent_peak > 0:
-                    self.tracer.metrics.gauge(
-                        "serve_peak_rss_bytes", role="parent"
-                    ).set(parent_peak)
-            if self._spool_dir is not None:
-                shutil.rmtree(self._spool_dir, ignore_errors=True)
-                self._spool_dir = None
-            self.telemetry.total_seconds = time.monotonic() - started
-
-    def _start_job_trace(self, item: _PendingItem) -> None:
-        """Open (or reuse, after a requeue) the job span and record the wait.
-
-        The job span is backdated to the enqueue time of the *first* attempt
-        so its duration covers the whole lifecycle; each attempt contributes
-        its own ``queue_wait`` child span and histogram sample.
+        The job span is backdated to the enqueue time so its duration covers
+        the whole lifecycle.  Requeued attempts record their ``queue_wait``
+        at dispatch time inside the pool instead — together the attempts'
+        waits and ``job_attempt`` spans tile the job span.
         """
         if self.tracer is None:
             return
@@ -714,52 +641,10 @@ class StreamingRunner:
         )
         self.tracer.metrics.histogram("serve_queue_wait_seconds").observe(waited)
 
-    def _merge_worker_trace(self, worker: _ActiveWorker) -> None:
-        """Fold a finished (or dead) worker's span spool into the parent trace.
-
-        Also synthesizes the ``worker_spawn`` span — the gap between the
-        parent's ``process.start()`` and the first monotonic timestamp the
-        worker recorded — which is the number the ROADMAP's "startup
-        dominates throughput" hypothesis needs pinned.  Workers killed before
-        flushing anything simply contribute no spans; partially flushed
-        spools have their parentless spans adopted by the job span.
-
-        When resource sampling is on, this is also where the worker's pid
-        stops being sampled and its peak RSS / CPU total are stamped onto the
-        job span (``worker_peak_rss_bytes`` / ``worker_cpu_seconds``).
-        """
-        if self.sampler is not None and worker.process.pid is not None:
-            peak = self.sampler.untrack(worker.process.pid)
-            if worker.item.span is not None and peak["n_samples"]:
-                worker.item.span.set_attributes(
-                    worker_peak_rss_bytes=peak["peak_rss_bytes"],
-                    worker_cpu_seconds=peak["cpu_seconds"],
-                )
-        if self.tracer is None or worker.spool_path is None:
-            return
-        item = worker.item
-        events = merge_spool(self.tracer, worker.spool_path, adopt_parent=item.span)
-        root = next(
-            (event for event in events if event.get("name") == "worker"), None
-        )
-        if root is not None and worker.launch_at:
-            self.tracer.record_span(
-                "worker_spawn",
-                start=worker.launch_at,
-                duration=float(root["start"]) - worker.launch_at,
-                parent=item.span,
-                pid=worker.process.pid,
-            )
-        try:
-            os.unlink(worker.spool_path)
-        except OSError:  # pragma: no cover - already gone
-            pass
-        worker.spool_path = None
-
-    def _prepare(self, item: _PendingItem) -> JobResult | None:
+    def _prepare(self, item: PoolJob) -> JobResult | None:
         """Materialize data and consult the cache; a result short-circuits."""
         job = item.job
-        if item.data is None:  # a requeued item keeps its materialized data
+        if item.data is None:
             span = (
                 self.tracer.span("data_materialize", parent=item.span)
                 if self.tracer is not None
@@ -799,203 +684,40 @@ class StreamingRunner:
                 error = f"{type(exc).__name__}: {exc}"
         return None, error, self.max_retries + 1
 
-    def _run_inline(self, item: _PendingItem) -> JobResult:
-        """Execute one job in the parent process (serial, no-deadline path)."""
+    def _run_inline(self, item: PoolJob) -> JobResult:
+        """Execute one job in the parent process (serial, no-hard-deadline path)."""
+        soft_deadline_at = (
+            time.monotonic() + self.soft_timeout
+            if self.soft_timeout is not None
+            else None
+        )
         if self.tracer is None:
-            return _execute_with_retry(
+            result = _execute_with_retry(
                 item.job,
                 item.data,
                 item.fingerprint,
                 self.max_retries,
                 item.base_attempts,
+                soft_deadline_at=soft_deadline_at,
+                soft_timeout=self.soft_timeout,
             )
-        # No subprocess means no spool: the solve spans of execute_job land
-        # directly in the parent sink, parented under the job span.
-        with activated(self.tracer), self.tracer.use_parent(item.span):
-            return _execute_with_retry(
-                item.job,
-                item.data,
-                item.fingerprint,
-                self.max_retries,
-                item.base_attempts,
-            )
-
-    def _launch(self, item: _PendingItem) -> _ActiveWorker:
-        """Start a dedicated worker process for one job."""
-        context = _mp_context()
-        parent_conn, child_conn = context.Pipe(duplex=False)
-        job = item.job
-        if job.data is not None:
-            # The materialized matrix travels as the explicit `data` argument;
-            # don't ship a second copy inside the job spec.
-            job = copy.copy(job)
-            job.data = None
-        trace_spec = None
-        spool_path: str | None = None
-        if self.tracer is not None and self._spool_dir is not None:
-            spool_path = os.path.join(
-                self._spool_dir,
-                f"job-{item.index:03d}-a{item.preempt_attempts}.ndjson",
-            )
-            trace_spec = _TraceSpec(
-                spool_path=spool_path,
-                trace_id=self.tracer.trace_id,
-                parent_span_id=item.span.span_id if item.span is not None else None,
-            )
-        process = context.Process(
-            target=_job_worker,
-            args=(
-                child_conn,
-                self.timeout,
-                job,
-                item.data,
-                item.fingerprint,
-                self.max_retries,
-                item.base_attempts,
-                backend_module.registry_snapshot(),
-                trace_spec,
-            ),
-            daemon=True,
-        )
-        launch_at = time.monotonic()
-        process.start()
-        child_conn.close()
-        if self.sampler is not None and process.pid is not None:
-            self.sampler.track(process.pid, role="worker", job_id=item.job.job_id)
-        deadline_at = (
-            time.monotonic() + self.timeout if self.timeout is not None else None
-        )
-        return _ActiveWorker(
-            item=item,
-            process=process,
-            conn=parent_conn,
-            deadline_at=deadline_at,
-            launch_at=launch_at,
-            spool_path=spool_path,
-        )
-
-    def _wait(self, active: list[_ActiveWorker]) -> None:
-        """Block until a worker has news, its deadline passes, or a poll tick."""
-        from multiprocessing.connection import wait as connection_wait
-
-        now = time.monotonic()
-        timeout = _poll_interval()
-        for worker in active:
-            if worker.deadline_at is not None:
-                timeout = min(timeout, max(worker.deadline_at - now, 0.0))
-        handles = [worker.conn for worker in active]
-        handles.extend(worker.process.sentinel for worker in active)
-        connection_wait(handles, timeout=timeout)
-
-    def _poll_worker(
-        self, worker: _ActiveWorker, now: float
-    ) -> tuple[JobResult | None, _PendingItem | None]:
-        """Check one worker for a result, a crash, or a blown deadline.
-
-        Returns ``(result, None)`` when the job finished (any status),
-        ``(None, item)`` when a preempted job should be requeued, and
-        ``(None, None)`` when the worker is still running.
-        """
-        item = worker.item
-        # Sample liveness BEFORE draining the pipe: a worker that sends its
-        # result and exits between the two steps is then caught by the drain
-        # (the message is fully buffered before exit), never misclassified as
-        # a crash with its completed result discarded.
-        exited = worker.process.exitcode is not None
-        if worker.conn.poll(0):
-            try:
-                result: JobResult = worker.conn.recv()
-            except (EOFError, OSError, pickle.UnpicklingError):
-                return self._dead_worker_outcome(worker, mid_send=True)
-            worker.process.join(timeout=5.0)
-            worker.conn.close()
-            self._merge_worker_trace(worker)
-            # Attempts killed on earlier requeued workers are invisible to
-            # this worker; fold them in so success and final-preemption paths
-            # account alike.
-            result.attempts += item.preempt_attempts
-            return result, None
-        if exited:
-            worker.process.join(timeout=5.0)
-            return self._dead_worker_outcome(worker, mid_send=False)
-        if worker.deadline_at is not None and now >= worker.deadline_at:
-            self._record_kill(worker)
-            worker.conn.close()
-            self._merge_worker_trace(worker)
-            return self._preempted_outcome(
-                item, f"job exceeded the {self.timeout:.3f}s deadline and was killed"
-            )
-        return None, None
-
-    def _record_kill(self, worker: _ActiveWorker) -> None:
-        """SIGKILL a worker and account for it in the telemetry."""
-        pid = worker.process.pid
-        _terminate(worker.process)
-        self.telemetry.n_killed += 1
-        if self.tracer is not None:
-            self.tracer.metrics.counter(
-                "serve_preemptions_total", kind="parent_kill"
-            ).inc()
-        if pid is not None:
-            self.telemetry.killed_pids.append(pid)
-
-    def _dead_worker_outcome(
-        self, worker: _ActiveWorker, mid_send: bool
-    ) -> tuple[JobResult | None, _PendingItem | None]:
-        """Classify a worker that died without delivering a result."""
-        item = worker.item
-        worker.conn.close()
-        self._merge_worker_trace(worker)
-        exitcode = worker.process.exitcode
-        # Parent deadline kills are recorded at the kill site, so only the
-        # worker's own suicide timer reaches this classifier as a preemption;
-        # an external SIGKILL (e.g. the kernel OOM killer) is a plain failure
-        # — requeueing it would just repeat the damage.
-        if self.timeout is not None and _suicide_exit(exitcode):
-            self.telemetry.n_suicide_exits += 1
+        else:
+            # No subprocess means no spool: the solve spans of execute_job
+            # land directly in the parent sink, parented under the job span.
+            with activated(self.tracer), self.tracer.use_parent(item.span):
+                result = _execute_with_retry(
+                    item.job,
+                    item.data,
+                    item.fingerprint,
+                    self.max_retries,
+                    item.base_attempts,
+                    soft_deadline_at=soft_deadline_at,
+                    soft_timeout=self.soft_timeout,
+                )
+        if result.status == "preempted":
+            self.telemetry.n_soft_preempted += 1
             if self.tracer is not None:
                 self.tracer.metrics.counter(
-                    "serve_preemptions_total", kind="suicide"
+                    "serve_preemptions_total", kind="soft"
                 ).inc()
-            reason = (
-                f"worker killed itself at the {self.timeout:.3f}s deadline "
-                f"(exit code {exitcode})"
-            )
-            return self._preempted_outcome(item, reason)
-        detail = "while sending its result " if mid_send else ""
-        return (
-            JobResult(
-                job_id=item.job.job_id,
-                solver=item.job.solver,
-                status="failed",
-                attempts=item.base_attempts + 1,
-                fingerprint=item.fingerprint,
-                error=f"worker crashed {detail}(exit code {exitcode})",
-            ),
-            None,
-        )
-
-    def _preempted_outcome(
-        self, item: _PendingItem, reason: str
-    ) -> tuple[JobResult | None, _PendingItem | None]:
-        """Apply the preemption policy: requeue the job or fail it for good."""
-        item.preempt_attempts += 1
-        if (
-            self.preempt_policy == "requeue"
-            and item.preempt_attempts <= self.preempt_retries
-        ):
-            self.telemetry.n_requeued += 1
-            if self.tracer is not None:
-                self.tracer.metrics.counter("serve_requeues_total").inc()
-            return None, item
-        return (
-            JobResult(
-                job_id=item.job.job_id,
-                solver=item.job.solver,
-                status="preempted",
-                attempts=item.base_attempts + item.preempt_attempts,
-                fingerprint=item.fingerprint,
-                error=reason,
-            ),
-            None,
-        )
+        return result

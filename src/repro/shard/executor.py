@@ -165,6 +165,13 @@ class ShardExecutor:
     stitcher:
         The :class:`~repro.shard.stitcher.Stitcher` to merge with (a default
         one is built when omitted).
+    soft_timeout:
+        Optional cooperative per-block deadline (seconds, ≤ ``timeout``):
+        block solvers are asked to stop at an outer-iteration boundary before
+        the hard SIGKILL tier fires.
+    max_jobs_per_worker:
+        Recycle a pool worker after this many block jobs (``None`` keeps
+        workers for the whole pass).
     tracer:
         Optional :class:`~repro.obs.Tracer`.  :meth:`run` then executes
         inside a ``shard_solve`` span — block job spans (from the streaming
@@ -184,6 +191,8 @@ class ShardExecutor:
         cache: ResultCache | None = None,
         edge_threshold: float = 0.0,
         stitcher: Stitcher | None = None,
+        soft_timeout: float | None = None,
+        max_jobs_per_worker: int | None = None,
         tracer=None,
     ) -> None:
         check_non_negative(edge_threshold, "edge_threshold")
@@ -203,6 +212,8 @@ class ShardExecutor:
         self.cache = cache
         self.edge_threshold = edge_threshold
         self.stitcher = stitcher or Stitcher()
+        self.soft_timeout = soft_timeout
+        self.max_jobs_per_worker = max_jobs_per_worker
         self.tracer = tracer
 
     # -- public API ------------------------------------------------------------
@@ -253,6 +264,8 @@ class ShardExecutor:
             preempt_policy=self.preempt_policy,
             preempt_retries=self.preempt_retries,
             tracer=self.tracer,
+            soft_timeout=self.soft_timeout,
+            max_jobs_per_worker=self.max_jobs_per_worker,
         )
         timer = Timer()
         with contextlib.ExitStack() as stack:

@@ -1,12 +1,114 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures: data factories, polling sync, per-test deadlines.
+
+Concurrency-test hygiene lives here so every suite gets it for free:
+
+* ``wait_until`` — event-style polling that replaces fixed ``time.sleep``
+  synchronization (the classic source of both flakes and wasted seconds);
+* an autouse **per-test deadline** in the spirit of ``pytest-timeout`` (which
+  this environment doesn't ship): a ``faulthandler`` watchdog dumps every
+  thread's traceback and aborts the run if a single test exceeds the budget,
+  so a deadlocked worker-pool test fails loudly in CI instead of hanging the
+  job forever.  Configure with ``--timeout``, the ``REPRO_TEST_TIMEOUT``
+  environment variable, or per-test via ``@pytest.mark.timeout(seconds)``;
+  ``0`` disables.
+"""
 
 from __future__ import annotations
+
+import faulthandler
+import os
+import time
+from typing import Any, Callable
 
 import numpy as np
 import pytest
 
 from repro.graph.generation import random_dag
 from repro.sem.linear_sem import simulate_linear_sem
+
+_DEFAULT_TEST_TIMEOUT = 300.0
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    """Register ``--timeout`` (seconds per test; 0 disables the watchdog)."""
+    parser.addoption(
+        "--timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-test deadline in seconds enforced by a faulthandler "
+            "watchdog (default: $REPRO_TEST_TIMEOUT or "
+            f"{_DEFAULT_TEST_TIMEOUT:g}; 0 disables)"
+        ),
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    """Register the ``timeout`` marker used to override the global deadline."""
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): override the per-test watchdog deadline "
+        "(0 disables it for that test)",
+    )
+
+
+def _test_deadline(request: pytest.FixtureRequest) -> float:
+    """Resolve the deadline: marker > --timeout > env var > default."""
+    marker = request.node.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    option = request.config.getoption("--timeout")
+    if option is not None:
+        return float(option)
+    return float(os.environ.get("REPRO_TEST_TIMEOUT", _DEFAULT_TEST_TIMEOUT))
+
+
+@pytest.fixture(autouse=True)
+def _per_test_deadline(request: pytest.FixtureRequest):
+    """Abort the run (with all-thread tracebacks) if one test hangs.
+
+    ``exit=True`` is deliberate: a test that blew a 300s budget is deadlocked
+    (a worker that never sent its result, a poll loop that never drains), and
+    no later test in the process can be trusted after ``os._exit`` anyway.
+    The traceback dump names the stuck frame, which is the actual debugging
+    artifact CI needs.
+    """
+    seconds = _test_deadline(request)
+    if seconds <= 0:
+        yield
+        return
+    faulthandler.dump_traceback_later(seconds, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
+
+
+@pytest.fixture
+def wait_until() -> Callable[..., Any]:
+    """Poll ``predicate`` until truthy; ``pytest.fail`` past the timeout.
+
+    The returned value of the predicate is passed through, so tests can both
+    synchronize and capture (``result = wait_until(lambda: queue.peek())``).
+    Use this instead of fixed ``time.sleep`` synchronization: it is
+    simultaneously faster on the happy path and more tolerant of slow CI.
+    """
+
+    def _wait_until(
+        predicate: Callable[[], Any],
+        timeout: float = 30.0,
+        interval: float = 0.01,
+        message: str = "condition to become true",
+    ) -> Any:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            value = predicate()
+            if value:
+                return value
+            time.sleep(interval)
+        pytest.fail(f"timed out after {timeout:g}s waiting for {message}")
+
+    return _wait_until
 
 
 @pytest.fixture

@@ -25,7 +25,9 @@ import repro.obs.tracing as obs_tracing
 import repro.serve as serve
 import repro.serve.cache as serve_cache
 import repro.serve.cli as serve_cli
+import repro.serve.daemon as serve_daemon
 import repro.serve.job as serve_job
+import repro.serve.pool as serve_pool
 import repro.serve.runner as serve_runner
 import repro.serve.scheduler as serve_scheduler
 import repro.serve.streaming as serve_streaming
@@ -39,7 +41,9 @@ MODULES = [
     serve,
     serve_cache,
     serve_cli,
+    serve_daemon,
     serve_job,
+    serve_pool,
     serve_runner,
     serve_scheduler,
     serve_streaming,

@@ -99,6 +99,35 @@ class TestMain:
         assert second["summary"]["n_cache_hits"] == 1
         assert second["jobs"][0]["cache_hit"] is True
 
+    def test_pool_flags_run_jobs_on_a_recycling_pool(self, tmp_path):
+        manifest = _write_manifest(tmp_path, [FAST_JOB, {**FAST_JOB, "seed": 1}])
+        output = tmp_path / "report.json"
+        code = main(
+            [
+                manifest,
+                "--workers",
+                "2",
+                "--timeout",
+                "60",
+                "--soft-timeout",
+                "50",
+                "--max-jobs-per-worker",
+                "1",
+                "--quiet",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        report = json.loads(output.read_text())
+        assert report["summary"]["n_ok"] == 2
+
+    def test_soft_timeout_above_hard_timeout_exits_2(self, tmp_path, capsys):
+        manifest = _write_manifest(tmp_path, [FAST_JOB])
+        code = main([manifest, "--timeout", "10", "--soft-timeout", "20"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_module_entry_point_exists(self):
         import repro.serve.__main__  # noqa: F401 - import is the test
 

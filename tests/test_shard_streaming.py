@@ -25,6 +25,9 @@ from repro.shard.executor import ShardExecutor, ShardResult
 from repro.shard.planner import ShardBlock, ShardPlan
 from repro.shard.stitcher import StitchedGraph, Stitcher
 
+# Concurrency suite: abort with tracebacks instead of hanging CI on deadlock.
+pytestmark = pytest.mark.timeout(120)
+
 #: Deadline generous enough that a spawn-started worker can import and solve
 #: the instant blocks, yet short against the hanging solver's sleep.
 DEADLINE = 3.0
