@@ -53,6 +53,8 @@ N_WORKERS = 4
 EDGE_THRESHOLD = 0.3
 DEADLINE_SECONDS = 420.0
 MEMORY_BUDGET_MB = 1536.0
+WAVE_BLOCKS = 8
+BOUNDARY_ROUNDS = 1
 SOLVER_CONFIG = {
     "batch_size": 256,
     "max_inner_iterations": 80,
@@ -68,6 +70,24 @@ PLANNER_OPTIONS = {
     "dense_skeleton_limit": 1024,
     "skeleton_chunk_columns": 512,
 }
+
+# The scale rung: hierarchically planned, wave-batched, streamed.  A slimmer
+# iteration budget keeps the 5× larger problem inside a CI-friendly deadline —
+# this section gates *scale* (completion + memory), not accuracy.
+SCALE_N_NODES = 25600
+SCALE_N_COMPONENTS = 200  # 128 nodes each
+SCALE_N_SAMPLES = 200
+SCALE_PARTITION_COLUMNS = 5120
+SCALE_WAVE_BLOCKS = 16
+SCALE_DEADLINE_SECONDS = 900.0
+SCALE_MEMORY_BUDGET_MB = 2560.0
+SCALE_SOLVER_CONFIG = {
+    "batch_size": 256,
+    "max_inner_iterations": 40,
+    "max_outer_iterations": 2,
+    "support": "correlation",
+    "support_max_parents": 6,
+}
 OUTPUT_PATH = _REPO_ROOT / "BENCH_sparse_shard.json"
 
 
@@ -76,22 +96,26 @@ def peak_rss_mb() -> float:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
-def build_problem() -> tuple[sp.csr_matrix, np.ndarray]:
-    """The 5120-node scenario: block-diagonal sparse truth + per-component data.
+def build_problem(
+    n_nodes: int = N_NODES,
+    n_components: int = N_COMPONENTS,
+    n_samples: int = N_SAMPLES,
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """A block-diagonal scenario: sparse truth + per-component data.
 
     Each component's truth and sample matrix are generated independently
     (components are disconnected, so this is exact) — the full dense truth is
     never materialized; it is assembled as a block-diagonal CSR matrix.
     """
-    per_block = N_NODES // N_COMPONENTS
+    per_block = n_nodes // n_components
     truths = []
     columns = []
-    for index in range(N_COMPONENTS):
+    for index in range(n_components):
         truth = random_dag("ER-2", per_block, seed=300 + index)
         truths.append(sp.csr_matrix(truth))
         columns.append(
             simulate_linear_sem(
-                truth, N_SAMPLES, noise_type="gaussian", seed=500 + index
+                truth, n_samples, noise_type="gaussian", seed=500 + index
             )
         )
     return sp.block_diag(truths, format="csr"), np.hstack(columns)
@@ -121,6 +145,75 @@ def sparse_f1(predicted: sp.spmatrix, truth: sp.spmatrix) -> dict:
     }
 
 
+def scale_section() -> dict:
+    """The 25,600-node rung: hierarchical plan + waves + overlapped streaming."""
+    truth, data = build_problem(
+        n_nodes=SCALE_N_NODES,
+        n_components=SCALE_N_COMPONENTS,
+        n_samples=SCALE_N_SAMPLES,
+    )
+    planner = ShardPlanner(
+        **PLANNER_OPTIONS, partition_columns=SCALE_PARTITION_COLUMNS
+    )
+    executor = ShardExecutor(
+        solver="least_sparse",
+        config=SCALE_SOLVER_CONFIG,
+        n_workers=N_WORKERS,
+        edge_threshold=EDGE_THRESHOLD,
+        wave_blocks=SCALE_WAVE_BLOCKS,
+    )
+    with Timer() as timer:
+        result = executor.run_stream(data, planner, seed=0)
+    total_seconds = timer.elapsed
+    rss_peak = peak_rss_mb()
+
+    stitched_sparse = sp.issparse(result.weights)
+    dense_matrix_mb = SCALE_N_NODES * SCALE_N_NODES * 8 / 1e6
+    section = {
+        "complete": result.complete,
+        "deadline_seconds": SCALE_DEADLINE_SECONDS,
+        "dense_equivalent_mb": dense_matrix_mb,
+        "is_dag": bool(is_dag(result.weights)),
+        "memory_budget_mb": SCALE_MEMORY_BUDGET_MB,
+        "metrics": sparse_f1(result.weights, truth) if stitched_sparse else {},
+        "n_blocks": result.plan.n_blocks,
+        "n_components": SCALE_N_COMPONENTS,
+        "n_nodes": SCALE_N_NODES,
+        "n_samples": SCALE_N_SAMPLES,
+        "n_waves": result.n_waves,
+        "partition_columns": SCALE_PARTITION_COLUMNS,
+        "peak_rss_mb": rss_peak,
+        "rss_below_dense_equivalent": rss_peak < dense_matrix_mb,
+        "solver_config": dict(SCALE_SOLVER_CONFIG),
+        "stitch": result.stitched.report.as_dict(),
+        "stitched_is_sparse": stitched_sparse,
+        "total_seconds": total_seconds,
+        "under_deadline": total_seconds < SCALE_DEADLINE_SECONDS,
+        "wave_blocks": SCALE_WAVE_BLOCKS,
+    }
+
+    # Scale-rung claims, asserted every run.
+    assert stitched_sparse, "the scale rung must stay CSR end to end"
+    assert section["is_dag"], "the 25.6k stitched graph must be a DAG"
+    assert result.complete, (
+        f"every block must complete at 25.6k nodes: "
+        f"{result.n_blocks_failed} failed, {result.n_blocks_preempted} preempted"
+    )
+    assert section["under_deadline"], (
+        f"25.6k-node streamed solve took {total_seconds:.1f}s, over the "
+        f"{SCALE_DEADLINE_SECONDS:.0f}s deadline"
+    )
+    assert rss_peak < SCALE_MEMORY_BUDGET_MB, (
+        f"peak RSS {rss_peak:.0f} MB exceeded the scale budget "
+        f"{SCALE_MEMORY_BUDGET_MB:.0f} MB"
+    )
+    assert rss_peak < dense_matrix_mb, (
+        f"peak RSS {rss_peak:.0f} MB is not below one dense d×d copy "
+        f"({dense_matrix_mb:.0f} MB) — the scale claim fails"
+    )
+    return section
+
+
 def main() -> dict:
     """Run the sharded sparse solve, assert the budget claims, write JSON."""
     rss_start = peak_rss_mb()
@@ -136,8 +229,10 @@ def main() -> dict:
         config=SOLVER_CONFIG,
         n_workers=N_WORKERS,
         edge_threshold=EDGE_THRESHOLD,
+        wave_blocks=WAVE_BLOCKS,
+        boundary_rounds=BOUNDARY_ROUNDS,
     )
-    result = executor.run(data, plan, seed=0)
+    result = executor.run(data, plan, seed=0, planner=planner)
     total_seconds = plan_seconds + result.total_seconds
     rss_peak = peak_rss_mb()
 
@@ -160,6 +255,14 @@ def main() -> dict:
         "plan": plan.summary(),
         "plan_seconds": plan_seconds,
         "profile": "default",
+        "resolve": {
+            "boundary_rounds": BOUNDARY_ROUNDS,
+            "n_rounds": len(result.rounds),
+            "rounds": [
+                {key: value for key, value in entry.items() if key != "blocks"}
+                for entry in result.rounds
+            ],
+        },
         "solve_seconds": result.total_seconds,
         "solver": "least_sparse",
         "solver_config": dict(SOLVER_CONFIG),
@@ -167,6 +270,7 @@ def main() -> dict:
         "stitched_is_sparse": stitched_sparse,
         "total_seconds": total_seconds,
         "under_deadline": total_seconds < DEADLINE_SECONDS,
+        "waves": {"n_waves": result.n_waves, "wave_blocks": WAVE_BLOCKS},
     }
 
     print_table(
@@ -180,7 +284,10 @@ def main() -> dict:
             ["peak RSS", f"{rss_peak:.0f} MB (budget {MEMORY_BUDGET_MB:.0f} MB)"],
             ["dense d×d would need", f"{dense_matrix_mb:.0f} MB per copy"],
             ["stitched edges", result.stitched.report.n_edges],
+            ["waves", f"{result.n_waves} ({WAVE_BLOCKS} blocks each)"],
+            ["boundary rounds", len(result.rounds)],
             ["F1 vs truth", f"{metrics.get('f1', float('nan')):.3f}"],
+            ["recall vs truth", f"{metrics.get('recall', float('nan')):.4f}"],
         ],
     )
 
@@ -198,6 +305,26 @@ def main() -> dict:
     assert rss_peak < MEMORY_BUDGET_MB, (
         f"peak RSS {rss_peak:.0f} MB exceeded the {MEMORY_BUDGET_MB:.0f} MB "
         "budget — a dense materialization likely crept into the sparse path"
+    )
+
+    results["scale"] = scale_section()
+    print_table(
+        f"scale rung: d={SCALE_N_NODES}, partitions of "
+        f"{SCALE_PARTITION_COLUMNS} columns, waves of {SCALE_WAVE_BLOCKS}",
+        ["phase", "value"],
+        [
+            ["blocks / waves", f"{results['scale']['n_blocks']} / "
+                               f"{results['scale']['n_waves']}"],
+            ["plan+solve+stitch (streamed)",
+             f"{results['scale']['total_seconds']:.2f}s "
+             f"(deadline {SCALE_DEADLINE_SECONDS:.0f}s)"],
+            ["peak RSS", f"{results['scale']['peak_rss_mb']:.0f} MB "
+                         f"(budget {SCALE_MEMORY_BUDGET_MB:.0f} MB)"],
+            ["dense d×d would need",
+             f"{results['scale']['dense_equivalent_mb']:.0f} MB per copy"],
+            ["complete", results["scale"]["complete"]],
+            ["stitched edges", results["scale"]["stitch"]["n_edges"]],
+        ],
     )
 
     OUTPUT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")

@@ -31,3 +31,15 @@ class DataGenerationError(ReproError):
 
 class DimensionMismatchError(ReproError, ValueError):
     """Raised when array shapes are inconsistent with each other."""
+
+
+class SoftDeadlineExceeded(RuntimeError):
+    """Raised by the soft-deadline hook at an outer-iteration boundary.
+
+    The backend protocol guarantees that a hook raising aborts the solve
+    cooperatively; the executing worker catches this exception and reports
+    the job ``"preempted"`` without dying, so the pool keeps its process.
+    Defined here (not in :mod:`repro.serve.pool`, which re-exports it) so
+    that :func:`repro.serve.job.execute_job` can catch it mid-wave without
+    a circular import.
+    """

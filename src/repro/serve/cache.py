@@ -88,7 +88,12 @@ def fingerprint_config(config: Mapping[str, Any]) -> str:
 
 
 def job_fingerprint(job: "LearningJob", data: np.ndarray) -> str:
-    """Content-addressed key of a job: solver ⊕ config ⊕ seed ⊕ data ⊕ init."""
+    """Content-addressed key of a job: solver ⊕ config ⊕ seed ⊕ data ⊕ init.
+
+    Wave jobs additionally fold the member layout (ids, widths, seeds) into
+    the key — the same stacked matrix split at different boundaries is a
+    different computation.
+    """
     digest = hashlib.sha256()
     digest.update(job.solver.encode())
     digest.update(fingerprint_config(job.config).encode())
@@ -98,6 +103,10 @@ def job_fingerprint(job: "LearningJob", data: np.ndarray) -> str:
         digest.update(fingerprint_array(job.init_weights).encode())
     else:
         digest.update(b"cold-start")
+    if job.wave is not None:
+        canonical = json.dumps(job.wave, sort_keys=True, default=repr)
+        digest.update(b"wave")
+        digest.update(canonical.encode())
     return digest.hexdigest()
 
 

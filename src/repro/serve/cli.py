@@ -319,6 +319,36 @@ def build_shard_parser() -> argparse.ArgumentParser:
         help="cap on halo nodes per block (strongest correlations kept)",
     )
     parser.add_argument(
+        "--partition-columns",
+        type=int,
+        default=None,
+        help=(
+            "hierarchical planning: plan each contiguous run of this many "
+            "columns independently and overlap its block solves with planning "
+            "the next partition (no global skeleton is ever materialized)"
+        ),
+    )
+    parser.add_argument(
+        "--wave-blocks",
+        type=int,
+        default=None,
+        help=(
+            "wave scheduling: ship this many consecutive blocks per job, "
+            "unpacked and solved member-by-member inside the worker "
+            "(default: one job per block)"
+        ),
+    )
+    parser.add_argument(
+        "--boundary-rounds",
+        type=int,
+        default=0,
+        help=(
+            "after the first stitch, re-plan and re-solve the boundary node "
+            "set (missing cores plus all halos) this many times, warm-started "
+            "from the stitched graph (default: 0, off)"
+        ),
+    )
+    parser.add_argument(
         "--solver",
         default="least",
         help=(
@@ -425,6 +455,7 @@ def shard_main(argv: Sequence[str] | None = None) -> int:
             min_block_size=args.min_block_size,
             halo_depth=args.halo_depth,
             max_halo_size=args.max_halo_size,
+            partition_columns=args.partition_columns,
         )
         tracer = _build_tracer(args)
         executor = ShardExecutor(
@@ -435,15 +466,23 @@ def shard_main(argv: Sequence[str] | None = None) -> int:
             preempt_policy=args.preempt_policy,
             max_retries=args.max_retries,
             edge_threshold=args.edge_threshold,
+            wave_blocks=args.wave_blocks,
+            boundary_rounds=args.boundary_rounds,
             tracer=tracer,
         )
-        plan = planner.plan(data, tracer=tracer)
     except (ValidationError, json.JSONDecodeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     try:
-        result = executor.run(data, plan, seed=args.seed)
+        if planner.partition_columns is not None:
+            # Overlapped plan/execute: partitions are planned and their wave
+            # jobs submitted on one stream session, so no global skeleton is
+            # ever built.
+            result = executor.run_stream(data, planner, seed=args.seed)
+        else:
+            plan = planner.plan(data, tracer=tracer)
+            result = executor.run(data, plan, seed=args.seed, planner=planner)
     except ValidationError as exc:  # e.g. an unknown --solver name
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -474,12 +513,14 @@ def shard_main(argv: Sequence[str] | None = None) -> int:
             np.save(args.save_weights, result.weights)
 
     if not args.quiet:
-        summary = plan.summary()
+        summary = result.plan.summary()
         stitch = result.stitched.report
+        waves = f", {result.n_waves} waves" if result.n_waves else ""
+        rounds = f", {len(result.rounds)} re-solve rounds" if result.rounds else ""
         print(
             f"{summary['n_blocks']} blocks over {summary['n_nodes']} nodes: "
             f"{result.n_blocks_ok} ok, {result.n_blocks_failed} failed, "
-            f"{result.n_blocks_preempted} preempted | "
+            f"{result.n_blocks_preempted} preempted{waves}{rounds} | "
             f"{stitch.n_edges} stitched edges "
             f"({stitch.n_duplicate_edges} dups, "
             f"{stitch.n_direction_conflicts} direction conflicts, "

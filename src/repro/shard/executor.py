@@ -1,26 +1,49 @@
 """Executing a shard plan on the streaming serving engine.
 
-:class:`ShardExecutor` materializes every block of a
-:class:`~repro.shard.planner.ShardPlan` as an inline-data
-:class:`~repro.serve.job.LearningJob` and drives the whole set through
+:class:`ShardExecutor` materializes the blocks of a
+:class:`~repro.shard.planner.ShardPlan` as inline-data
+:class:`~repro.serve.job.LearningJob` records and drives them through
 :class:`~repro.serve.streaming.StreamingRunner` — inheriting the engine's
 parallel workers, hard per-block deadlines (SIGKILL + suicide timers), the
 fail/requeue preemption policy, and result caching.  Block results are
 consumed as they stream in; once the stream drains, the surviving sub-graphs
 are merged by :class:`~repro.shard.stitcher.Stitcher` into one global DAG.
 
+Three mechanisms push the sharded path toward very wide problems:
+
+* **Wave scheduling** (:attr:`ShardExecutor.wave_blocks`): consecutive blocks
+  are shipped as one *wave* job — their column sets stacked side by side in a
+  single data matrix, unpacked and solved member-by-member inside the worker
+  (:func:`repro.serve.job.execute_job`).  One dispatch, one pickling round
+  trip, and one cache entry amortize over the whole wave, which is what makes
+  tens of thousands of tiny blocks affordable.
+* **Overlapped plan/execute** (:meth:`ShardExecutor.run_stream`): with a
+  hierarchical planner (:attr:`~repro.shard.planner.ShardPlanner.partition_columns`)
+  the executor opens a :class:`~repro.serve.streaming.StreamSession` and
+  submits each partition's waves the moment that partition is planned, so
+  block solves run while later partitions are still being planned — and no
+  single global skeleton ever has to exist in memory.
+* **Boundary re-solve** (:attr:`ShardExecutor.boundary_rounds`): after the
+  first stitch, the nodes around block boundaries (owned nodes of failed
+  blocks plus every halo node) are re-planned over a *fresh* skeleton — one
+  that may connect nodes from different partitions — warm-started from the
+  stitched graph, solved, and stitched in with everything else.  Each round
+  recovers cross-partition edges the partitioned first pass could not see.
+
 Failure containment is the point of running blocks as independent jobs: a
 block whose worker crashes or blows its deadline costs exactly that block —
-the stitcher assembles a DAG from the survivors and the gap (which blocks and
-which owned nodes are missing) is recorded in the :class:`ShardResult` report
-instead of poisoning the whole solve.
+or, for a hard-killed wave, exactly that wave — and the stitcher assembles a
+DAG from the survivors while the gap (which blocks and which owned nodes are
+missing) is recorded in the :class:`ShardResult` report instead of poisoning
+the whole solve.
 """
 
 from __future__ import annotations
 
 import contextlib
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -36,7 +59,17 @@ from repro.shard.stitcher import StitchedGraph, Stitcher
 from repro.utils.timer import Timer
 from repro.utils.validation import check_non_negative, ensure_2d
 
-__all__ = ["ShardResult", "ShardExecutor", "solve_sharded"]
+__all__ = [
+    "MISSING_NODES_REPORT_CAP",
+    "ShardResult",
+    "ShardExecutor",
+    "solve_sharded",
+]
+
+#: Upper bound on the ``missing_nodes`` list embedded in a report.  At the
+#: 100k-node regime a bad pass can lose tens of thousands of nodes; the JSON
+#: report keeps an exact count plus a bounded prefix instead of the full list.
+MISSING_NODES_REPORT_CAP = 200
 
 
 @dataclass
@@ -54,18 +87,40 @@ class ShardResult:
         The executed :class:`~repro.shard.planner.ShardPlan`.
     stitched:
         The :class:`~repro.shard.stitcher.StitchedGraph` carrying the
-        conflict-accounting report.
+        conflict-accounting report (the *final* stitch when boundary
+        re-solve rounds ran).
     block_results:
-        One :class:`~repro.serve.job.JobResult` per block, in block order.
+        One :class:`~repro.serve.job.JobResult` per block of the plan, in
+        block order.  For wave-scheduled passes these are the unpacked
+        member results; a wave that died before delivering anything yields
+        one synthesized result per member block carrying the wave's status.
     missing_nodes:
-        Global indices owned by blocks that did not complete (failed or
-        preempted); their outgoing/incoming edges may be absent from
-        :attr:`weights`.
+        Global indices owned by blocks that did not produce a usable
+        sub-graph (failed, preempted, or anomalously weight-less) and that
+        no boundary re-solve round recovered; their outgoing/incoming edges
+        may be absent from :attr:`weights`.
     total_seconds:
-        Wall-clock duration of the execute-and-stitch pass.
+        Wall-clock duration of the execute-and-stitch pass (including any
+        boundary re-solve rounds).
     preemption:
-        The streaming engine's preemption counters for the pass
+        The streaming engine's preemption counters, accumulated over the
+        first pass and every re-solve round
         (``n_killed`` / ``n_suicide_exits`` / ``n_requeued``).
+    anomalies:
+        Map from block job id to a description of a contract violation —
+        currently the one observable from outside a worker: a result whose
+        ``status`` is ``"ok"`` but whose weights are missing.  Anomalous
+        blocks are treated as gaps (their owned nodes count as missing).
+    n_waves:
+        Wave jobs dispatched across the whole solve (0 when wave scheduling
+        is off).
+    rounds:
+        One JSON-able record per executed boundary re-solve round (counters
+        plus per-block digests).
+    initial_weights:
+        The stitched weights of the first pass, before any boundary
+        re-solve round touched them (``None`` when no rounds ran) — kept so
+        callers can measure what the rounds changed.
     """
 
     weights: np.ndarray | sp.csr_matrix
@@ -75,6 +130,10 @@ class ShardResult:
     missing_nodes: list[int] = field(default_factory=list)
     total_seconds: float = 0.0
     preemption: dict[str, float] = field(default_factory=dict)
+    anomalies: dict[str, str] = field(default_factory=dict)
+    n_waves: int = 0
+    rounds: list[dict[str, Any]] = field(default_factory=list)
+    initial_weights: np.ndarray | sp.csr_matrix | None = None
 
     @property
     def n_blocks_ok(self) -> int:
@@ -93,15 +152,25 @@ class ShardResult:
 
     @property
     def complete(self) -> bool:
-        """True when every block of the plan completed successfully."""
-        return self.n_blocks_ok == self.plan.n_blocks
+        """True when every owned node is covered by a usable block solve.
+
+        Coverage counts both the first pass and boundary re-solve rounds: a
+        node owned by a failed block that a later round re-solved is not
+        missing.  A block that claimed ``"ok"`` without returning weights
+        does *not* cover its nodes (see :attr:`anomalies`).
+        """
+        return not self.missing_nodes
 
     def report(self) -> dict[str, Any]:
         """JSON-able run report: plan and stitch digests plus the gap record.
 
         The ``gaps`` block is how a degraded solve is surfaced: which blocks
         did not complete, why, and which owned nodes the stitched graph is
-        therefore missing context for.
+        therefore missing context for.  ``n_missing_nodes`` is always the
+        exact count; the embedded ``missing_nodes`` list is truncated to the
+        first :data:`MISSING_NODES_REPORT_CAP` entries (flagged by
+        ``missing_nodes_truncated``) so a catastrophic pass cannot bloat the
+        report.
         """
         return {
             "plan": self.plan.summary(),
@@ -114,6 +183,7 @@ class ShardResult:
                     "elapsed_seconds": r.elapsed_seconds,
                     "attempts": r.attempts,
                     "error": r.error,
+                    "anomaly": self.anomalies.get(r.job_id),
                 }
                 for r in self.block_results
             ],
@@ -121,12 +191,42 @@ class ShardResult:
                 "n_blocks_ok": self.n_blocks_ok,
                 "n_blocks_failed": self.n_blocks_failed,
                 "n_blocks_preempted": self.n_blocks_preempted,
+                "n_anomalies": len(self.anomalies),
                 "n_missing_nodes": len(self.missing_nodes),
-                "missing_nodes": list(self.missing_nodes),
+                "missing_nodes": list(
+                    self.missing_nodes[:MISSING_NODES_REPORT_CAP]
+                ),
+                "missing_nodes_truncated": (
+                    len(self.missing_nodes) > MISSING_NODES_REPORT_CAP
+                ),
+            },
+            "waves": {"n_waves": self.n_waves},
+            "resolve": {
+                "n_rounds": len(self.rounds),
+                "rounds": [dict(entry) for entry in self.rounds],
             },
             "total_seconds": self.total_seconds,
             "preemption": dict(self.preemption),
         }
+
+
+def _block_digest(result: JobResult, anomaly: str | None) -> dict[str, Any]:
+    """Small JSON-able record of one block outcome (round reports)."""
+    return {
+        "job_id": result.job_id,
+        "status": result.status,
+        "n_edges": result.n_edges,
+        "attempts": result.attempts,
+        "error": result.error,
+        "anomaly": anomaly,
+    }
+
+
+def _edge_count(weights: np.ndarray | sp.spmatrix) -> int:
+    """Non-zero entries of a stitched weight matrix (dense or CSR)."""
+    if sp.issparse(weights):
+        return int(weights.nnz)
+    return int(np.count_nonzero(weights))
 
 
 class ShardExecutor:
@@ -149,15 +249,17 @@ class ShardExecutor:
         Concurrent worker processes of the underlying
         :class:`~repro.serve.streaming.StreamingRunner`.
     timeout:
-        Hard per-block deadline in seconds (``None`` disables preemption).
+        Hard per-job deadline in seconds (``None`` disables preemption).
+        With wave scheduling the deadline covers the *whole wave*.
     preempt_policy, preempt_retries:
-        Forwarded to the streaming engine: what happens to a block killed at
+        Forwarded to the streaming engine: what happens to a job killed at
         its deadline (``"fail"`` or ``"requeue"`` with fresh attempts).
     max_retries:
-        Extra in-worker attempts for failing block solves.
+        Extra in-worker attempts for failing block solves (per wave member
+        when wave scheduling is on).
     cache:
         Optional :class:`~repro.serve.cache.ResultCache` shared across runs —
-        re-solving an unchanged block becomes a cache hit.
+        re-solving an unchanged block (or wave) becomes a cache hit.
     edge_threshold:
         Entries with ``|weight|`` below this are dropped from each block's
         sub-graph *before* stitching, so conflict accounting operates on the
@@ -166,12 +268,26 @@ class ShardExecutor:
         The :class:`~repro.shard.stitcher.Stitcher` to merge with (a default
         one is built when omitted).
     soft_timeout:
-        Optional cooperative per-block deadline (seconds, ≤ ``timeout``):
+        Optional cooperative per-job deadline (seconds, ≤ ``timeout``):
         block solvers are asked to stop at an outer-iteration boundary before
-        the hard SIGKILL tier fires.
+        the hard SIGKILL tier fires.  Inside a wave, a soft stop preempts the
+        interrupted member and every not-yet-started member while keeping
+        the finished parts.
     max_jobs_per_worker:
-        Recycle a pool worker after this many block jobs (``None`` keeps
-        workers for the whole pass).
+        Recycle a pool worker after this many jobs (``None`` keeps workers
+        for the whole pass).
+    wave_blocks:
+        Wave scheduling: ship this many consecutive blocks per
+        :class:`~repro.serve.job.LearningJob` (``None`` or ``1`` keeps the
+        one-job-per-block layout).  The members are unpacked and solved
+        independently inside the worker; a hard-killed wave loses exactly
+        its own members.
+    boundary_rounds:
+        Boundary re-solve: after the first stitch, run this many extra
+        rounds that re-plan the boundary node set (owned nodes of
+        unfinished blocks plus every halo node) over a fresh skeleton,
+        warm-start those blocks from the stitched graph, and re-stitch.
+        ``0`` (default) disables the mechanism.
     tracer:
         Optional :class:`~repro.obs.Tracer`.  :meth:`run` then executes
         inside a ``shard_solve`` span — block job spans (from the streaming
@@ -193,9 +309,19 @@ class ShardExecutor:
         stitcher: Stitcher | None = None,
         soft_timeout: float | None = None,
         max_jobs_per_worker: int | None = None,
+        wave_blocks: int | None = None,
+        boundary_rounds: int = 0,
         tracer=None,
     ) -> None:
         check_non_negative(edge_threshold, "edge_threshold")
+        if wave_blocks is not None and wave_blocks < 1:
+            raise ValidationError(
+                f"wave_blocks must be >= 1, got {wave_blocks}"
+            )
+        if boundary_rounds < 0:
+            raise ValidationError(
+                f"boundary_rounds must be >= 0, got {boundary_rounds}"
+            )
         self.solver = solver
         self.config = dict(config or {})
         get_spec(solver)  # validates the name against the live registry
@@ -214,17 +340,22 @@ class ShardExecutor:
         self.stitcher = stitcher or Stitcher()
         self.soft_timeout = soft_timeout
         self.max_jobs_per_worker = max_jobs_per_worker
+        self.wave_blocks = int(wave_blocks) if wave_blocks is not None else None
+        self.boundary_rounds = int(boundary_rounds)
         self.tracer = tracer
 
-    # -- public API ------------------------------------------------------------
+    # -- job construction ------------------------------------------------------
 
     def build_jobs(
         self, data: np.ndarray, plan: ShardPlan, seed: int | None = 0
     ) -> list[LearningJob]:
-        """Materialize one inline-data job per block of ``plan``.
+        """Materialize the jobs of ``plan`` (one per block, or one per wave).
 
-        Block ``k`` gets ``job_id="block-kkk"`` and seed ``seed + k`` so block
-        solves stay individually reproducible yet mutually decorrelated.
+        Block ``k`` keeps ``job_id="block-kkk"`` and seed ``seed + k`` so
+        block solves stay individually reproducible yet mutually
+        decorrelated; with :attr:`wave_blocks` set the blocks ride as wave
+        members under ``job_id="wave-kkk"`` (``k`` = first member's index)
+        and carry the same per-member ids and seeds in the wave manifest.
         """
         data = ensure_2d(data, "data")
         if data.shape[1] != plan.n_nodes:
@@ -232,31 +363,180 @@ class ShardExecutor:
                 f"data has {data.shape[1]} columns but the plan covers "
                 f"{plan.n_nodes} nodes"
             )
-        jobs = []
-        for block in plan.blocks:
-            columns = np.asarray(block.nodes, dtype=int)
+        jobs, _ = self._build_block_jobs(data, plan.blocks, seed)
+        return jobs
+
+    def _build_block_jobs(
+        self,
+        data: np.ndarray,
+        blocks: Sequence[ShardBlock],
+        seed: int | None,
+        id_prefix: str = "",
+        warm_starts: dict[int, np.ndarray | sp.spmatrix] | None = None,
+    ) -> tuple[list[LearningJob], dict[str, list[tuple[ShardBlock, str]]]]:
+        """Build the jobs for ``blocks`` plus the job-id → members routing map.
+
+        The map sends each job id to its ``(block, member_job_id)`` pairs in
+        wave order — a per-block job maps to itself — which is everything
+        :meth:`_consume` needs to route streamed results (including
+        synthesized outcomes for waves that died wholesale) back to blocks.
+        """
+        jobs: list[LearningJob] = []
+        members: dict[str, list[tuple[ShardBlock, str]]] = {}
+        wave = self.wave_blocks if self.wave_blocks and self.wave_blocks > 1 else None
+        if wave is None:
+            for block in blocks:
+                job_id = f"{id_prefix}block-{block.index:03d}"
+                columns = np.asarray(block.nodes, dtype=int)
+                jobs.append(
+                    LearningJob(
+                        solver=self.solver,
+                        data=np.ascontiguousarray(data[:, columns]),
+                        config=dict(self.config),
+                        seed=None if seed is None else seed + block.index,
+                        init_weights=(
+                            None
+                            if warm_starts is None
+                            else warm_starts.get(block.index)
+                        ),
+                        job_id=job_id,
+                    )
+                )
+                members[job_id] = [(block, job_id)]
+            return jobs, members
+        blocks = list(blocks)
+        for start in range(0, len(blocks), wave):
+            group = blocks[start : start + wave]
+            job_id = f"{id_prefix}wave-{group[0].index:03d}"
+            entries = []
+            segments = []
+            routing = []
+            for block in group:
+                member_id = f"{id_prefix}block-{block.index:03d}"
+                entry: dict[str, Any] = {
+                    "job_id": member_id,
+                    "n_columns": len(block.nodes),
+                }
+                if seed is not None:
+                    entry["seed"] = seed + block.index
+                entries.append(entry)
+                segments.append(data[:, np.asarray(block.nodes, dtype=int)])
+                routing.append((block, member_id))
             jobs.append(
                 LearningJob(
                     solver=self.solver,
-                    data=np.ascontiguousarray(data[:, columns]),
+                    data=np.ascontiguousarray(np.concatenate(segments, axis=1)),
                     config=dict(self.config),
-                    seed=None if seed is None else seed + block.index,
-                    job_id=f"block-{block.index:03d}",
+                    seed=seed,
+                    init_weights=self._stack_inits(group, warm_starts),
+                    job_id=job_id,
+                    wave=entries,
                 )
             )
-        return jobs
+            members[job_id] = routing
+        return jobs, members
 
-    def run(
-        self, data: np.ndarray, plan: ShardPlan, seed: int | None = 0
-    ) -> ShardResult:
-        """Execute the plan on the streaming engine and stitch the survivors.
+    def _stack_inits(
+        self,
+        group: Sequence[ShardBlock],
+        warm_starts: dict[int, np.ndarray | sp.spmatrix] | None,
+    ) -> np.ndarray | sp.spmatrix | None:
+        """Block-diagonal stacked warm start of one wave (``None`` when cold)."""
+        if warm_starts is None:
+            return None
+        inits = [warm_starts.get(block.index) for block in group]
+        if all(init is None for init in inits):
+            return None
+        widths = [len(block.nodes) for block in group]
+        any_sparse = any(sp.issparse(init) for init in inits)
+        filled = [
+            init
+            if init is not None
+            else (
+                sp.csr_matrix((width, width))
+                if any_sparse
+                else np.zeros((width, width))
+            )
+            for init, width in zip(inits, widths)
+        ]
+        if any_sparse:
+            return sp.block_diag(
+                [sp.csr_matrix(init) for init in filled], format="csr"
+            )
+        total = sum(widths)
+        stacked = np.zeros((total, total))
+        offset = 0
+        for init, width in zip(filled, widths):
+            stacked[offset : offset + width, offset : offset + width] = np.asarray(
+                init, dtype=float
+            )
+            offset += width
+        return stacked
 
-        Results are consumed in completion order as the engine yields them;
-        preempted or failed blocks become gaps in the :class:`ShardResult`
-        rather than errors.
+    # -- result consumption ----------------------------------------------------
+
+    def _consume(
+        self,
+        result: JobResult,
+        members: dict[str, list[tuple[ShardBlock, str]]],
+        outcomes: dict[int, JobResult],
+        survivors: list[tuple[ShardBlock, np.ndarray | sp.spmatrix]],
+        anomalies: dict[str, str],
+    ) -> None:
+        """Route one streamed result back to its block(s).
+
+        Wave results are unpacked into their member parts; a wave that died
+        without delivering parts (hard preemption, worker crash) synthesizes
+        one outcome per member carrying the wave-level status, so the loss
+        is exactly that wave.  A part that claims ``"ok"`` without weights
+        violates the result contract: it is recorded as an anomaly and its
+        block is *not* a survivor — its owned nodes count as missing.
         """
-        jobs = self.build_jobs(data, plan, seed=seed)
-        runner = StreamingRunner(
+        routing = members[result.job_id]
+        if result.parts is not None:
+            parts: Iterable[JobResult] = result.parts
+        elif len(routing) == 1 and routing[0][1] == result.job_id:
+            parts = [result]
+        else:
+            parts = [
+                JobResult(
+                    job_id=member_id,
+                    solver=result.solver,
+                    status=result.status,
+                    attempts=result.attempts,
+                    cache_hit=result.cache_hit,
+                    error=result.error,
+                )
+                for _, member_id in routing
+            ]
+        for (block, member_id), part in zip(routing, parts):
+            outcomes[block.index] = part
+            if self.tracer is not None:
+                self.tracer.metrics.counter(
+                    "shard_blocks_total", status=part.status
+                ).inc()
+            if part.status != "ok":
+                continue
+            if part.weights is None:
+                anomalies[member_id] = (
+                    "result claimed status 'ok' but carried no weights; "
+                    "treating the block's owned nodes as missing"
+                )
+                continue
+            # Keep each block's native representation: CSR block results are
+            # thresholded on their data vector and handed to the stitcher
+            # still sparse.
+            local = part.weights
+            if not sp.issparse(local):
+                local = np.asarray(local, dtype=float)
+            if self.edge_threshold > 0.0:
+                local = threshold_weights(local, self.edge_threshold)
+            survivors.append((block, local))
+
+    # -- execution -------------------------------------------------------------
+
+    def _make_runner(self) -> StreamingRunner:
+        return StreamingRunner(
             n_workers=self.n_workers,
             cache=self.cache,
             timeout=self.timeout,
@@ -267,6 +547,35 @@ class ShardExecutor:
             soft_timeout=self.soft_timeout,
             max_jobs_per_worker=self.max_jobs_per_worker,
         )
+
+    @staticmethod
+    def _accumulate(totals: dict[str, float], summary: dict[str, float]) -> None:
+        for key, value in summary.items():
+            totals[key] = totals.get(key, 0.0) + value
+
+    def run(
+        self,
+        data: np.ndarray,
+        plan: ShardPlan,
+        seed: int | None = 0,
+        planner: ShardPlanner | None = None,
+    ) -> ShardResult:
+        """Execute the plan on the streaming engine and stitch the survivors.
+
+        Results are consumed in completion order as the engine yields them;
+        preempted or failed blocks (or whole waves) become gaps in the
+        :class:`ShardResult` rather than errors.  With
+        :attr:`boundary_rounds` set, the gaps-and-halos boundary is
+        re-planned and re-solved after the first stitch (``planner``
+        supplies the re-plan settings; a default-configured planner at the
+        plan's skeleton threshold is used when omitted).
+        """
+        data = ensure_2d(data, "data")
+        if data.shape[1] != plan.n_nodes:
+            raise ValidationError(
+                f"data has {data.shape[1]} columns but the plan covers "
+                f"{plan.n_nodes} nodes"
+            )
         timer = Timer()
         with contextlib.ExitStack() as stack:
             stack.enter_context(timer)
@@ -282,44 +591,189 @@ class ShardExecutor:
                         n_nodes=plan.n_nodes,
                     )
                 )
-            by_block: dict[int, JobResult] = {}
+            jobs, members = self._build_block_jobs(data, plan.blocks, seed)
+            n_waves = sum(1 for job in jobs if job.wave is not None)
+            outcomes: dict[int, JobResult] = {}
             survivors: list[tuple[ShardBlock, np.ndarray | sp.spmatrix]] = []
+            anomalies: dict[str, str] = {}
+            preemption: dict[str, float] = {}
+            runner = self._make_runner()
             for result in runner.stream(jobs):
-                index = int(result.job_id.split("-")[-1])
-                by_block[index] = result
-                if self.tracer is not None:
-                    self.tracer.metrics.counter(
-                        "shard_blocks_total", status=result.status
-                    ).inc()
-                if result.status == "ok" and result.weights is not None:
-                    # Keep each block's native representation: CSR block
-                    # results are thresholded on their data vector and handed
-                    # to the stitcher still sparse.
-                    local = result.weights
-                    if not sp.issparse(local):
-                        local = np.asarray(local, dtype=float)
-                    if self.edge_threshold > 0.0:
-                        local = threshold_weights(local, self.edge_threshold)
-                    survivors.append((plan.blocks[index], local))
-
-            survivors.sort(key=lambda pair: pair[0].index)
-            stitched = self.stitcher.stitch(
-                survivors, plan.n_nodes, tracer=self.tracer
+                self._consume(result, members, outcomes, survivors, anomalies)
+            self._accumulate(preemption, runner.telemetry.preemption_summary())
+            result = self._finish(
+                data=data,
+                plan=plan,
+                planner=planner,
+                seed=seed,
+                outcomes=outcomes,
+                survivors=survivors,
+                anomalies=anomalies,
+                n_waves=n_waves,
+                preemption=preemption,
+                shard_span=shard_span,
+                timer=timer,
             )
-            block_results = [by_block[block.index] for block in plan.blocks]
-            missing = sorted(
-                node
-                for block in plan.blocks
-                if by_block[block.index].status != "ok"
-                for node in block.core
+        result.total_seconds = timer.elapsed
+        return result
+
+    def run_stream(
+        self,
+        data: np.ndarray,
+        planner: ShardPlanner,
+        seed: int | None = 0,
+    ) -> ShardResult:
+        """Overlap hierarchical planning with execution on one stream session.
+
+        Each batch from
+        :meth:`~repro.shard.planner.ShardPlanner.iter_block_batches` is
+        turned into (wave) jobs and submitted the moment it exists, so block
+        solves for partition ``k`` run while partition ``k+1`` is still
+        being planned.  Between batches the session is polled without
+        blocking; once planning is exhausted the remaining jobs drain as in
+        :meth:`run`.  The assembled plan, the stitch, the gap accounting,
+        and any boundary re-solve rounds are identical to the plan-first
+        path.
+        """
+        data = ensure_2d(data, "data")
+        timer = Timer()
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(timer)
+            shard_span = None
+            if self.tracer is not None:
+                shard_span = stack.enter_context(
+                    self.tracer.span(
+                        "shard_solve",
+                        solver=self.solver,
+                        n_nodes=int(data.shape[1]),
+                        overlapped=True,
+                    )
+                )
+            blocks: list[ShardBlock] = []
+            total_edges = 0
+            outcomes: dict[int, JobResult] = {}
+            survivors: list[tuple[ShardBlock, np.ndarray | sp.spmatrix]] = []
+            anomalies: dict[str, str] = {}
+            members: dict[str, list[tuple[ShardBlock, str]]] = {}
+            preemption: dict[str, float] = {}
+            n_waves = 0
+            runner = self._make_runner()
+            session = runner.open_session()
+            pending: deque[LearningJob] = deque()
+
+            def pump(drain: bool) -> None:
+                """Submit while there is capacity; collect finished results."""
+                while True:
+                    while pending and session.has_capacity():
+                        immediate = session.submit(pending.popleft())
+                        if immediate is not None:
+                            self._consume(
+                                immediate, members, outcomes, survivors, anomalies
+                            )
+                    if not (pending or session.in_flight):
+                        return
+                    for _, finished in session.poll(None if drain else 0):
+                        self._consume(
+                            finished, members, outcomes, survivors, anomalies
+                        )
+                    if not drain:
+                        return
+
+            try:
+                for batch, n_edges in planner.iter_block_batches(
+                    data, tracer=self.tracer
+                ):
+                    blocks.extend(batch)
+                    total_edges += n_edges
+                    batch_jobs, batch_members = self._build_block_jobs(
+                        data, batch, seed
+                    )
+                    n_waves += sum(
+                        1 for job in batch_jobs if job.wave is not None
+                    )
+                    members.update(batch_members)
+                    pending.extend(batch_jobs)
+                    pump(drain=False)
+                pump(drain=True)
+            finally:
+                session.close()
+            self._accumulate(preemption, runner.telemetry.preemption_summary())
+            plan = ShardPlan(
+                n_nodes=int(data.shape[1]),
+                blocks=blocks,
+                n_skeleton_edges=total_edges,
+                skeleton_threshold=planner.skeleton_threshold,
             )
             if shard_span is not None:
-                shard_span.set_attributes(
-                    n_blocks_ok=sum(
-                        1 for r in block_results if r.status == "ok"
-                    ),
-                    n_missing_nodes=len(missing),
-                )
+                shard_span.set_attribute("n_blocks", plan.n_blocks)
+            result = self._finish(
+                data=data,
+                plan=plan,
+                planner=planner,
+                seed=seed,
+                outcomes=outcomes,
+                survivors=survivors,
+                anomalies=anomalies,
+                n_waves=n_waves,
+                preemption=preemption,
+                shard_span=shard_span,
+                timer=timer,
+            )
+        result.total_seconds = timer.elapsed
+        return result
+
+    # -- stitch + boundary re-solve --------------------------------------------
+
+    def _finish(
+        self,
+        data: np.ndarray,
+        plan: ShardPlan,
+        planner: ShardPlanner | None,
+        seed: int | None,
+        outcomes: dict[int, JobResult],
+        survivors: list[tuple[ShardBlock, np.ndarray | sp.spmatrix]],
+        anomalies: dict[str, str],
+        n_waves: int,
+        preemption: dict[str, float],
+        shard_span,
+        timer: Timer,
+    ) -> ShardResult:
+        """Stitch the survivors, account the gaps, run boundary rounds."""
+        survivors.sort(key=lambda pair: pair[0].index)
+        stitched = self.stitcher.stitch(survivors, plan.n_nodes, tracer=self.tracer)
+        block_results = [outcomes[block.index] for block in plan.blocks]
+        covered = {block.index for block, _ in survivors}
+        missing = sorted(
+            node
+            for block in plan.blocks
+            if block.index not in covered
+            for node in block.core
+        )
+        initial_weights = None
+        rounds: list[dict[str, Any]] = []
+        if self.boundary_rounds > 0:
+            initial_weights = stitched.weights
+            n_waves_box = [n_waves]
+            stitched, missing = self._boundary_resolve(
+                data=data,
+                plan=plan,
+                planner=planner,
+                seed=seed,
+                survivors=survivors,
+                stitched=stitched,
+                missing=missing,
+                anomalies=anomalies,
+                preemption=preemption,
+                rounds=rounds,
+                n_waves_box=n_waves_box,
+            )
+            n_waves = n_waves_box[0]
+        if shard_span is not None:
+            shard_span.set_attributes(
+                n_blocks_ok=sum(1 for r in block_results if r.status == "ok"),
+                n_missing_nodes=len(missing),
+                n_resolve_rounds=len(rounds),
+            )
         return ShardResult(
             weights=stitched.weights,
             plan=plan,
@@ -327,8 +781,200 @@ class ShardExecutor:
             block_results=block_results,
             missing_nodes=missing,
             total_seconds=timer.elapsed,
-            preemption=runner.telemetry.preemption_summary(),
+            preemption=preemption,
+            anomalies=anomalies,
+            n_waves=n_waves,
+            rounds=rounds,
+            initial_weights=initial_weights,
         )
+
+    def _resolve_planner(
+        self, plan: ShardPlan, planner: ShardPlanner | None
+    ) -> ShardPlanner:
+        """The planner used to re-plan the boundary set (never partitioned).
+
+        Boundary re-solve exists to recover edges *across* partitions, so
+        the boundary skeleton is always global over the boundary columns —
+        the caller's planner settings are kept, its partitioning is not.
+        """
+        source = planner
+        if source is None:
+            return ShardPlanner(skeleton_threshold=plan.skeleton_threshold)
+        if source.partition_columns is None:
+            return source
+        return ShardPlanner(
+            skeleton_threshold=source.skeleton_threshold,
+            max_block_size=source.max_block_size,
+            min_block_size=source.min_block_size,
+            halo_depth=source.halo_depth,
+            max_halo_size=source.max_halo_size,
+            dense_skeleton_limit=source.dense_skeleton_limit,
+            skeleton_chunk_columns=source.skeleton_chunk_columns,
+        )
+
+    def _warm_starts(
+        self,
+        stitched_weights: np.ndarray | sp.spmatrix,
+        blocks: Sequence[ShardBlock],
+        data: np.ndarray,
+        seed: int | None,
+    ) -> dict[int, np.ndarray | sp.spmatrix] | None:
+        """Per-block warm starts cut from the current stitched graph.
+
+        For a sparse backend the init's non-zero pattern *is* the candidate
+        edge set (``init_weights`` becomes ``initial_support`` in
+        :class:`repro.core.least_sparse.SparseLEAST`), so handing it the bare
+        stitched submatrix would make a re-solve structurally incapable of
+        discovering any edge the first pass missed.  The sparse warm start is
+        therefore the stitched submatrix *unioned* with a fresh per-block
+        correlation support — stitched values win where both have an entry,
+        and the support's candidates keep the round open to new edges.
+        """
+        spec = get_spec(self.solver)
+        if not spec.supports_init_weights:
+            return None
+        sparse = sp.issparse(stitched_weights)
+        source = stitched_weights.tocsr() if sparse else np.asarray(stitched_weights)
+        warm: dict[int, np.ndarray | sp.spmatrix] = {}
+        for block in blocks:
+            nodes = np.asarray(block.nodes, dtype=int)
+            if sparse:
+                sub = source[nodes][:, nodes].tocsr()
+            else:
+                sub = source[np.ix_(nodes, nodes)]
+            if spec.sparse:
+                sub = sp.csr_matrix(sub)
+                fresh = self._fresh_support(data[:, nodes], block.index, seed)
+                if fresh is not None:
+                    fresh = fresh - fresh.multiply(sub != 0)
+                    sub = (sub + fresh).tocsr()
+                warm[block.index] = sub
+            else:
+                warm[block.index] = np.array(
+                    sub.todense() if sp.issparse(sub) else sub, dtype=float
+                )
+        return warm
+
+    def _fresh_support(
+        self, block_data: np.ndarray, block_index: int, seed: int | None
+    ) -> sp.csr_matrix | None:
+        """Correlation-screened candidate edges of one re-solve block."""
+        from repro.core.least_sparse import SparseLEASTConfig, correlation_support
+
+        max_parents = self.config.get("support_max_parents")
+        if max_parents is None:
+            max_parents = getattr(SparseLEASTConfig(), "support_max_parents", 8)
+        rng = np.random.default_rng(
+            None if seed is None else seed + block_index
+        )
+        return correlation_support(
+            np.ascontiguousarray(block_data), max_parents=int(max_parents), rng=rng
+        )
+
+    def _boundary_resolve(
+        self,
+        data: np.ndarray,
+        plan: ShardPlan,
+        planner: ShardPlanner | None,
+        seed: int | None,
+        survivors: list[tuple[ShardBlock, np.ndarray | sp.spmatrix]],
+        stitched: StitchedGraph,
+        missing: list[int],
+        anomalies: dict[str, str],
+        preemption: dict[str, float],
+        rounds: list[dict[str, Any]],
+        n_waves_box: list[int],
+    ) -> tuple[StitchedGraph, list[int]]:
+        """Run the configured boundary re-solve rounds; returns final stitch.
+
+        Each round re-plans the boundary node set (missing owned nodes plus
+        every halo node of the plan) over a fresh skeleton built from the
+        boundary columns only — that skeleton can connect nodes from
+        different partitions, which is exactly what the partitioned first
+        pass cannot see.  Round blocks are warm-started from the current
+        stitched graph, executed like any other block set (waves included),
+        and stitched in with every earlier survivor.
+        """
+        sub_planner = self._resolve_planner(plan, planner)
+        halo_nodes = sorted({node for block in plan.blocks for node in block.halo})
+        next_index = plan.n_blocks
+        for round_no in range(1, self.boundary_rounds + 1):
+            boundary = sorted(set(missing) | set(halo_nodes))
+            if len(boundary) < 2:
+                break
+            boundary_arr = np.asarray(boundary, dtype=int)
+            sub = np.ascontiguousarray(data[:, boundary_arr])
+            if self.tracer is not None:
+                with self.tracer.span(
+                    "boundary_replan",
+                    round=round_no,
+                    n_boundary_nodes=len(boundary),
+                ):
+                    local_plan = sub_planner._plan_global(sub)
+            else:
+                local_plan = sub_planner._plan_global(sub)
+            round_blocks = [
+                ShardBlock(
+                    index=next_index + position,
+                    core=tuple(int(boundary_arr[i]) for i in block.core),
+                    halo=tuple(int(boundary_arr[i]) for i in block.halo),
+                )
+                for position, block in enumerate(local_plan.blocks)
+            ]
+            next_index += len(round_blocks)
+            warm = self._warm_starts(stitched.weights, round_blocks, data, seed)
+            jobs, members = self._build_block_jobs(
+                data,
+                round_blocks,
+                seed,
+                id_prefix=f"r{round_no}-",
+                warm_starts=warm,
+            )
+            n_waves_box[0] += sum(1 for job in jobs if job.wave is not None)
+            round_outcomes: dict[int, JobResult] = {}
+            round_survivors: list[
+                tuple[ShardBlock, np.ndarray | sp.spmatrix]
+            ] = []
+            runner = self._make_runner()
+            for result in runner.stream(jobs):
+                self._consume(
+                    result, members, round_outcomes, round_survivors, anomalies
+                )
+            self._accumulate(preemption, runner.telemetry.preemption_summary())
+            edges_before = _edge_count(stitched.weights)
+            survivors.extend(round_survivors)
+            survivors.sort(key=lambda pair: pair[0].index)
+            stitched = self.stitcher.stitch(
+                survivors, plan.n_nodes, tracer=self.tracer
+            )
+            recovered = {
+                node for block, _ in round_survivors for node in block.core
+            }
+            missing_before = len(missing)
+            missing = sorted(set(missing) - recovered)
+            round_results = [
+                round_outcomes[block.index] for block in round_blocks
+            ]
+            rounds.append(
+                {
+                    "round": round_no,
+                    "n_boundary_nodes": len(boundary),
+                    "n_blocks": len(round_blocks),
+                    "n_blocks_ok": sum(
+                        1 for r in round_results if r.status == "ok"
+                    ),
+                    "n_skeleton_edges": local_plan.n_skeleton_edges,
+                    "n_edges_before": edges_before,
+                    "n_edges_after": _edge_count(stitched.weights),
+                    "n_missing_before": missing_before,
+                    "n_missing_after": len(missing),
+                    "blocks": [
+                        _block_digest(r, anomalies.get(r.job_id))
+                        for r in round_results
+                    ],
+                }
+            )
+        return stitched, missing
 
 
 def solve_sharded(
@@ -345,7 +991,10 @@ def solve_sharded(
         ``n × d`` sample matrix.
     planner:
         The :class:`~repro.shard.planner.ShardPlanner` to decompose with
-        (defaults used when omitted).
+        (defaults used when omitted).  A planner with
+        :attr:`~repro.shard.planner.ShardPlanner.partition_columns` set
+        routes through :meth:`ShardExecutor.run_stream`, overlapping each
+        partition's planning with the previous partition's block solves.
     executor:
         The :class:`ShardExecutor` to solve with (a serial single-worker one
         when omitted).
@@ -359,5 +1008,7 @@ def solve_sharded(
     """
     planner = planner or ShardPlanner()
     executor = executor or ShardExecutor()
+    if planner.partition_columns is not None:
+        return executor.run_stream(data, planner, seed=seed)
     plan = planner.plan(data, tracer=executor.tracer)
-    return executor.run(data, plan, seed=seed)
+    return executor.run(data, plan, seed=seed, planner=planner)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 import scipy.sparse as sp
@@ -263,13 +263,23 @@ def _neighbor_lists(skeleton) -> list[list[int]]:
     return _adjacency_lists(skeleton)
 
 
-def _core_affinity(affinity, node: int, core_idx: np.ndarray) -> float:
-    """Strongest affinity between ``node`` and any core node (dense or sparse)."""
-    if core_idx.size == 0:
-        return 0.0
+def _core_affinities(affinity, candidates: np.ndarray, core_idx: np.ndarray) -> np.ndarray:
+    """Strongest affinity between each candidate and any core node.
+
+    One vectorized ``affinity[candidates][:, core]`` submatrix max per call —
+    the per-candidate fancy-index loop this replaces cost one sparse slice
+    per halo candidate, which dominated planning time on wide blocks.
+    """
+    candidates = np.asarray(candidates, dtype=int)
+    if candidates.size == 0 or core_idx.size == 0:
+        return np.zeros(candidates.size)
     if sp.issparse(affinity):
-        return float(affinity[node, core_idx].max())
-    return float(np.max(np.asarray(affinity)[node, core_idx]))
+        sub = affinity.tocsr()[candidates][:, core_idx]
+        # Implicit zeros participate in the max exactly as in the dense path
+        # (affinities are non-negative), matching the old per-entry .max().
+        return np.asarray(sub.max(axis=1).todense()).ravel().astype(float)
+    sub = np.asarray(affinity)[np.ix_(candidates, core_idx)]
+    return sub.max(axis=1).astype(float)
 
 
 def _connected_components(neighbors: Sequence[Sequence[int]]) -> list[list[int]]:
@@ -341,6 +351,18 @@ class ShardPlanner:
         that keeps planning viable on the 100k-node regime.
     skeleton_chunk_columns:
         Chunk height of the sparse skeleton computation.
+    partition_columns:
+        Hierarchical ("shard the shards") mode: problems wider than this are
+        first cut into contiguous column partitions of at most this many
+        columns, and each partition is planned *independently* — its own
+        skeleton, components, and halos.  No skeleton ever spans more than
+        one partition, so peak planning memory is bounded by the partition
+        width regardless of ``d``, and :meth:`iter_block_batches` can hand
+        each partition's blocks to the executor while later partitions are
+        still being planned.  Cross-partition skeleton edges are invisible
+        at this stage — the executor's boundary re-solve rounds are the
+        mechanism that recovers them.  ``None`` (default) disables
+        partitioning.
     """
 
     def __init__(
@@ -352,6 +374,7 @@ class ShardPlanner:
         max_halo_size: int | None = None,
         dense_skeleton_limit: int = 2048,
         skeleton_chunk_columns: int = 512,
+        partition_columns: int | None = None,
     ) -> None:
         check_non_negative(skeleton_threshold, "skeleton_threshold")
         if max_block_size < 1:
@@ -375,6 +398,11 @@ class ShardPlanner:
             )
         check_positive(dense_skeleton_limit, "dense_skeleton_limit")
         check_positive(skeleton_chunk_columns, "skeleton_chunk_columns")
+        if partition_columns is not None and partition_columns < max_block_size:
+            raise ValidationError(
+                "partition_columns must be >= max_block_size, got "
+                f"{partition_columns} < {max_block_size}"
+            )
         self.skeleton_threshold = float(skeleton_threshold)
         self.max_block_size = int(max_block_size)
         self.min_block_size = int(min_block_size)
@@ -382,8 +410,73 @@ class ShardPlanner:
         self.max_halo_size = max_halo_size
         self.dense_skeleton_limit = int(dense_skeleton_limit)
         self.skeleton_chunk_columns = int(skeleton_chunk_columns)
+        self.partition_columns = (
+            int(partition_columns) if partition_columns is not None else None
+        )
 
     # -- public API ------------------------------------------------------------
+
+    def iter_block_batches(
+        self, data: np.ndarray, *, tracer=None
+    ) -> "Iterator[tuple[list[ShardBlock], int]]":
+        """Yield ``(blocks, n_skeleton_edges)`` one column partition at a time.
+
+        This is the incremental face of hierarchical planning: with
+        :attr:`partition_columns` set (and the problem wider than it), each
+        contiguous partition is planned independently — skeleton,
+        components, cores, halos — and its blocks are yielded with global
+        column indices and globally sequential block indices *before* the
+        next partition's skeleton is even computed.
+        :meth:`ShardExecutor.run_stream <repro.shard.executor.ShardExecutor.run_stream>`
+        consumes this generator to overlap planning with execution.  Without
+        partitioning the whole plan arrives as a single batch.
+
+        ``tracer`` wraps each partition's planning pass in its own
+        ``shard_plan`` span (attribute ``partition`` carries the ordinal).
+        """
+        data = ensure_2d(data, "data")
+        d = data.shape[1]
+        if self.partition_columns is None or d <= self.partition_columns:
+            plan = self._plan_global(data, tracer=tracer)
+            yield plan.blocks, plan.n_skeleton_edges
+            return
+        sub_planner = ShardPlanner(
+            skeleton_threshold=self.skeleton_threshold,
+            max_block_size=self.max_block_size,
+            min_block_size=self.min_block_size,
+            halo_depth=self.halo_depth,
+            max_halo_size=self.max_halo_size,
+            dense_skeleton_limit=self.dense_skeleton_limit,
+            skeleton_chunk_columns=self.skeleton_chunk_columns,
+        )
+        next_index = 0
+        for ordinal, start in enumerate(range(0, d, self.partition_columns)):
+            stop = min(start + self.partition_columns, d)
+            sub = np.ascontiguousarray(data[:, start:stop])
+            if tracer is not None:
+                with tracer.span(
+                    "shard_plan", n_nodes=stop - start, partition=ordinal
+                ) as span:
+                    subplan = sub_planner._plan_global(sub)
+                    span.set_attributes(
+                        n_blocks=subplan.n_blocks,
+                        n_skeleton_edges=subplan.n_skeleton_edges,
+                    )
+            else:
+                subplan = sub_planner._plan_global(sub)
+            # Partitions are contiguous column ranges, so local index ->
+            # global index is a plain offset; block indices continue the
+            # global sequence so the assembled ShardPlan validates.
+            mapped = [
+                ShardBlock(
+                    index=next_index + position,
+                    core=tuple(start + node for node in block.core),
+                    halo=tuple(start + node for node in block.halo),
+                )
+                for position, block in enumerate(subplan.blocks)
+            ]
+            next_index += len(mapped)
+            yield mapped, subplan.n_skeleton_edges
 
     def plan(self, data: np.ndarray, *, tracer=None) -> ShardPlan:
         """Build a :class:`ShardPlan` for the ``n × d`` sample matrix.
@@ -393,16 +486,37 @@ class ShardPlanner:
         (and the strengths are only kept when :attr:`max_halo_size` needs
         them for ranking).  Beyond :attr:`dense_skeleton_limit` columns the
         skeleton is built chunked into CSR — no dense ``d × d`` matrix is
-        ever materialized on that path.
+        ever materialized on that path.  With :attr:`partition_columns` set
+        and the problem wider than it, the plan is assembled hierarchically
+        from :meth:`iter_block_batches` — one independent sub-plan per
+        contiguous column partition.
 
         ``tracer`` (an optional :class:`~repro.obs.Tracer`) wraps the
         planning pass in a ``shard_plan`` span recording the node and block
         counts.
         """
+        data = ensure_2d(data, "data")
+        d = data.shape[1]
+        if self.partition_columns is not None and d > self.partition_columns:
+            blocks: list[ShardBlock] = []
+            total_edges = 0
+            for batch, n_edges in self.iter_block_batches(data, tracer=tracer):
+                blocks.extend(batch)
+                total_edges += n_edges
+            return ShardPlan(
+                n_nodes=d,
+                blocks=blocks,
+                n_skeleton_edges=total_edges,
+                skeleton_threshold=self.skeleton_threshold,
+            )
+        return self._plan_global(data, tracer=tracer)
+
+    def _plan_global(self, data: np.ndarray, *, tracer=None) -> ShardPlan:
+        """Single-skeleton planning over all columns (the non-partitioned path)."""
         if tracer is not None:
             data = ensure_2d(data, "data")
             with tracer.span("shard_plan", n_nodes=int(data.shape[1])) as span:
-                plan = self.plan(data)
+                plan = self._plan_global(data)
                 span.set_attributes(
                     n_blocks=plan.n_blocks,
                     n_skeleton_edges=plan.n_skeleton_edges,
@@ -539,9 +653,8 @@ class ShardPlanner:
             return candidates
         affinity = strengths if strengths is not None else skeleton
         core_idx = np.asarray(sorted(core_set))
-        scored = sorted(
-            candidates,
-            key=lambda node: _core_affinity(affinity, node, core_idx),
-            reverse=True,
-        )
-        return sorted(scored[: self.max_halo_size])
+        scores = _core_affinities(affinity, np.asarray(candidates), core_idx)
+        # Stable argsort on the negated scores reproduces the old stable
+        # descending sort exactly: ties keep ascending candidate order.
+        order = np.argsort(-scores, kind="stable")
+        return sorted(candidates[i] for i in order[: self.max_halo_size])

@@ -272,24 +272,6 @@ class Stitcher:
             else:
                 del edges[i, j]
 
-    @staticmethod
-    def _find_cycle(
-        edges: dict[tuple[int, int], float], n_nodes: int
-    ) -> list[int] | None:
-        """One directed cycle of the edge map, or None when acyclic.
-
-        Builds sorted adjacency lists and delegates to
-        :func:`repro.graph.dag.find_cycle_in_adjacency`, so the traversal
-        (and therefore which cycle is broken first) matches the dense
-        stitcher's historical behavior exactly.
-        """
-        adjacency: list[list[int]] = [[] for _ in range(n_nodes)]
-        for i, j in edges:
-            adjacency[i].append(j)
-        for children in adjacency:
-            children.sort()
-        return find_cycle_in_adjacency(adjacency)
-
     @classmethod
     def _break_cycles(
         cls,
@@ -297,8 +279,21 @@ class Stitcher:
         n_nodes: int,
         report: StitchReport,
     ) -> None:
-        """Remove the lightest edge of each remaining cycle until acyclic."""
-        while (cycle := cls._find_cycle(edges, n_nodes)) is not None:
+        """Remove the lightest edge of each remaining cycle until acyclic.
+
+        The sorted adjacency lists are built **once** and updated in place as
+        edges are removed — removing an element from a sorted list keeps it
+        sorted, so every :func:`repro.graph.dag.find_cycle_in_adjacency`
+        traversal (and therefore which cycle is broken next) is identical to
+        the historical rebuild-per-iteration behavior while the per-cycle
+        cost drops from O(E) rebuild to O(degree) removal.
+        """
+        adjacency: list[list[int]] = [[] for _ in range(n_nodes)]
+        for i, j in edges:
+            adjacency[i].append(j)
+        for children in adjacency:
+            children.sort()
+        while (cycle := find_cycle_in_adjacency(adjacency)) is not None:
             lightest: tuple[int, int] | None = None
             lightest_weight = np.inf
             for u, v in zip(cycle, cycle[1:]):
@@ -308,5 +303,6 @@ class Stitcher:
                     lightest = (u, v)
             assert lightest is not None  # a cycle always has edges
             del edges[lightest]
+            adjacency[lightest[0]].remove(lightest[1])
             report.n_cycle_edges_removed += 1
             report.removed_weight += float(lightest_weight)

@@ -211,3 +211,65 @@ def test_plan_rejects_blocks_with_mismatched_indices():
                 ShardBlock(index=0, core=(2, 3)),
             ],
         )
+
+
+def test_break_cycles_removal_order_matches_rebuild_reference():
+    """Incremental adjacency updates must not change which edges are removed.
+
+    The production ``_break_cycles`` builds its sorted adjacency lists once
+    and removes entries in place; this pin re-runs the historical
+    rebuild-adjacency-every-iteration algorithm on the same edge map and
+    requires the *exact same removal sequence*, not just the same final DAG.
+    """
+    from repro.graph.dag import find_cycle_in_adjacency
+
+    rng = np.random.default_rng(11)
+    n = 30
+    edges: dict[tuple[int, int], float] = {}
+    while len(edges) < 150:
+        i, j = (int(v) for v in rng.integers(0, n, size=2))
+        if i != j:
+            edges[(i, j)] = float(rng.normal())
+
+    def reference_removals(edge_map: dict[tuple[int, int], float]) -> list:
+        removed = []
+        while True:
+            adjacency = [[] for _ in range(n)]
+            for i, j in edge_map:
+                adjacency[i].append(j)
+            for children in adjacency:
+                children.sort()
+            cycle = find_cycle_in_adjacency(adjacency)
+            if cycle is None:
+                return removed
+            lightest = None
+            lightest_weight = np.inf
+            for u, v in zip(cycle, cycle[1:]):
+                if abs(edge_map[u, v]) < lightest_weight:
+                    lightest_weight = abs(edge_map[u, v])
+                    lightest = (u, v)
+            removed.append(lightest)
+            del edge_map[lightest]
+
+    reference_map = dict(edges)
+    expected = reference_removals(reference_map)
+    assert expected, "fixture must actually contain cycles"
+
+    class RecordingDict(dict):
+        removals: list = []
+
+        def __delitem__(self, key):
+            self.removals.append(key)
+            super().__delitem__(key)
+
+    actual_map = RecordingDict(edges)
+    actual_map.removals = []
+    report = StitchReport()
+    Stitcher._break_cycles(actual_map, n, report)
+
+    assert actual_map.removals == expected
+    assert set(actual_map) == set(reference_map)
+    assert report.n_cycle_edges_removed == len(expected)
+    assert report.removed_weight == pytest.approx(
+        sum(abs(edges[key]) for key in expected)
+    )
