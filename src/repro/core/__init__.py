@@ -4,6 +4,7 @@ from repro.core.acyclicity import SpectralAcyclicityBound, spectral_bound, spect
 from repro.core.backend import (
     BackendSpec,
     LEASTBackend,
+    LEASTFastBackend,
     NOTEARSBackend,
     SolveResult,
     SolverBackend,
@@ -14,6 +15,7 @@ from repro.core.backend import (
     unregister_backend,
 )
 from repro.core.least import LEAST, LEASTConfig, LEASTResult
+from repro.core.least_fast import FastLEAST, FastLEASTConfig, numba_available
 from repro.core.least_sparse import SparseLEAST, SparseLEASTConfig, correlation_support
 from repro.core.losses import LeastSquaresLoss
 from repro.core.model_selection import (
@@ -36,6 +38,7 @@ __all__ = [
     "SolveResult",
     "BackendSpec",
     "LEASTBackend",
+    "LEASTFastBackend",
     "SparseLEASTBackend",
     "NOTEARSBackend",
     "make_solver",
@@ -48,6 +51,9 @@ __all__ = [
     "LEAST",
     "LEASTConfig",
     "LEASTResult",
+    "FastLEAST",
+    "FastLEASTConfig",
+    "numba_available",
     "SparseLEAST",
     "SparseLEASTConfig",
     "correlation_support",

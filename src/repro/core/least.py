@@ -48,6 +48,36 @@ from repro.utils.validation import (
 
 __all__ = ["LEASTConfig", "LEASTResult", "LEAST", "glorot_sparse_init"]
 
+#: Above this node count :func:`glorot_sparse_init` samples non-zero
+#: coordinates directly instead of drawing a dense d × d uniform mask, so the
+#: RNG/memory cost of initialization is O(nnz) rather than O(d²).  Below the
+#: cutoff the historical dense draw is kept so existing seeded streams (and
+#: every test pinned to them) are unchanged.
+SPARSE_INIT_CUTOFF = 2048
+
+
+def _sample_off_diagonal_indices(
+    n_nodes: int, n_active: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw ``n_active`` distinct off-diagonal (row, col) pairs in O(nnz).
+
+    Off-diagonal cells are enumerated as flat indices in ``[0, d(d-1))`` with
+    ``row = flat // (d-1)`` and the column skipping the diagonal.  Distinct
+    flat indices come from oversample-and-deduplicate rounds — at the sparse
+    densities this path serves, one round almost surely suffices.
+    """
+    total = n_nodes * (n_nodes - 1)
+    unique = np.empty(0, dtype=np.int64)
+    while unique.size < n_active:
+        draw = rng.integers(0, total, size=2 * (n_active - unique.size) + 16)
+        unique = np.unique(np.concatenate([unique, draw]))
+    if unique.size > n_active:
+        unique = rng.choice(unique, size=n_active, replace=False)
+    rows = unique // (n_nodes - 1)
+    offsets = unique % (n_nodes - 1)
+    cols = offsets + (offsets >= rows)
+    return rows, cols
+
 
 def glorot_sparse_init(
     n_nodes: int, density: float, rng: np.random.Generator
@@ -58,13 +88,25 @@ def glorot_sparse_init(
     values are drawn uniformly from ``[-limit, limit]`` with
     ``limit = sqrt(6 / (fan_in + fan_out)) = sqrt(3 / d)``, the Glorot/Xavier
     uniform rule used by the paper (Fig. 3, line 1 of the Inner procedure).
+
+    For ``n_nodes < SPARSE_INIT_CUTOFF`` the non-zero mask is a dense
+    ``d × d`` uniform draw (the historical behaviour, preserved so seeded
+    streams do not shift); at and above the cutoff the number of non-zeros is
+    drawn from the matching Binomial(d(d-1), density) and their coordinates
+    are sampled directly, keeping RNG work and transient memory O(nnz).
     """
     limit = np.sqrt(3.0 / max(n_nodes, 1))
-    mask = rng.random((n_nodes, n_nodes)) < density
-    np.fill_diagonal(mask, False)
     weights = np.zeros((n_nodes, n_nodes))
-    n_active = int(mask.sum())
-    weights[mask] = rng.uniform(-limit, limit, size=n_active)
+    if n_nodes < SPARSE_INIT_CUTOFF:
+        mask = rng.random((n_nodes, n_nodes)) < density
+        np.fill_diagonal(mask, False)
+        n_active = int(mask.sum())
+        weights[mask] = rng.uniform(-limit, limit, size=n_active)
+        return weights
+    n_active = int(rng.binomial(n_nodes * (n_nodes - 1), density))
+    if n_active > 0:
+        rows, cols = _sample_off_diagonal_indices(n_nodes, n_active, rng)
+        weights[rows, cols] = rng.uniform(-limit, limit, size=n_active)
     return weights
 
 
@@ -346,6 +388,13 @@ class LEAST:
         objective = np.inf
         constraint = self._bound.value(weights)
 
+        # Reused across iterations: |W| scratch and the threshold mask.  The
+        # gradient combine below also mutates the per-iteration gradient
+        # arrays in place instead of allocating `coef * cgrad` and the sum —
+        # floating-point add is commutative, so results are bit-identical.
+        abs_scratch = np.empty_like(weights)
+        threshold_mask = np.empty(weights.shape, dtype=bool)
+
         steps = 0
         for steps in range(1, config.max_inner_iterations + 1):
             batch = sample_batch(data, config.batch_size, rng)
@@ -353,13 +402,17 @@ class LEAST:
             loss_value, loss_gradient = self._loss.value_and_gradient(weights, batch)
 
             objective = loss_value + 0.5 * rho * constraint**2 + eta * constraint
-            gradient = loss_gradient + (rho * constraint + eta) * constraint_gradient
+            constraint_gradient *= rho * constraint + eta
+            constraint_gradient += loss_gradient
+            gradient = constraint_gradient
             np.fill_diagonal(gradient, 0.0)
 
             weights = optimizer.update(weights, gradient)
             np.fill_diagonal(weights, 0.0)
             if config.threshold > 0:
-                weights[np.abs(weights) < config.threshold] = 0.0
+                np.abs(weights, out=abs_scratch)
+                np.less(abs_scratch, config.threshold, out=threshold_mask)
+                weights[threshold_mask] = 0.0
 
             if np.isfinite(previous_objective):
                 denominator = max(abs(previous_objective), 1e-12)

@@ -144,6 +144,26 @@ class TestMonitoringWorkflow:
         assert sp.issparse(pipeline.scheduler.state.weights)
         assert stats[1].warm_started  # CSR state seeded the next CSR window
 
+    def test_pipeline_runs_windows_on_the_fast_backend(self):
+        """MonitoringPipeline forwards prefer_fast to the scheduler."""
+        simulator = BookingSimulator(seed=34)
+        pipeline = MonitoringPipeline(
+            simulator,
+            window_seconds=1800.0,
+            least_config=LEASTConfig(
+                max_outer_iterations=2,
+                max_inner_iterations=40,
+                l1_penalty=0.02,
+                tolerance=1e-3,
+            ),
+            prefer_fast=True,
+        )
+        reports = pipeline.run(3, seed=35)
+        assert len(reports) == 3
+        stats = pipeline.window_stats
+        assert stats and all(s.solver == "least_fast" for s in stats)
+        assert stats[1].warm_started  # dense state flows between fast windows
+
 
 class TestRecommendationWorkflow:
     def test_movielens_pipeline_learns_planted_relations(self):

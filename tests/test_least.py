@@ -31,6 +31,51 @@ class TestGlorotInit:
         limit = np.sqrt(3.0 / 30)
         assert np.abs(weights).max() <= limit
 
+    def test_large_graph_path_samples_coordinates(self, rng):
+        from repro.core.least import SPARSE_INIT_CUTOFF
+
+        d = SPARSE_INIT_CUTOFF
+        density = 1e-4
+        weights = glorot_sparse_init(d, density, rng)
+        n_active = np.count_nonzero(weights)
+        expected = d * (d - 1) * density
+        # Binomial draw: stay within ±6 standard deviations of the mean.
+        margin = 6 * np.sqrt(expected)
+        assert abs(n_active - expected) <= margin
+        np.testing.assert_array_equal(np.diag(weights), 0.0)
+        limit = np.sqrt(3.0 / d)
+        assert np.abs(weights).max() <= limit
+
+    def test_large_graph_init_memory_is_o_nnz(self):
+        """The d=4096 pin: transient allocations beyond the returned d × d
+        array must be O(nnz), not the O(d²) mask + uniform draw of the old
+        dense path (~150 MB at this size)."""
+        import tracemalloc
+
+        rng = np.random.default_rng(0)
+        glorot_sparse_init(4096, 1e-4, rng)  # warm numpy internals
+        tracemalloc.start()
+        weights = glorot_sparse_init(4096, 1e-4, np.random.default_rng(1))
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        overhead = peak - weights.nbytes
+        assert overhead < 4 * 1024 * 1024, (
+            f"init allocated {overhead / 1e6:.1f} MB beyond the result matrix"
+        )
+
+    def test_small_graph_dense_stream_unchanged(self):
+        """Below the cutoff the historical RNG stream must be preserved —
+        seeded runs (and every test pinned to them) may not shift."""
+        rng = np.random.default_rng(42)
+        weights = glorot_sparse_init(12, 0.3, rng)
+        expected_rng = np.random.default_rng(42)
+        mask = expected_rng.random((12, 12)) < 0.3
+        np.fill_diagonal(mask, False)
+        expected = np.zeros((12, 12))
+        limit = np.sqrt(3.0 / 12)
+        expected[mask] = expected_rng.uniform(-limit, limit, size=int(mask.sum()))
+        np.testing.assert_array_equal(weights, expected)
+
 
 class TestLEASTConfig:
     def test_defaults_are_valid(self):

@@ -1,0 +1,250 @@
+"""Parity and integration tests for repro.core.least_fast.
+
+The fused backend's contract is that it is *numerically interchangeable*
+with the reference ``"least"`` backend: on the pure-numpy fallback the two
+are bitwise identical, and under numba the kernels may drift by ulps, so
+every parity assertion here uses tolerances that hold for both — these
+tests run on CI matrix legs with and without numba installed, under both
+fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import FastLEAST, FastLEASTConfig, numba_available
+from repro.core.backend import LEASTFastBackend, get_spec, make_solver, solver_names
+from repro.core.least import LEAST, LEASTConfig
+from repro.core.least_fast import resolve_jit, warmup_jit
+from repro.exceptions import SoftDeadlineExceeded, ValidationError
+from repro.graph.generation import random_dag
+from repro.sem.linear_sem import simulate_linear_sem
+
+FAST = {"max_outer_iterations": 2, "max_inner_iterations": 25}
+#: Weight tolerance that holds for both kernel sets: exact on the numpy
+#: fallback, ulp-amplification headroom for the reordered numba loops.
+ATOL = 1e-6
+
+
+def make_problem(spec: str, n_nodes: int, seed: int) -> np.ndarray:
+    truth = random_dag(spec, n_nodes, seed=seed)
+    return simulate_linear_sem(truth, 10 * n_nodes, seed=seed + 1)
+
+
+@pytest.fixture
+def data() -> np.ndarray:
+    return make_problem("ER-2", 20, seed=3)
+
+
+class TestJitResolution:
+    def test_auto_resolves_to_an_available_backend(self):
+        expected = "numba" if numba_available() else "numpy"
+        assert resolve_jit("auto") == expected
+
+    def test_numpy_always_available(self):
+        assert resolve_jit("numpy") == "numpy"
+
+    def test_explicit_numba_without_the_package_raises(self):
+        if numba_available():
+            assert resolve_jit("numba") == "numba"
+        else:
+            with pytest.raises(ValidationError):
+                resolve_jit("numba")
+
+    def test_invalid_jit_value_rejected(self):
+        with pytest.raises(ValidationError):
+            FastLEASTConfig(jit="cython")
+
+    def test_warmup_reports_compilation(self):
+        assert warmup_jit() is numba_available()
+
+    def test_solver_upgrades_plain_least_config(self):
+        solver = FastLEAST(LEASTConfig(max_outer_iterations=4))
+        assert isinstance(solver.config, FastLEASTConfig)
+        assert solver.config.max_outer_iterations == 4
+        assert solver.jit_backend in ("numba", "numpy")
+
+
+class TestRegistry:
+    def test_registered_with_expected_spec(self):
+        assert "least_fast" in solver_names()
+        spec = get_spec("least_fast")
+        assert spec.sparse is False
+        assert spec.supports_init_weights is True
+        assert LEASTFastBackend.name == "least_fast"
+
+    def test_telemetry_names_the_kernel_set(self, data):
+        result = make_solver("least_fast", **FAST).fit(data, rng=0)
+        expected = "numba" if numba_available() else "numpy"
+        assert result.telemetry["jit_backend"] == expected
+
+
+class TestParity:
+    """least_fast ≡ least on seeded ER/SF problems (the tentpole contract)."""
+
+    @pytest.mark.parametrize("spec", ["ER-2", "SF-4"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_edge_sets_and_objectives_match(self, spec, seed):
+        data = make_problem(spec, 25, seed=10 + seed)
+        config = dict(
+            max_outer_iterations=3, max_inner_iterations=60, threshold=0.05
+        )
+        ref = make_solver("least", **config).fit(data, rng=seed)
+        fast = make_solver("least_fast", **config).fit(data, rng=seed)
+        assert ref.n_outer_iterations == fast.n_outer_iterations
+        assert ref.n_inner_iterations == fast.n_inner_iterations
+        np.testing.assert_allclose(ref.weights, fast.weights, atol=ATOL)
+        # The in-loop threshold snaps small entries to exact zero, so the
+        # learned edge *sets* must be identical, not merely close.
+        assert np.array_equal(ref.weights != 0.0, fast.weights != 0.0)
+        ref_loss = ref.log.last("loss", None)
+        fast_loss = fast.log.last("loss", None)
+        assert ref_loss is not None
+        assert fast_loss == pytest.approx(ref_loss, rel=1e-8, abs=1e-10)
+
+    def test_batched_runs_share_the_rng_stream(self):
+        data = make_problem("ER-2", 18, seed=40)
+        config = dict(max_outer_iterations=2, max_inner_iterations=30, batch_size=64)
+        ref = make_solver("least", **config).fit(data, rng=5)
+        fast = make_solver("least_fast", **config).fit(data, rng=5)
+        np.testing.assert_allclose(ref.weights, fast.weights, atol=ATOL)
+
+    def test_warm_start_parity_dense_and_csr(self, data):
+        cold = make_solver("least", **FAST).fit(data, rng=0)
+        ref = make_solver("least", **FAST).fit(
+            data, rng=1, init_weights=cold.weights
+        )
+        fast_dense = make_solver("least_fast", **FAST).fit(
+            data, rng=1, init_weights=cold.weights
+        )
+        fast_csr = make_solver("least_fast", **FAST).fit(
+            data, rng=1, init_weights=sp.csr_matrix(cold.weights)
+        )
+        np.testing.assert_allclose(ref.weights, fast_dense.weights, atol=ATOL)
+        np.testing.assert_allclose(ref.weights, fast_csr.weights, atol=ATOL)
+
+    def test_fallback_is_bitwise_identical(self, data):
+        """The numpy kernels reproduce the reference exactly, bit for bit."""
+        config = dict(max_outer_iterations=3, max_inner_iterations=50, threshold=0.05)
+        ref = make_solver("least", **config).fit(data, rng=2)
+        fast = make_solver("least_fast", jit="numpy", **config).fit(data, rng=2)
+        assert np.array_equal(ref.weights, fast.weights)
+
+    def test_run_log_records_same_trace_shape(self, data):
+        ref = make_solver("least", **FAST).fit(data, rng=0)
+        fast = make_solver("least_fast", **FAST).fit(data, rng=0)
+        for key in ("loss", "delta", "rho", "eta", "n_edges"):
+            ref_trace = [r[key] for r in ref.log]
+            fast_trace = [r[key] for r in fast.log]
+            assert len(ref_trace) == len(fast_trace)
+            np.testing.assert_allclose(ref_trace, fast_trace, rtol=1e-6, atol=1e-8)
+
+
+class TestDeadlinePaths:
+    def test_hooks_fire_each_outer_iteration(self, data):
+        calls: list[int] = []
+        result = make_solver("least_fast", **FAST).fit(
+            data, rng=0, deadline_hooks=[lambda: calls.append(1)]
+        )
+        assert len(calls) == result.n_outer_iterations
+
+    def test_soft_deadline_raises_at_outer_boundary(self, data):
+        seen: list[int] = []
+
+        def hook():
+            seen.append(1)
+            if len(seen) == 1:
+                raise SoftDeadlineExceeded("budget spent")
+
+        with pytest.raises(SoftDeadlineExceeded):
+            make_solver("least_fast", **FAST).fit(data, rng=0, deadline_hooks=[hook])
+        assert len(seen) == 1  # aborted at the first boundary, not later
+
+    def test_soft_deadline_preempts_job(self, data):
+        from repro.serve.job import LearningJob, execute_job
+
+        def hook():
+            raise SoftDeadlineExceeded("budget spent")
+
+        job = LearningJob(solver="least_fast", data=data, config=dict(FAST))
+        with pytest.raises(SoftDeadlineExceeded):
+            execute_job(job, deadline_hooks=[hook])
+
+    def test_wave_job_marks_members_preempted(self, data):
+        from repro.serve.job import LearningJob, execute_job
+
+        def hook():
+            raise SoftDeadlineExceeded("budget spent")
+
+        stacked = np.hstack([data, data])
+        wave = [
+            {"job_id": "a", "n_columns": data.shape[1], "seed": 0},
+            {"job_id": "b", "n_columns": data.shape[1], "seed": 0},
+        ]
+        job = LearningJob(
+            solver="least_fast", data=stacked, config=dict(FAST), wave=wave
+        )
+        result = execute_job(job, deadline_hooks=[hook])
+        assert result.status == "preempted"
+        assert [part.status for part in result.parts] == ["preempted", "preempted"]
+
+
+class TestServeFlow:
+    def test_execute_job_runs_fast_backend(self, data):
+        from repro.serve.job import LearningJob, execute_job
+
+        result = execute_job(
+            LearningJob(solver="least_fast", data=data, config=dict(FAST))
+        )
+        assert result.status == "ok"
+        assert result.weights.shape == data.shape[1:] * 2
+
+
+class TestSchedulerPreferFast:
+    def _window(self, seed: int, d: int = 15) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(150, d))
+        x[:, 1] += 0.8 * x[:, 0]
+        return x
+
+    def test_prefer_fast_selects_fused_backend(self):
+        from repro.serve.scheduler import RelearnScheduler
+
+        config = LEASTConfig(**FAST)
+        scheduler = RelearnScheduler(least_config=config, prefer_fast=True)
+        names = [f"n{i}" for i in range(15)]
+        scheduler.step(self._window(0), names, seed=0)
+        scheduler.step(self._window(1), names, seed=1)
+        assert [s.solver for s in scheduler.history] == ["least_fast", "least_fast"]
+        assert scheduler.history[1].warm_started
+
+    def test_prefer_fast_windows_match_reference(self):
+        from repro.serve.scheduler import RelearnScheduler
+
+        config = LEASTConfig(**FAST)
+        names = [f"n{i}" for i in range(15)]
+        fast = RelearnScheduler(least_config=config, prefer_fast=True)
+        ref = RelearnScheduler(least_config=config, prefer_fast=False)
+        for index in range(2):
+            fast_result = fast.step(self._window(index), names, seed=index)
+            ref_result = ref.step(self._window(index), names, seed=index)
+            np.testing.assert_allclose(
+                ref_result.weights, fast_result.weights, atol=ATOL
+            )
+
+    def test_sparse_escalation_still_wins(self):
+        from repro.serve.scheduler import RelearnScheduler
+
+        scheduler = RelearnScheduler(
+            prefer_fast=True, sparse_vocabulary_threshold=100
+        )
+        assert scheduler._effective_solver(500) == "least_sparse"
+        assert scheduler._effective_solver(50) == "least_fast"
+
+    def test_prefer_fast_leaves_explicit_solver_choice_alone(self):
+        from repro.serve.scheduler import RelearnScheduler
+
+        scheduler = RelearnScheduler(solver="notears", prefer_fast=True)
+        assert scheduler._effective_solver(50) == "notears"
